@@ -1,0 +1,46 @@
+"""Printing helpers shared by the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "print_header",
+    "print_series",
+    "BENCH_SCALE",
+    "BENCH_N_EXPLOSION",
+    "BENCH_NUM_MESSAGES",
+    "BENCH_MESSAGE_RATE",
+]
+
+#: Scale applied to the paper's 98-node populations for benchmark runs.
+BENCH_SCALE = 0.5
+
+#: Explosion threshold used by the benchmarks (the paper uses 2000).
+BENCH_N_EXPLOSION = 200
+
+#: Number of random messages per dataset for the path-enumeration studies.
+BENCH_NUM_MESSAGES = 30
+
+#: Message arrival rate (per second) for the forwarding benchmarks; scaled
+#: down with the population from the paper's 0.25 msg/s on 98 nodes.
+BENCH_MESSAGE_RATE = 0.05
+
+
+def print_header(title: str) -> None:
+    """Print a section header so the bench output reads like the paper's figures."""
+    print(f"\n=== {title} ===")
+
+
+def print_series(label: str, xs: Iterable[float], ys: Iterable[float],
+                 max_rows: int = 12) -> None:
+    """Print an (x, y) series as aligned rows, subsampled to *max_rows*."""
+    xs = list(xs)
+    ys = list(ys)
+    if not xs:
+        print(f"  {label}: (empty)")
+        return
+    step = max(1, len(xs) // max_rows)
+    print(f"  {label}:")
+    for index in range(0, len(xs), step):
+        print(f"    {xs[index]:>12.2f}  {ys[index]:>12.4f}")

@@ -1,0 +1,33 @@
+"""Figure 2 — the example space-time graph, plus graph-construction cost.
+
+Figure 2 is an illustration (three nodes, two timesteps); the benchmark
+rebuilds exactly that example and reports its vertex/edge structure, and also
+times the construction of the full space-time graph for a benchmark-scale
+dataset, since that construction underlies every other experiment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure2_space_time_graph_example
+from repro.core import SpaceTimeGraph
+
+from _bench_utils import print_header
+
+
+def test_fig02_example_graph(benchmark):
+    example = benchmark.pedantic(figure2_space_time_graph_example,
+                                 rounds=1, iterations=1)
+    print_header("Figure 2: example space-time graph (3 nodes, 2 steps)")
+    print(f"  vertices      : {example['vertices']}")
+    print(f"  contact edges : {example['contact_edges']}")
+    print(f"  waiting edges : {example['waiting_edges']}")
+    assert len(example["vertices"]) == 6
+    assert len(example["contact_edges"]) == 8
+    assert len(example["waiting_edges"]) == 3
+
+
+def test_fig02_graph_construction_cost(benchmark, primary_trace):
+    graph = benchmark(lambda: SpaceTimeGraph(primary_trace, delta=10.0))
+    print_header("Space-time graph construction (benchmark-scale Infocom'06)")
+    print(f"  nodes={len(graph.nodes)}  steps={graph.num_steps}  "
+          f"contact step-edges={graph.total_contact_edges()}")

@@ -1,0 +1,39 @@
+"""Figure 4 — CDFs of optimal path duration (4a) and time to explosion (4b).
+
+The paper's headline measurement: optimal paths can take a long time (over
+25% of messages need more than 1000 s on the real Infocom'06 data), yet once
+the first path arrives, the explosion threshold is typically crossed within
+tens to a couple of hundred seconds (97% of messages within 150 s).  The
+benchmark regenerates both CDFs for the two Infocom'06 windows and prints the
+quantiles the paper quotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import cdf_at, figure4_duration_and_explosion_cdfs
+
+from _bench_utils import BENCH_N_EXPLOSION, print_header
+
+
+def test_fig04_duration_and_explosion_cdfs(benchmark, explosion_records_by_dataset):
+    data = benchmark.pedantic(
+        lambda: figure4_duration_and_explosion_cdfs(explosion_records_by_dataset),
+        rounds=1, iterations=1,
+    )
+    print_header(f"Figure 4: optimal path duration and time to explosion "
+                 f"(threshold={BENCH_N_EXPLOSION} paths)")
+    for name, records in explosion_records_by_dataset.items():
+        delivered = [r for r in records if r.delivered]
+        exploded = [r for r in records if r.exploded]
+        durations = [r.optimal_duration for r in delivered]
+        te_values = [r.time_to_explosion for r in exploded]
+        print(f"  dataset {name}: {len(delivered)} delivered, {len(exploded)} exploded")
+        if durations:
+            print(f"    optimal duration   median={np.median(durations):7.0f} s   "
+                  f"P[>1000 s]={1 - cdf_at(durations, 1000.0):.2f}")
+        if te_values:
+            print(f"    time to explosion  median={np.median(te_values):7.0f} s   "
+                  f"P[<=150 s]={cdf_at(te_values, 150.0):.2f}")
+    assert set(data) == {"optimal_path_duration", "time_to_explosion"}

@@ -1,0 +1,42 @@
+"""Figure 5 — scatter of optimal path duration versus time to explosion.
+
+The paper's point: there is no clear relationship between how long the first
+path takes and how quickly the explosion follows it.  The benchmark
+regenerates the scatter on the primary dataset and prints its summary
+statistics (ranges, correlation) plus a coarse 2x2 occupancy table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figure5_duration_vs_explosion
+
+from _bench_utils import print_header
+
+
+def test_fig05_t1_vs_te_scatter(benchmark, explosion_records):
+    points = benchmark.pedantic(
+        lambda: figure5_duration_vs_explosion(explosion_records),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 5: optimal path duration vs time to explosion")
+    assert points, "no exploded messages in the benchmark study"
+    t1 = np.array([p[0] for p in points])
+    te = np.array([p[1] for p in points])
+    print(f"  points: {len(points)}")
+    print(f"  T1 range: [{t1.min():.0f}, {t1.max():.0f}] s   "
+          f"TE range: [{te.min():.0f}, {te.max():.0f}] s")
+    correlation = float(np.corrcoef(t1, te)[0, 1]) if len(points) > 2 else float("nan")
+    print(f"  correlation(T1, TE): {correlation:.2f}  "
+          "(the paper observes no clear relationship)")
+    t1_cut, te_cut = np.median(t1), np.median(te)
+    quadrants = {
+        "T1 small / TE small": int(np.sum((t1 <= t1_cut) & (te <= te_cut))),
+        "T1 small / TE large": int(np.sum((t1 <= t1_cut) & (te > te_cut))),
+        "T1 large / TE small": int(np.sum((t1 > t1_cut) & (te <= te_cut))),
+        "T1 large / TE large": int(np.sum((t1 > t1_cut) & (te > te_cut))),
+    }
+    print("  occupancy around the medians (all four quadrants are populated):")
+    for label, count in quadrants.items():
+        print(f"    {label}: {count}")

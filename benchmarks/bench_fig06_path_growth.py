@@ -1,0 +1,38 @@
+"""Figure 6 — how the number of delivered paths grows after the first arrival.
+
+The paper looks at the slowest cases (time to explosion >= 150 s) and finds
+the cumulative path count grows approximately exponentially with time.  The
+benchmark rebuilds the aggregated growth curve (relaxing the slow-case
+threshold to whatever the benchmark-scale data provides) and reports the
+fitted exponential growth rate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure6_path_growth
+
+from _bench_utils import print_header, print_series
+
+
+def test_fig06_path_growth(benchmark, explosion_records):
+    te_values = [r.time_to_explosion for r in explosion_records
+                 if r.time_to_explosion is not None]
+    # Use the slowest quartile of messages as the paper's ">= 150 s" analogue.
+    threshold = sorted(te_values)[int(0.75 * len(te_values))] if te_values else 0.0
+
+    growth = benchmark.pedantic(
+        lambda: figure6_path_growth(explosion_records, te_threshold=threshold,
+                                    bin_seconds=10.0, horizon=250.0),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 6: cumulative path arrivals for slow-explosion messages")
+    print(f"  slow-case threshold (TE >=): {threshold:.0f} s")
+    print(f"  messages in the aggregate  : {growth.num_messages}")
+    print_series("mean cumulative paths vs seconds since T1",
+                 growth.bin_starts, growth.mean_cumulative_paths)
+    if growth.growth_rate is not None:
+        print(f"  fitted exponential growth rate: {growth.growth_rate:.4f} 1/s "
+              f"(doubling every {0.6931 / growth.growth_rate:.0f} s)"
+              if growth.growth_rate > 0 else
+              f"  fitted exponential growth rate: {growth.growth_rate:.4f} 1/s")
+    assert growth.num_messages > 0

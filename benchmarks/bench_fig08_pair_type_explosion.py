@@ -1,0 +1,49 @@
+"""Figure 8 — T1 vs TE split by in/out pair type.
+
+The paper splits the Figure 5 scatter into the four source/destination rate
+classes and finds: in-in messages have small T1 and small TE; in-out messages
+small T1 but variable TE; out-in messages larger T1 but small TE; out-out
+messages can have both large.  The benchmark regenerates the four groups and
+checks the measured median magnitudes against the Section 5.2 hypotheses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figure8_pair_type_scatter
+from repro.core import PairType, classify_nodes
+from repro.model import pair_type_predictions, relative_magnitude_table
+
+from _bench_utils import print_header
+
+
+def test_fig08_pair_type_explosion(benchmark, primary_trace, explosion_records):
+    classification = classify_nodes(primary_trace)
+    groups = benchmark.pedantic(
+        lambda: figure8_pair_type_scatter(primary_trace, explosion_records,
+                                          classification),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 8: T1 vs TE by pair type")
+    measurements = {}
+    print(f"  {'pair type':<9s} {'n':>4s} {'median T1':>10s} {'median TE':>10s}")
+    for pair_type in PairType.ordered():
+        points = groups[pair_type]
+        if not points:
+            print(f"  {pair_type.value:<9s} {0:>4d} {'-':>10s} {'-':>10s}")
+            continue
+        t1_median = float(np.median([p[0] for p in points]))
+        te_median = float(np.median([p[1] for p in points]))
+        measurements[pair_type] = (t1_median, te_median)
+        print(f"  {pair_type.value:<9s} {len(points):>4d} {t1_median:>10.0f} {te_median:>10.0f}")
+
+    if len(measurements) >= 2:
+        table = relative_magnitude_table(measurements)
+        predictions = pair_type_predictions()
+        matches = sum(
+            1 for pt, labels in table.items()
+            if (labels["t1"], labels["te"]) == (predictions[pt].t1, predictions[pt].te)
+        )
+        print(f"  pair types matching the paper's T1/TE hypotheses: "
+              f"{matches}/{len(table)}")

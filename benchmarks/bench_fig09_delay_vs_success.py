@@ -1,0 +1,36 @@
+"""Figure 9 — average delay versus success rate for the six algorithms.
+
+The paper's most striking forwarding result: all algorithms cluster tightly,
+with Epidemic (the optimal-path upper bound) only somewhat better.  The
+benchmark runs the six algorithms on the same Poisson workload over the
+primary dataset and prints the (success rate, average delay) point for each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figure9_delay_vs_success
+
+from _bench_utils import print_header
+
+
+def test_fig09_delay_vs_success(benchmark, forwarding_comparison):
+    data = benchmark.pedantic(
+        lambda: figure9_delay_vs_success({"infocom06-9-12": forwarding_comparison}),
+        rounds=1, iterations=1,
+    )
+    points = data["infocom06-9-12"]
+    print_header("Figure 9: average delay vs success rate per algorithm")
+    print(f"  {'algorithm':<22s} {'success rate':>13s} {'avg delay (s)':>14s}")
+    for name in sorted(points):
+        success, delay = points[name]
+        delay_text = "-" if delay is None else f"{delay:14.0f}"
+        print(f"  {name:<22s} {success:13.2f} {delay_text:>14s}")
+
+    success_rates = {name: p[0] for name, p in points.items()}
+    epidemic = success_rates.pop("Epidemic")
+    spread = max(success_rates.values()) - min(success_rates.values())
+    print(f"  epidemic upper bound: {epidemic:.2f}; spread among the practical "
+          f"algorithms: {spread:.2f}")
+    assert epidemic >= max(success_rates.values()) - 1e-9

@@ -1,0 +1,43 @@
+"""Figure 10 — full delay distributions per forwarding algorithm.
+
+Beyond the averages of Figure 9, the paper shows the whole distribution of
+delivery delays is similar across algorithms.  The benchmark prints, for each
+algorithm, the fraction of all messages delivered within a set of time
+thresholds (the same quantity the figure plots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figure10_delay_distributions
+
+from _bench_utils import print_header
+
+THRESHOLDS = (500.0, 1000.0, 2000.0, 4000.0, 7000.0)
+
+
+def test_fig10_delay_distributions(benchmark, forwarding_comparison):
+    curves = benchmark.pedantic(
+        lambda: figure10_delay_distributions(forwarding_comparison),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 10: fraction of messages delivered within t seconds")
+    header = f"  {'algorithm':<22s}" + "".join(f"{int(t):>8d}" for t in THRESHOLDS)
+    print(header)
+    fractions = {}
+    for name in sorted(curves):
+        delays, scaled_cdf = curves[name]
+        row = []
+        for threshold in THRESHOLDS:
+            if delays.size == 0:
+                row.append(0.0)
+            else:
+                index = np.searchsorted(delays, threshold, side="right") - 1
+                row.append(float(scaled_cdf[index]) if index >= 0 else 0.0)
+        fractions[name] = row
+        print(f"  {name:<22s}" + "".join(f"{value:8.2f}" for value in row))
+    # Epidemic dominates every other algorithm at every threshold.
+    for name, row in fractions.items():
+        for epidemic_value, value in zip(fractions["Epidemic"], row):
+            assert value <= epidemic_value + 1e-9

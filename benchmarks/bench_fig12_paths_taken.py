@@ -1,0 +1,48 @@
+"""Figure 12 — which of the exploding paths each forwarding algorithm takes.
+
+For two representative messages the paper overlays each algorithm's delivery
+time on the message's path-arrival bursts: all algorithms land early in the
+explosion even when they miss the optimal path.  The benchmark reproduces the
+overlay for two delivered messages from the benchmark study.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure12_paths_taken, message_delays_by_algorithm
+from repro.forwarding import Message, default_algorithms
+
+from _bench_utils import print_header
+
+
+def test_fig12_paths_taken(benchmark, primary_trace, explosion_records):
+    delivered = [r for r in explosion_records if r.exploded][:2]
+    assert delivered, "need at least one exploded message"
+
+    def build():
+        summaries = []
+        for index, record in enumerate(delivered):
+            message = Message(id=index, source=record.source,
+                              destination=record.destination,
+                              creation_time=record.creation_time)
+            delays = message_delays_by_algorithm(primary_trace, message,
+                                                 algorithms=default_algorithms())
+            summaries.append(figure12_paths_taken(record, delays))
+        return summaries
+
+    summaries = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_header("Figure 12: paths taken by forwarding algorithms")
+    for summary in summaries:
+        print(f"  message {summary.source} -> {summary.destination}:")
+        total = summary.burst_counts.sum()
+        shown = 0
+        for offset, count in zip(summary.burst_offsets, summary.burst_counts):
+            if count == 0:
+                continue
+            print(f"    +{offset:5.0f} s : {count:4d} paths arrive")
+            shown += 1
+            if shown >= 8:
+                break
+        print(f"    (total {total} paths enumerated)")
+        for name, offset in sorted(summary.algorithm_offsets.items()):
+            text = "not delivered" if offset is None else f"T1 + {offset:.0f} s"
+            print(f"    {name:<22s} delivers at {text}")

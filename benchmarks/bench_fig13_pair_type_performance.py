@@ -1,0 +1,47 @@
+"""Figure 13 — forwarding performance broken down by in/out pair type.
+
+The paper's reading: success and delay depend primarily on the pair type, not
+on the algorithm; and the future-knowledge algorithms (Greedy Total, Dynamic
+Programming) only pull ahead when an 'out' node is involved.  The benchmark
+prints the average delay and success rate per algorithm per pair type.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure13_pair_type_performance
+from repro.core import PairType
+
+from _bench_utils import print_header
+
+
+def test_fig13_pair_type_performance(benchmark, forwarding_comparison):
+    data = benchmark.pedantic(
+        lambda: figure13_pair_type_performance(forwarding_comparison),
+        rounds=1, iterations=1,
+    )
+    print_header("Figure 13: performance by source-destination pair type")
+    for metric in ("success_rate", "average_delay"):
+        label = "success rate" if metric == "success_rate" else "average delay (s)"
+        print(f"  {label}:")
+        header = f"    {'algorithm':<22s}" + "".join(
+            f"{pt.value:>10s}" for pt in PairType.ordered())
+        print(header)
+        for name in sorted(data):
+            cells = []
+            for pair_type in PairType.ordered():
+                summary = data[name][pair_type]
+                value = getattr(summary, metric)
+                if value is None:
+                    cells.append(f"{'-':>10s}")
+                elif metric == "success_rate":
+                    cells.append(f"{value:10.2f}")
+                else:
+                    cells.append(f"{value:10.0f}")
+            print(f"    {name:<22s}" + "".join(cells))
+
+    # Shape check: for the epidemic upper bound, in-in traffic is at least as
+    # deliverable as out-out traffic.
+    epidemic = data["Epidemic"]
+    if epidemic[PairType.IN_IN].num_messages and epidemic[PairType.OUT_OUT].num_messages:
+        assert (epidemic[PairType.IN_IN].success_rate
+                >= epidemic[PairType.OUT_OUT].success_rate - 1e-9)

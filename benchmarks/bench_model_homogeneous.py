@@ -1,0 +1,61 @@
+"""Section 5.1 — the homogeneous analytic model of path explosion.
+
+Not a numbered figure, but the analytic backbone of the paper: the mean
+number of paths per node grows as ``E[S(0)] e^{λt}`` and the variance grows
+at rate ``2λ``.  The benchmark compares three independent computations — the
+closed form, the fluid-limit ODE, and the stochastic (Gillespie) simulation —
+and reports their agreement, as well as the predicted time for the first path
+(``H = ln N / λ``) and for the 2000-path explosion threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import (
+    InitialPathDistribution,
+    PathCountProcess,
+    expected_first_path_time,
+    explosion_time_for_mean,
+    mean_paths,
+    solve_path_density_ode,
+)
+
+from _bench_utils import print_header
+
+NUM_NODES = 60
+CONTACT_RATE = 0.02
+HORIZON = 300.0
+SAMPLE_TIMES = [100.0, 200.0, 300.0]
+
+
+def test_model_homogeneous_mean_growth(benchmark):
+    initial = InitialPathDistribution.single_source(NUM_NODES)
+
+    def run():
+        solution = solve_path_density_ode(CONTACT_RATE, HORIZON,
+                                          num_nodes=NUM_NODES, truncation=600)
+        process = PathCountProcess(CONTACT_RATE, num_nodes=NUM_NODES)
+        simulated = process.mean_path_counts(HORIZON, SAMPLE_TIMES,
+                                             num_runs=20, seed=9)
+        ode_means = np.interp(SAMPLE_TIMES, solution.times, solution.mean_paths())
+        return ode_means, simulated
+
+    ode_means, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    closed = np.array([mean_paths(t, CONTACT_RATE, initial) for t in SAMPLE_TIMES])
+
+    print_header("Section 5.1: mean path count per node (homogeneous model)")
+    print(f"  N={NUM_NODES}, lambda={CONTACT_RATE}/s")
+    print(f"  {'t (s)':>6s} {'closed form':>12s} {'ODE':>12s} {'simulation':>12s}")
+    for index, t in enumerate(SAMPLE_TIMES):
+        print(f"  {t:6.0f} {closed[index]:12.3f} {ode_means[index]:12.3f} "
+              f"{simulated[index]:12.3f}")
+    print(f"  expected first-path time H = ln(N)/lambda = "
+          f"{expected_first_path_time(NUM_NODES, CONTACT_RATE):.0f} s")
+    print(f"  predicted 2000-path explosion time        = "
+          f"{explosion_time_for_mean(2000, NUM_NODES, CONTACT_RATE):.0f} s")
+
+    # The ODE must track the closed form tightly; the simulation within
+    # sampling noise.
+    assert np.allclose(ode_means, closed, rtol=0.05)
+    assert np.all(simulated / closed > 0.3) and np.all(simulated / closed < 3.0)

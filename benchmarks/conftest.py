@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates the data behind one figure of the paper and
+prints the series it reports, so the console output of::
+
+    pytest benchmarks/ --benchmark-only -s
+
+is a textual rendition of the paper's evaluation.  The datasets are the
+seeded synthetic stand-ins from :mod:`repro.datasets`, scaled down (and the
+explosion threshold reduced from 2000 to a few hundred paths) so the whole
+suite completes in minutes on a laptop; EXPERIMENTS.md records how the
+resulting shapes compare with the paper's full-scale figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import run_forwarding_study, run_path_explosion_study
+from repro.contacts import ContactTrace
+from repro.core import ExplosionRecord
+from repro.datasets import PAPER_DATASET_KEYS, load_dataset
+from repro.forwarding import ComparisonResult
+
+from _bench_utils import (
+    BENCH_MESSAGE_RATE,
+    BENCH_N_EXPLOSION,
+    BENCH_NUM_MESSAGES,
+    BENCH_SCALE,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> Dict[str, ContactTrace]:
+    """The four paper windows, scaled for benchmarking.
+
+    ``contact_scale`` is set equal to the population scale so the per-pair
+    contact intensity (and hence the delay / success-rate regime) stays close
+    to the full-size dataset rather than becoming artificially dense.
+    """
+    return {
+        key: load_dataset(key, scale=BENCH_SCALE, contact_scale=BENCH_SCALE)
+        for key in PAPER_DATASET_KEYS
+    }
+
+
+@pytest.fixture(scope="session")
+def primary_trace(bench_datasets) -> ContactTrace:
+    """The Infocom'06 9AM-12PM stand-in — the paper's primary dataset."""
+    return bench_datasets["infocom06-9-12"]
+
+
+@pytest.fixture(scope="session")
+def explosion_records(primary_trace) -> List[ExplosionRecord]:
+    """Path-explosion study on the primary dataset, with paths retained."""
+    return run_path_explosion_study(
+        primary_trace, num_messages=BENCH_NUM_MESSAGES,
+        n_explosion=BENCH_N_EXPLOSION, seed=101, keep_paths=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def explosion_records_by_dataset(bench_datasets) -> Dict[str, List[ExplosionRecord]]:
+    """Smaller path-explosion studies on both Infocom'06 windows (Figure 4)."""
+    keys = ("infocom06-9-12", "infocom06-3-6")
+    return {
+        key: run_path_explosion_study(
+            bench_datasets[key], num_messages=max(10, BENCH_NUM_MESSAGES // 2),
+            n_explosion=BENCH_N_EXPLOSION, seed=202,
+        )
+        for key in keys
+    }
+
+
+@pytest.fixture(scope="session")
+def forwarding_comparison(primary_trace) -> ComparisonResult:
+    """The six-algorithm comparison on the primary dataset (Figures 9-13)."""
+    return run_forwarding_study(primary_trace, message_rate=BENCH_MESSAGE_RATE,
+                                num_runs=1, seed=303)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce the forwarding-algorithm comparison (Section 6 of the paper).
+
+Six algorithms — Epidemic, FRESH, Greedy, Greedy Total, Greedy Online and
+Dynamic Programming (MEED) — are run on the same Poisson message workload
+over a conference trace, and the script prints:
+
+* success rate and average delay per algorithm (Figure 9),
+* the delay distribution quartiles per algorithm (Figure 10),
+* the per-pair-type breakdown (Figure 13),
+* the hop-by-hop contact-rate gradient on near-optimal paths (Figures 14-15).
+
+Run with::
+
+    python examples/forwarding_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    figure13_pair_type_performance,
+    figure14_hop_rates,
+    figure15_rate_ratios,
+    run_forwarding_study,
+    run_path_explosion_study,
+)
+from repro.core import PairType
+from repro.datasets import conext06_9_12
+
+SCALE = 0.25
+MESSAGE_RATE = 0.05   # messages per second (the paper uses 0.25 on 98 nodes)
+
+
+def main() -> None:
+    trace = conext06_9_12(scale=SCALE)
+    print(f"dataset: {trace.name}  ({trace.num_nodes} nodes, {len(trace)} contacts)\n")
+
+    comparison = run_forwarding_study(trace, message_rate=MESSAGE_RATE,
+                                      num_runs=2, seed=5)
+
+    # ----- Figure 9: success rate vs average delay -----------------------
+    print("success rate and average delay per algorithm (Figure 9):")
+    print(f"  {'algorithm':<22s} {'success':>8s} {'avg delay':>10s} {'median':>8s}")
+    for name, summary in sorted(comparison.summaries().items()):
+        delay = "-" if summary.average_delay is None else f"{summary.average_delay:8.0f} s"
+        median = "-" if summary.median_delay is None else f"{summary.median_delay:6.0f} s"
+        print(f"  {name:<22s} {summary.success_rate:8.2f} {delay:>10s} {median:>8s}")
+    print("  (the paper's headline: all algorithms except Epidemic are nearly "
+          "indistinguishable)")
+
+    # ----- Figure 13: per-pair-type performance ---------------------------
+    print("\nsuccess rate by pair type (Figure 13b):")
+    by_algorithm = figure13_pair_type_performance(comparison)
+    header = "  " + f"{'algorithm':<22s}" + "".join(f"{pt.value:>10s}" for pt in PairType.ordered())
+    print(header)
+    for name in sorted(by_algorithm):
+        cells = []
+        for pair_type in PairType.ordered():
+            summary = by_algorithm[name][pair_type]
+            cells.append(f"{summary.success_rate:10.2f}")
+        print(f"  {name:<22s}" + "".join(cells))
+    print("  (performance is governed by the pair type far more than by the "
+          "algorithm)")
+
+    # ----- Figures 14-15: the contact-rate gradient ----------------------
+    print("\ncontact-rate gradient along near-optimal paths (Figures 14-15):")
+    records = run_path_explosion_study(trace, num_messages=25, n_explosion=60,
+                                       seed=6, keep_paths=True)
+    summaries = figure14_hop_rates(trace, records, max_hop=6)
+    print("  mean contact rate by hop index:")
+    for entry in summaries:
+        print(f"    hop {entry.hop}: {entry.mean_rate * 3600:7.1f} contacts/hour"
+              f"   (n={entry.count})")
+    boxes = figure15_rate_ratios(trace, records, max_transitions=4)
+    print("  rate ratio λ_next/λ_current per transition (median [q1, q3]):")
+    for box in boxes:
+        print(f"    {box.transition}: {box.median:5.2f}  [{box.q1:5.2f}, {box.q3:5.2f}]"
+              f"   fraction > 1: {box.fraction_above_one:.2f}")
+    print("  (early hops overwhelmingly climb toward higher-rate nodes)")
+
+
+if __name__ == "__main__":
+    main()

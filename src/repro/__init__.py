@@ -1,0 +1,42 @@
+"""repro — reproduction of "Diversity of Forwarding Paths in Pocket Switched
+Networks" (Erramilli, Chaintreau, Crovella, Diot, 2007).
+
+The library is organised in layers (see DESIGN.md):
+
+* :mod:`repro.contacts` — contact-trace data model, I/O and statistics;
+* :mod:`repro.synth` — synthetic trace generators standing in for the
+  CRAWDAD iMote datasets;
+* :mod:`repro.datasets` — the named, seeded dataset registry matching the
+  paper's four analysis windows;
+* :mod:`repro.core` — the paper's contribution: space-time graphs, k-shortest
+  valid path enumeration, path-explosion analysis, in/out pair types, and the
+  hop-gradient analysis;
+* :mod:`repro.model` — the analytic path-explosion model of Section 5;
+* :mod:`repro.forwarding` — the trace-driven simulator and the six
+  forwarding algorithms of Section 6;
+* :mod:`repro.analysis` — experiment runners and per-figure data builders.
+
+Quickstart
+----------
+>>> from repro.datasets import infocom06_9_12
+>>> from repro.analysis import run_path_explosion_study
+>>> trace = infocom06_9_12(scale=0.3)
+>>> records = run_path_explosion_study(trace, num_messages=20, n_explosion=100)
+>>> sum(1 for r in records if r.exploded) > 0
+True
+"""
+
+from . import analysis, contacts, core, datasets, forwarding, model, synth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "contacts",
+    "core",
+    "datasets",
+    "forwarding",
+    "model",
+    "synth",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Experiment runners and per-figure data builders."""
+
+from .cdf import cdf_at, empirical_cdf, exponential_growth_rate, quantile
+from .experiments import (
+    message_delays_by_algorithm,
+    run_forwarding_study,
+    run_path_explosion_study,
+)
+from .figures import (
+    figure1_contact_timeseries,
+    figure2_space_time_graph_example,
+    figure4_duration_and_explosion_cdfs,
+    figure5_duration_vs_explosion,
+    figure6_path_growth,
+    figure7_contact_count_cdfs,
+    figure8_pair_type_scatter,
+    figure9_delay_vs_success,
+    figure10_delay_distributions,
+    figure11_reception_times,
+    figure12_paths_taken,
+    figure13_pair_type_performance,
+    figure14_hop_rates,
+    figure15_rate_ratios,
+)
+
+__all__ = [
+    "cdf_at",
+    "empirical_cdf",
+    "exponential_growth_rate",
+    "quantile",
+    "message_delays_by_algorithm",
+    "run_forwarding_study",
+    "run_path_explosion_study",
+    "figure1_contact_timeseries",
+    "figure2_space_time_graph_example",
+    "figure4_duration_and_explosion_cdfs",
+    "figure5_duration_vs_explosion",
+    "figure6_path_growth",
+    "figure7_contact_count_cdfs",
+    "figure8_pair_type_scatter",
+    "figure9_delay_vs_success",
+    "figure10_delay_distributions",
+    "figure11_reception_times",
+    "figure12_paths_taken",
+    "figure13_pair_type_performance",
+    "figure14_hop_rates",
+    "figure15_rate_ratios",
+]

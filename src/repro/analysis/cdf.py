@@ -1,0 +1,76 @@
+"""Small statistical helpers shared by the figure builders.
+
+Mostly empirical-distribution utilities: CDFs, quantiles over CDFs, and
+simple exponential-growth fits used to check the paper's "the explosion
+process is roughly exponential in time" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_at",
+    "quantile",
+    "exponential_growth_rate",
+]
+
+
+def empirical_cdf(samples: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Returns ``(x, F)`` with x sorted ascending and ``F[i]`` the fraction of
+    samples ``<= x[i]``.  Empty input yields two empty arrays.
+    """
+    values = np.sort(np.asarray(list(samples), dtype=float))
+    if values.size == 0:
+        return values, values
+    cdf = np.arange(1, values.size + 1, dtype=float) / values.size
+    return values, cdf
+
+
+def cdf_at(samples: Iterable[float], threshold: float) -> float:
+    """Fraction of samples less than or equal to *threshold*."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        return float("nan")
+    return float((values <= threshold).mean())
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """The q-quantile (q in [0, 1]) of the sample; NaN for an empty sample."""
+    if not 0 <= q <= 1:
+        raise ValueError("q must lie in [0, 1]")
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        return float("nan")
+    return float(np.quantile(values, q))
+
+
+def exponential_growth_rate(
+    times: Sequence[float],
+    counts: Sequence[float],
+) -> Optional[float]:
+    """Least-squares growth rate of ``counts ≈ A e^{r t}``.
+
+    Fits a line to ``log(counts)`` versus ``times`` (only points with a
+    positive count participate) and returns the slope ``r`` in 1/seconds, or
+    None if fewer than two usable points exist.  The paper uses this kind of
+    eyeball fit to argue the path count grows approximately exponentially
+    (Figure 6); the tests and EXPERIMENTS.md use it quantitatively.
+    """
+    t = np.asarray(list(times), dtype=float)
+    c = np.asarray(list(counts), dtype=float)
+    if t.shape != c.shape:
+        raise ValueError("times and counts must have the same length")
+    mask = c > 0
+    if mask.sum() < 2:
+        return None
+    t, c = t[mask], c[mask]
+    if np.allclose(t, t[0]):
+        return None
+    slope, _intercept = np.polyfit(t, np.log(c), 1)
+    return float(slope)

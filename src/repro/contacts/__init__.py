@@ -1,0 +1,45 @@
+"""Contact-trace substrate: data model, I/O, statistics, and window selection.
+
+The paper's raw material is a set of Bluetooth contact traces.  This package
+provides everything needed to represent, load, generate-into, slice, and
+describe such traces.
+"""
+
+from .events import Contact, ContactTrace, NodeId
+from .io import read_csv, read_imote, trace_from_records, write_csv, write_imote
+from .stats import (
+    TraceStatistics,
+    contact_count_distribution,
+    contact_time_series,
+    describe,
+    inter_contact_ccdf,
+    inter_contact_time_samples,
+    node_contact_rates,
+    rate_uniformity_statistic,
+    stationarity_score,
+)
+from .windows import Window, message_generation_window, select_stable_windows, split_into_windows
+
+__all__ = [
+    "Contact",
+    "ContactTrace",
+    "NodeId",
+    "read_csv",
+    "read_imote",
+    "trace_from_records",
+    "write_csv",
+    "write_imote",
+    "TraceStatistics",
+    "contact_count_distribution",
+    "contact_time_series",
+    "describe",
+    "inter_contact_ccdf",
+    "inter_contact_time_samples",
+    "node_contact_rates",
+    "rate_uniformity_statistic",
+    "stationarity_score",
+    "Window",
+    "message_generation_window",
+    "select_stable_windows",
+    "split_into_windows",
+]

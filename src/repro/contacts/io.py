@@ -1,0 +1,169 @@
+"""Reading and writing contact traces.
+
+Two on-disk formats are supported:
+
+* A simple CSV format (``start,end,a,b`` with a header line) used for all
+  traces produced by this library.
+* The whitespace-separated column format used by the published iMote
+  (CRAWDAD ``cambridge/haggle``) contact traces: each line is
+  ``<node_a> <node_b> <start> <end> [extra columns ignored]``.  The real
+  datasets are not distributed with this repository, but the reader lets a
+  user who has obtained them run every experiment on the original data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from .events import Contact, ContactTrace, NodeId
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "read_imote",
+    "write_imote",
+    "trace_from_records",
+]
+
+PathLike = Union[str, Path]
+
+_CSV_HEADER = ["start", "end", "a", "b"]
+
+
+def trace_from_records(
+    records: Iterable[Sequence[float]],
+    nodes: Optional[Iterable[NodeId]] = None,
+    duration: Optional[float] = None,
+    name: str = "",
+) -> ContactTrace:
+    """Build a trace from ``(start, end, a, b)`` tuples.
+
+    Convenience constructor used by tests and by users converting foreign
+    formats.
+    """
+    contacts = [Contact(float(r[0]), float(r[1]), int(r[2]), int(r[3])) for r in records]
+    return ContactTrace(contacts, nodes=nodes, duration=duration, name=name)
+
+
+# ----------------------------------------------------------------------
+# CSV format
+# ----------------------------------------------------------------------
+def write_csv(trace: ContactTrace, destination: Union[PathLike, TextIO]) -> None:
+    """Write *trace* as CSV with a ``start,end,a,b`` header.
+
+    The node set and duration are stored in comment lines (``# nodes: ...``
+    and ``# duration: ...``) so that :func:`read_csv` can reconstruct nodes
+    with zero contacts and the exact observation window.
+    """
+    own = isinstance(destination, (str, Path))
+    handle: TextIO = open(destination, "w", newline="") if own else destination  # type: ignore[arg-type]
+    try:
+        handle.write(f"# name: {trace.name}\n")
+        handle.write(f"# duration: {trace.duration}\n")
+        handle.write(f"# nodes: {' '.join(str(n) for n in sorted(trace.nodes))}\n")
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for c in trace:
+            writer.writerow([c.start, c.end, c.a, c.b])
+    finally:
+        if own:
+            handle.close()
+
+
+def read_csv(source: Union[PathLike, TextIO]) -> ContactTrace:
+    """Read a trace previously written by :func:`write_csv`."""
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r", newline="") if own else source  # type: ignore[arg-type]
+    try:
+        name = ""
+        duration: Optional[float] = None
+        nodes: Optional[List[NodeId]] = None
+        body_lines: List[str] = []
+        for line in handle:
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                payload = stripped.lstrip("#").strip()
+                if payload.startswith("name:"):
+                    name = payload[len("name:"):].strip()
+                elif payload.startswith("duration:"):
+                    duration = float(payload[len("duration:"):].strip())
+                elif payload.startswith("nodes:"):
+                    tokens = payload[len("nodes:"):].split()
+                    nodes = [int(t) for t in tokens]
+                continue
+            if stripped:
+                body_lines.append(line)
+        reader = csv.reader(io.StringIO("".join(body_lines)))
+        rows = list(reader)
+        if not rows:
+            return ContactTrace([], nodes=nodes, duration=duration, name=name)
+        header, *data = rows
+        if [h.strip() for h in header] != _CSV_HEADER:
+            raise ValueError(f"unexpected CSV header {header!r}, expected {_CSV_HEADER!r}")
+        contacts = [
+            Contact(float(row[0]), float(row[1]), int(row[2]), int(row[3]))
+            for row in data
+            if row
+        ]
+        return ContactTrace(contacts, nodes=nodes, duration=duration, name=name)
+    finally:
+        if own:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# iMote / CRAWDAD-style format
+# ----------------------------------------------------------------------
+def read_imote(
+    source: Union[PathLike, TextIO],
+    *,
+    time_origin: float = 0.0,
+    duration: Optional[float] = None,
+    name: str = "",
+) -> ContactTrace:
+    """Read a whitespace-separated iMote-style contact listing.
+
+    Each non-empty, non-comment line must contain at least four columns:
+    ``node_a node_b start end``.  Extra columns (the published traces include
+    the number of sightings and an upload identifier) are ignored.  Times may
+    be absolute epoch values; pass *time_origin* to rebase them to zero.
+    """
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r") if own else source  # type: ignore[arg-type]
+    contacts: List[Contact] = []
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 4:
+                raise ValueError(
+                    f"line {lineno}: expected at least 4 columns 'a b start end', got {stripped!r}"
+                )
+            a, b = int(parts[0]), int(parts[1])
+            start, end = float(parts[2]) - time_origin, float(parts[3]) - time_origin
+            if a == b:
+                # Some published traces contain self-sightings from clock
+                # resets; they carry no forwarding information.
+                continue
+            contacts.append(Contact(start, end, a, b))
+    finally:
+        if own:
+            handle.close()
+    return ContactTrace(contacts, duration=duration, name=name)
+
+
+def write_imote(trace: ContactTrace, destination: Union[PathLike, TextIO]) -> None:
+    """Write *trace* in the four-column iMote-style format."""
+    own = isinstance(destination, (str, Path))
+    handle: TextIO = open(destination, "w") if own else destination  # type: ignore[arg-type]
+    try:
+        for c in trace:
+            handle.write(f"{c.a} {c.b} {c.start:.3f} {c.end:.3f}\n")
+    finally:
+        if own:
+            handle.close()

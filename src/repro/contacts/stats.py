@@ -1,0 +1,216 @@
+"""Trace-level statistics used throughout the paper's measurement study.
+
+This module computes the descriptive statistics the paper reports about its
+datasets:
+
+* the time series of total contacts in fixed-size bins (Figure 1),
+* the distribution of per-node contact counts / rates (Figure 7),
+* inter-contact time distributions (discussed in Sections 2 and 5.2),
+* stationarity diagnostics used to select the analysis windows.
+
+All functions return plain Python / numpy data so they can feed either the
+benchmark harness or a plotting front-end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .events import ContactTrace, NodeId
+
+__all__ = [
+    "contact_time_series",
+    "contact_count_distribution",
+    "node_contact_rates",
+    "inter_contact_time_samples",
+    "inter_contact_ccdf",
+    "rate_uniformity_statistic",
+    "stationarity_score",
+    "TraceStatistics",
+    "describe",
+]
+
+
+def contact_time_series(
+    trace: ContactTrace,
+    bin_seconds: float = 60.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Total number of contacts starting in each *bin_seconds* bin.
+
+    This reproduces the quantity plotted in Figure 1 of the paper (total
+    contacts over all nodes, in one-minute bins).
+
+    Returns
+    -------
+    (bin_starts, counts):
+        ``bin_starts[i]`` is the left edge of bin ``i`` in seconds, and
+        ``counts[i]`` the number of contacts whose start time falls in
+        ``[bin_starts[i], bin_starts[i] + bin_seconds)``.
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    n_bins = max(1, int(math.ceil(trace.duration / bin_seconds)))
+    edges = np.arange(n_bins + 1, dtype=float) * bin_seconds
+    starts = np.array([c.start for c in trace], dtype=float)
+    counts, _ = np.histogram(starts, bins=edges)
+    return edges[:-1], counts.astype(int)
+
+
+def contact_count_distribution(trace: ContactTrace) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of per-node total contact counts (Figure 7).
+
+    Returns ``(sorted_counts, cdf)`` where ``cdf[i]`` is the fraction of
+    nodes with count ``<= sorted_counts[i]``.
+    """
+    counts = np.array(sorted(trace.contact_counts().values()), dtype=float)
+    if counts.size == 0:
+        return counts, counts
+    cdf = np.arange(1, counts.size + 1, dtype=float) / counts.size
+    return counts, cdf
+
+
+def node_contact_rates(trace: ContactTrace) -> Dict[NodeId, float]:
+    """Per-node contact rate λ_i in contacts per second.
+
+    Thin wrapper over :meth:`ContactTrace.contact_rates` kept here so that
+    analysis code has a single statistics entry point.
+    """
+    return trace.contact_rates()
+
+
+def inter_contact_time_samples(trace: ContactTrace) -> List[float]:
+    """All pairwise inter-contact time samples pooled across pairs."""
+    samples: List[float] = []
+    for gaps in trace.inter_contact_times().values():
+        samples.extend(gaps)
+    return samples
+
+
+def inter_contact_ccdf(
+    trace: ContactTrace,
+    num_points: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF of pooled inter-contact times.
+
+    The paper (and its predecessors [3, 8]) observe that this distribution
+    has a heavy, approximately power-law tail; the CCDF on a log-log scale is
+    the standard way to inspect that.
+    """
+    samples = np.array(inter_contact_time_samples(trace), dtype=float)
+    if samples.size == 0:
+        return np.array([]), np.array([])
+    samples = np.sort(samples)
+    positive = samples[samples > 0]
+    if positive.size == 0:
+        return np.array([0.0]), np.array([0.0])
+    lo = max(positive.min(), 1e-6)
+    hi = positive.max()
+    if hi <= lo:
+        grid = np.array([lo])
+    else:
+        grid = np.geomspace(lo, hi, num_points)
+    ccdf = np.array([(samples > g).mean() for g in grid])
+    return grid, ccdf
+
+
+def rate_uniformity_statistic(trace: ContactTrace) -> float:
+    """Kolmogorov–Smirnov distance between the per-node contact-count CDF and
+    a uniform distribution on ``(0, max_count)``.
+
+    The paper argues (Figure 7) that the contact-count distribution is well
+    approximated by a uniform distribution; this statistic quantifies that
+    claim so tests and benchmarks can check that synthetic traces reproduce
+    it.  Smaller is more uniform; the statistic lies in ``[0, 1]``.
+    """
+    counts = np.array(sorted(trace.contact_counts().values()), dtype=float)
+    if counts.size == 0:
+        return 0.0
+    max_count = counts.max()
+    if max_count == 0:
+        return 0.0
+    empirical = np.arange(1, counts.size + 1, dtype=float) / counts.size
+    uniform = counts / max_count
+    return float(np.max(np.abs(empirical - uniform)))
+
+
+def stationarity_score(
+    trace: ContactTrace,
+    bin_seconds: float = 60.0,
+) -> float:
+    """Coefficient of variation of the binned contact time series.
+
+    The paper selects 3-hour windows in which the total contact rate is
+    "relatively stable"; this score (std/mean of the per-bin contact counts)
+    is the diagnostic the library uses for the same purpose.  Values well
+    below 1 indicate an approximately stationary window.
+    """
+    _, counts = contact_time_series(trace, bin_seconds)
+    if counts.size == 0:
+        return 0.0
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.std() / mean)
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Headline statistics of a contact trace.
+
+    Produced by :func:`describe`; used by the dataset registry's self-checks
+    and by EXPERIMENTS.md generation.
+    """
+
+    name: str
+    num_nodes: int
+    num_contacts: int
+    duration: float
+    mean_contacts_per_node: float
+    median_contacts_per_node: float
+    max_contacts_per_node: int
+    min_contacts_per_node: int
+    mean_contact_duration: float
+    mean_inter_contact_time: float
+    stationarity: float
+    rate_uniformity_ks: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_contacts": self.num_contacts,
+            "duration": self.duration,
+            "mean_contacts_per_node": self.mean_contacts_per_node,
+            "median_contacts_per_node": self.median_contacts_per_node,
+            "max_contacts_per_node": self.max_contacts_per_node,
+            "min_contacts_per_node": self.min_contacts_per_node,
+            "mean_contact_duration": self.mean_contact_duration,
+            "mean_inter_contact_time": self.mean_inter_contact_time,
+            "stationarity": self.stationarity,
+            "rate_uniformity_ks": self.rate_uniformity_ks,
+        }
+
+
+def describe(trace: ContactTrace, bin_seconds: float = 60.0) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for *trace*."""
+    counts = sorted(trace.contact_counts().values())
+    durations = [c.duration for c in trace]
+    ict = inter_contact_time_samples(trace)
+    median = float(np.median(counts)) if counts else 0.0
+    return TraceStatistics(
+        name=trace.name,
+        num_nodes=trace.num_nodes,
+        num_contacts=len(trace),
+        duration=trace.duration,
+        mean_contacts_per_node=(sum(counts) / len(counts)) if counts else 0.0,
+        median_contacts_per_node=median,
+        max_contacts_per_node=max(counts, default=0),
+        min_contacts_per_node=min(counts, default=0),
+        mean_contact_duration=(sum(durations) / len(durations)) if durations else 0.0,
+        mean_inter_contact_time=(sum(ict) / len(ict)) if ict else 0.0,
+        stationarity=stationarity_score(trace, bin_seconds),
+        rate_uniformity_ks=rate_uniformity_statistic(trace),
+    )

@@ -1,0 +1,475 @@
+"""Enumeration of the k shortest valid paths for a message.
+
+This module implements the dynamic program of Figure 3 in the paper: given a
+message ``(σ, δ, t1)`` and the space-time graph of a contact trace, it walks
+the timesteps in order while maintaining, for every node, up to ``k``
+shortest (fewest-hop) valid paths that have reached that node, and it streams
+out every valid path that reaches the destination together with its arrival
+time.  The first emitted delivery is the optimal path (the one epidemic
+forwarding would find); the stream as a whole is the raw material for the
+path-explosion analysis (``T1``, ``T_n``, ``TE``) of Sections 4–5.
+
+Validity (Section 4.1) is enforced by construction:
+
+* **loop avoidance** — a path is never extended to a node it already visits;
+* **minimal progress** — the destination is never an intermediate node;
+* **first preference** — whenever a node holding paths is in contact with the
+  destination, those paths are delivered at that step and removed, and every
+  path elsewhere in the system that passes through that node is purged: any
+  later delivery of such a path would arrive after the node could already
+  have delivered it, so it is not a first-preference path.
+
+Hand-off opportunities
+----------------------
+A stored path held by node ``x`` is handed to a neighbour ``y`` at step ``s``
+when either (a) the contact edge ``x–y`` is *fresh* at ``s`` (it was not
+active at ``s − 1``), or (b) the path itself arrived at ``x`` during step
+``s``.  A path received during a step may continue over any active edge in
+the same step (zero-weight chaining, as in the space-time graph of [13]).
+This matches how messages actually propagate — a transfer happens when a
+contact starts or when a new message arrives during an ongoing contact — and
+avoids counting the same physical hand-off once per timestep for
+long-lasting contacts.  The resulting counts are, if anything, conservative,
+which is the same direction of conservatism the paper argues for when it
+excludes looping paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..contacts import ContactTrace, NodeId
+from .path import Path
+from .space_time_graph import SpaceTimeGraph
+
+__all__ = [
+    "Delivery",
+    "EnumerationResult",
+    "PathEnumerator",
+    "enumerate_paths",
+    "epidemic_infection_times",
+    "first_delivery_time",
+]
+
+#: Default number of paths kept per node, matching the paper's k >= 2000.
+DEFAULT_K = 2000
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One valid path reaching the destination.
+
+    Attributes
+    ----------
+    path:
+        The full path, ending at the destination.
+    time:
+        Arrival (vertex) time of the final hop, in seconds.
+    step:
+        The timestep index at which delivery occurred.
+    """
+
+    path: Path
+    time: float
+    step: int
+
+    @property
+    def hop_count(self) -> int:
+        return self.path.hop_count
+
+    @property
+    def duration(self) -> float:
+        return self.path.duration
+
+
+@dataclass
+class EnumerationResult:
+    """The ordered stream of deliveries for one message.
+
+    Attributes
+    ----------
+    source, destination:
+        The message endpoints.
+    creation_time:
+        ``t1`` — when the message was generated.
+    deliveries:
+        All valid paths that reached the destination before enumeration
+        stopped, sorted by arrival time (ties broken by hop count).
+    stopped_early:
+        True if enumeration stopped because a stop rule fired (k deliveries
+        in one step, or the total-delivery cap); False if the trace window
+        was exhausted.
+    steps_processed:
+        Number of timesteps the dynamic program iterated over.
+    """
+
+    source: NodeId
+    destination: NodeId
+    creation_time: float
+    deliveries: List[Delivery] = field(default_factory=list)
+    stopped_early: bool = False
+    steps_processed: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_deliveries(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def delivered(self) -> bool:
+        """True if at least one path reached the destination."""
+        return bool(self.deliveries)
+
+    @property
+    def optimal_duration(self) -> Optional[float]:
+        """``T(σ, δ, t1)`` — duration of the optimal (first) path, or None."""
+        if not self.deliveries:
+            return None
+        return self.deliveries[0].time - self.creation_time
+
+    def arrival_times(self) -> List[float]:
+        """Delivery times (absolute, seconds) of every enumerated path."""
+        return [d.time for d in self.deliveries]
+
+    def arrival_durations(self) -> List[float]:
+        """Delays (relative to creation) of every enumerated path."""
+        return [d.time - self.creation_time for d in self.deliveries]
+
+    def time_of_nth_path(self, n: int) -> Optional[float]:
+        """``T_n`` — absolute time at which the n-th path (1-based) arrives."""
+        if n < 1:
+            raise ValueError("n is 1-based and must be >= 1")
+        if len(self.deliveries) < n:
+            return None
+        return self.deliveries[n - 1].time
+
+    def paths(self) -> List[Path]:
+        return [d.path for d in self.deliveries]
+
+
+@dataclass
+class _StoredPath:
+    """A path currently held at some node, with bookkeeping for hand-offs."""
+
+    path: Path
+    node_set: FrozenSet[NodeId]
+    arrival_step: int
+
+    @property
+    def hop_count(self) -> int:
+        return self.path.hop_count
+
+
+class PathEnumerator:
+    """k-shortest valid path enumerator over a space-time graph.
+
+    Parameters
+    ----------
+    graph:
+        The space-time graph of the contact trace (Δ-discretised).
+    k:
+        Maximum number of paths maintained per node, and the per-step
+        delivery count that triggers the paper's stop rule.
+    """
+
+    def __init__(self, graph: SpaceTimeGraph, k: int = DEFAULT_K) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self._graph = graph
+        self._k = k
+
+    @property
+    def graph(self) -> SpaceTimeGraph:
+        return self._graph
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    # ------------------------------------------------------------------
+    def enumerate(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        creation_time: float,
+        max_total_deliveries: Optional[int] = None,
+        max_steps: Optional[int] = None,
+    ) -> EnumerationResult:
+        """Enumerate valid paths for the message ``(source, destination, creation_time)``.
+
+        Parameters
+        ----------
+        max_total_deliveries:
+            Optional cap on the cumulative number of deliveries; enumeration
+            stops at the end of the step in which the cap is reached.  This
+            is how the path-explosion analysis asks for "the first n paths".
+        max_steps:
+            Optional cap on the number of timesteps processed (a horizon).
+
+        Returns
+        -------
+        EnumerationResult
+            Deliveries in arrival order.  Enumeration also stops, per the
+            paper's rule, as soon as ``k`` or more paths reach the
+            destination within a single timestep.
+        """
+        self._validate_message(source, destination, creation_time)
+        graph = self._graph
+        result = EnumerationResult(source=source, destination=destination,
+                                   creation_time=creation_time)
+        start_step = graph.step_of_time(creation_time)
+        store: Dict[NodeId, List[_StoredPath]] = {
+            source: [_StoredPath(Path.single(source, creation_time),
+                                 frozenset((source,)), start_step)]
+        }
+        last_step = graph.num_steps
+        if max_steps is not None:
+            last_step = min(last_step, start_step + max_steps)
+
+        for step in range(start_step, last_step):
+            result.steps_processed += 1
+            adjacency = graph.adjacency(step)
+            if not adjacency and not store:
+                continue
+            arrival_time = graph.time_of_step(step)
+            delivered_this_step = self._process_step(
+                store, adjacency, step, arrival_time, destination, result,
+            )
+            if delivered_this_step >= self._k:
+                result.stopped_early = True
+                break
+            if (max_total_deliveries is not None
+                    and result.num_deliveries >= max_total_deliveries):
+                result.stopped_early = True
+                break
+        self._sort_deliveries(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _validate_message(self, source: NodeId, destination: NodeId, creation_time: float) -> None:
+        nodes = self._graph.nodes
+        if source not in nodes:
+            raise ValueError(f"source {source} is not a node of the trace")
+        if destination not in nodes:
+            raise ValueError(f"destination {destination} is not a node of the trace")
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        if not 0 <= creation_time <= self._graph.trace.duration:
+            raise ValueError(
+                f"creation time {creation_time} outside the trace window "
+                f"[0, {self._graph.trace.duration}]"
+            )
+
+    # ------------------------------------------------------------------
+    def _process_step(
+        self,
+        store: Dict[NodeId, List[_StoredPath]],
+        adjacency: Dict[NodeId, Set[NodeId]],
+        step: int,
+        arrival_time: float,
+        destination: NodeId,
+        result: EnumerationResult,
+    ) -> int:
+        """Run deliveries and hand-offs for one timestep.
+
+        Returns the number of deliveries made during this step.
+        """
+        graph = self._graph
+        delivered = 0
+        dest_neighbors: Set[NodeId] = set(adjacency.get(destination, ()))
+
+        # 1. Deliveries from nodes already holding paths (first preference:
+        #    their stored paths are delivered now and removed).
+        for node in list(dest_neighbors):
+            held = store.get(node)
+            if not held:
+                continue
+            for stored in held:
+                self._emit(result, stored.path, destination, arrival_time, step)
+                delivered += 1
+            store[node] = []
+
+        # 1b. First-preference purge: any path that passes through a node
+        #     currently in contact with the destination can only deliver
+        #     *later* than that node could have delivered it, so it is not a
+        #     first-preference path and is dropped everywhere in the system.
+        if dest_neighbors:
+            for node, held in store.items():
+                if held:
+                    store[node] = [s for s in held
+                                   if not (s.node_set & dest_neighbors)]
+
+        # 2. Hand-offs.  Work from a snapshot of the stores taken after the
+        #    delivery phase, so paths placed during this step are extended
+        #    exactly once (by the within-step cascade below).
+        frontier: List[Tuple[NodeId, _StoredPath]] = []
+        snapshot = {node: list(held) for node, held in store.items() if held}
+        for node, held in snapshot.items():
+            if node not in adjacency:
+                continue
+            neighbors = adjacency[node]
+            for peer in neighbors:
+                if peer == destination:
+                    continue
+                fresh = not (step > 0 and graph.in_contact(node, peer, step - 1))
+                for stored in held:
+                    if not fresh and stored.arrival_step < step:
+                        # Ongoing contact, old path: the hand-off already
+                        # happened in an earlier step.
+                        continue
+                    if peer in stored.node_set:
+                        continue
+                    new_path = stored.path.extended(peer, arrival_time)
+                    new_stored = _StoredPath(new_path,
+                                             stored.node_set | {peer}, step)
+                    delivered += self._place(
+                        store, adjacency, new_stored, peer, destination,
+                        arrival_time, step, result, frontier,
+                    )
+
+        # 3. Within-step cascade: paths that just arrived can keep moving
+        #    over any active edge during the same step.
+        while frontier:
+            node, stored = frontier.pop()
+            neighbors = adjacency.get(node)
+            if not neighbors:
+                continue
+            for peer in neighbors:
+                if peer == destination or peer in stored.node_set:
+                    continue
+                new_path = stored.path.extended(peer, arrival_time)
+                new_stored = _StoredPath(new_path, stored.node_set | {peer}, step)
+                delivered += self._place(
+                    store, adjacency, new_stored, peer, destination,
+                    arrival_time, step, result, frontier,
+                )
+        return delivered
+
+    def _place(
+        self,
+        store: Dict[NodeId, List[_StoredPath]],
+        adjacency: Dict[NodeId, Set[NodeId]],
+        stored: _StoredPath,
+        node: NodeId,
+        destination: NodeId,
+        arrival_time: float,
+        step: int,
+        result: EnumerationResult,
+        frontier: List[Tuple[NodeId, _StoredPath]],
+    ) -> int:
+        """Place a newly created path at *node*.
+
+        If *node* is currently in contact with the destination the path is
+        delivered immediately (and, per first preference, neither stored nor
+        extended further).  Otherwise it joins the node's store subject to
+        the k-shortest cap and the within-step frontier.
+
+        Returns the number of deliveries caused (0 or 1).
+        """
+        if destination in adjacency.get(node, ()):  # immediate delivery
+            self._emit(result, stored.path, destination, arrival_time, step)
+            return 1
+        held = store.setdefault(node, [])
+        if len(held) < self._k:
+            held.append(stored)
+            frontier.append((node, stored))
+            return 0
+        # At capacity: keep the k shortest by hop count.
+        worst_index = max(range(len(held)), key=lambda i: held[i].hop_count)
+        if held[worst_index].hop_count > stored.hop_count:
+            held[worst_index] = stored
+            frontier.append((node, stored))
+        return 0
+
+    @staticmethod
+    def _emit(result: EnumerationResult, path: Path, destination: NodeId,
+              arrival_time: float, step: int) -> None:
+        delivered_path = path.extended(destination, arrival_time)
+        result.deliveries.append(Delivery(path=delivered_path,
+                                          time=arrival_time, step=step))
+
+    @staticmethod
+    def _sort_deliveries(result: EnumerationResult) -> None:
+        result.deliveries.sort(key=lambda d: (d.time, d.hop_count))
+
+
+# ----------------------------------------------------------------------
+# module-level conveniences
+# ----------------------------------------------------------------------
+def enumerate_paths(
+    trace_or_graph,
+    source: NodeId,
+    destination: NodeId,
+    creation_time: float,
+    k: int = DEFAULT_K,
+    max_total_deliveries: Optional[int] = None,
+    delta: float = 10.0,
+) -> EnumerationResult:
+    """One-shot enumeration from a trace or a prebuilt space-time graph.
+
+    When iterating over many messages of the same trace, build the
+    :class:`SpaceTimeGraph` once and use :class:`PathEnumerator` directly to
+    avoid rebuilding it per message.
+    """
+    if isinstance(trace_or_graph, SpaceTimeGraph):
+        graph = trace_or_graph
+    elif isinstance(trace_or_graph, ContactTrace):
+        graph = SpaceTimeGraph(trace_or_graph, delta=delta)
+    else:
+        raise TypeError(
+            f"expected ContactTrace or SpaceTimeGraph, got {type(trace_or_graph)!r}"
+        )
+    enumerator = PathEnumerator(graph, k=k)
+    return enumerator.enumerate(source, destination, creation_time,
+                                max_total_deliveries=max_total_deliveries)
+
+
+def epidemic_infection_times(
+    graph: SpaceTimeGraph,
+    source: NodeId,
+    creation_time: float,
+) -> Dict[NodeId, float]:
+    """Earliest time each node can receive a message under epidemic forwarding.
+
+    Implemented as a step-wise epidemic closure over the space-time graph:
+    at every step, every connected component of the contact graph that
+    contains an infected node becomes entirely infected at that step's vertex
+    time.  The source is "infected" at the creation time itself.
+
+    The value for a node equals the arrival time of the optimal path to that
+    node, i.e. ``T(σ, x, t1) = T_Epidemic`` from the paper.
+    """
+    if source not in graph.nodes:
+        raise ValueError(f"source {source} is not a node of the trace")
+    infection: Dict[NodeId, float] = {source: creation_time}
+    start_step = graph.step_of_time(creation_time)
+    for step in range(start_step, graph.num_steps):
+        adjacency = graph.adjacency(step)
+        if not adjacency:
+            continue
+        if len(infection) == len(graph.nodes):
+            break
+        arrival_time = graph.time_of_step(step)
+        for component in graph.components(step):
+            if any(node in infection for node in component):
+                for node in component:
+                    infection.setdefault(node, arrival_time)
+    return infection
+
+
+def first_delivery_time(
+    graph: SpaceTimeGraph,
+    source: NodeId,
+    destination: NodeId,
+    creation_time: float,
+) -> Optional[float]:
+    """``T1`` — arrival time of the optimal path, or None if undeliverable.
+
+    Cheaper than full enumeration; agrees with the first delivery of
+    :meth:`PathEnumerator.enumerate` (a property exercised by the tests).
+    """
+    if destination not in graph.nodes:
+        raise ValueError(f"destination {destination} is not a node of the trace")
+    times = epidemic_infection_times(graph, source, creation_time)
+    return times.get(destination)

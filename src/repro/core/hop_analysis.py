@@ -1,0 +1,202 @@
+"""Hop-by-hop contact-rate analysis of near-optimal paths.
+
+Section 6.2.2 of the paper tests the hypothesis that successful forwarding
+works by climbing the contact-rate gradient: hops along near-optimal paths
+should tend to go from lower-rate nodes to higher-rate nodes.  Two views are
+reported:
+
+* **Figure 14** — the mean contact rate of the node occupying each hop
+  position, aggregated over all near-optimal paths, with 99 % confidence
+  intervals; the mean rises over the first few hops.
+* **Figure 15** — box-and-whisker summaries of the rate *ratios*
+  ``r = λ_j / λ_i`` between consecutive nodes on a path; early-hop ratios are
+  predominantly above 1.
+
+This module computes both from a collection of :class:`~repro.core.path.Path`
+objects and a per-node rate map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..contacts import NodeId
+from .path import Path
+
+__all__ = [
+    "HopRateSummary",
+    "RatioBoxStats",
+    "rates_by_hop",
+    "hop_rate_summary",
+    "rate_ratios_by_hop",
+    "ratio_box_stats",
+    "fraction_of_uphill_hops",
+]
+
+#: z-value for a 99% two-sided normal confidence interval, as used in Fig. 14.
+_Z_99 = 2.5758293035489004
+
+
+@dataclass(frozen=True)
+class HopRateSummary:
+    """Mean contact rate at one hop position with its confidence interval."""
+
+    hop: int
+    count: int
+    mean_rate: float
+    ci_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean_rate - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean_rate + self.ci_half_width
+
+
+@dataclass(frozen=True)
+class RatioBoxStats:
+    """Box-plot statistics of consecutive-hop rate ratios at one transition."""
+
+    transition: str
+    count: int
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+
+    @property
+    def fraction_above_one(self) -> float:
+        """Set by the builder; kept as a property-compatible field."""
+        return getattr(self, "_fraction_above_one", float("nan"))
+
+
+def rates_by_hop(
+    paths: Iterable[Path],
+    rates: Mapping[NodeId, float],
+    include_endpoints: bool = True,
+) -> Dict[int, List[float]]:
+    """Collect the contact rates of the node at each hop index.
+
+    Hop index 0 is the source; index ``i`` is the node holding the message
+    after ``i`` hand-offs.  When *include_endpoints* is False the source and
+    the final (destination) hop are skipped, leaving only intermediate
+    relays.
+    """
+    per_hop: Dict[int, List[float]] = {}
+    for path in paths:
+        nodes = path.nodes
+        last = len(nodes) - 1
+        for index, node in enumerate(nodes):
+            if not include_endpoints and (index == 0 or index == last):
+                continue
+            if node not in rates:
+                raise KeyError(f"no contact rate known for node {node}")
+            per_hop.setdefault(index, []).append(rates[node])
+    return per_hop
+
+
+def hop_rate_summary(
+    paths: Iterable[Path],
+    rates: Mapping[NodeId, float],
+    max_hop: Optional[int] = None,
+    include_endpoints: bool = True,
+) -> List[HopRateSummary]:
+    """Mean rate and 99% CI per hop index (the Figure 14 series)."""
+    per_hop = rates_by_hop(paths, rates, include_endpoints=include_endpoints)
+    summaries: List[HopRateSummary] = []
+    for hop in sorted(per_hop):
+        if max_hop is not None and hop > max_hop:
+            break
+        samples = np.array(per_hop[hop], dtype=float)
+        mean = float(samples.mean())
+        if samples.size > 1:
+            half_width = _Z_99 * float(samples.std(ddof=1)) / math.sqrt(samples.size)
+        else:
+            half_width = 0.0
+        summaries.append(HopRateSummary(hop=hop, count=int(samples.size),
+                                        mean_rate=mean, ci_half_width=half_width))
+    return summaries
+
+
+def rate_ratios_by_hop(
+    paths: Iterable[Path],
+    rates: Mapping[NodeId, float],
+) -> Dict[int, List[float]]:
+    """Rate ratios ``λ_next / λ_current`` for each hop transition.
+
+    Transition index ``i`` covers the hand-off from hop ``i`` to hop
+    ``i + 1`` (the paper labels these "1/0", "2/1", ...).  Hops whose
+    upstream node has zero measured rate are skipped (the ratio is
+    undefined); such hops are rare and correspond to sources that never had
+    any other contact.
+    """
+    ratios: Dict[int, List[float]] = {}
+    for path in paths:
+        nodes = path.nodes
+        for index in range(len(nodes) - 1):
+            lam_i = rates.get(nodes[index])
+            lam_j = rates.get(nodes[index + 1])
+            if lam_i is None or lam_j is None:
+                raise KeyError("missing contact rate for a path node")
+            if lam_i <= 0:
+                continue
+            ratios.setdefault(index, []).append(lam_j / lam_i)
+    return ratios
+
+
+def ratio_box_stats(
+    paths: Iterable[Path],
+    rates: Mapping[NodeId, float],
+    max_transitions: Optional[int] = None,
+) -> List[RatioBoxStats]:
+    """Box-plot summaries of the consecutive-hop rate ratios (Figure 15)."""
+    ratios = rate_ratios_by_hop(paths, rates)
+    stats: List[RatioBoxStats] = []
+    for index in sorted(ratios):
+        if max_transitions is not None and index >= max_transitions:
+            break
+        samples = np.array(ratios[index], dtype=float)
+        q1, median, q3 = (float(q) for q in np.percentile(samples, [25, 50, 75]))
+        iqr = q3 - q1
+        low = float(samples[samples >= q1 - 1.5 * iqr].min())
+        high = float(samples[samples <= q3 + 1.5 * iqr].max())
+        entry = RatioBoxStats(
+            transition=f"{index + 1}/{index}",
+            count=int(samples.size),
+            median=median,
+            q1=q1,
+            q3=q3,
+            whisker_low=low,
+            whisker_high=high,
+        )
+        object.__setattr__(entry, "_fraction_above_one", float((samples > 1.0).mean()))
+        stats.append(entry)
+    return stats
+
+
+def fraction_of_uphill_hops(
+    paths: Iterable[Path],
+    rates: Mapping[NodeId, float],
+    first_n_transitions: int = 3,
+) -> float:
+    """Fraction of early hand-offs that go to a strictly higher-rate node.
+
+    A scalar summary of the paper's "hops along successful paths tend to be
+    from lower-rate nodes to higher-rate nodes" claim, convenient for tests
+    and for the EXPERIMENTS.md shape checks.
+    """
+    ratios = rate_ratios_by_hop(paths, rates)
+    samples: List[float] = []
+    for index in range(first_n_transitions):
+        samples.extend(ratios.get(index, []))
+    if not samples:
+        return float("nan")
+    arr = np.array(samples, dtype=float)
+    return float((arr > 1.0).mean())

@@ -1,0 +1,226 @@
+"""The six forwarding algorithms evaluated in Section 6 of the paper.
+
+All algorithms share the same contract (:class:`ForwardingAlgorithm`): given
+that a *carrier* holding a copy of a message is in contact with a *peer*,
+``should_forward`` decides whether the peer receives a copy.  Delivery to the
+destination itself is not an algorithm decision — every reasonable algorithm
+delivers on contact with the destination (the paper's *minimal progress*
+assumption) and the simulator enforces it.
+
+The algorithms span the paper's design axes:
+
+====================  ===========  =========  =====================
+algorithm             destination  hop scope  knowledge
+====================  ===========  =========  =====================
+Epidemic              unaware      multi      none (flooding)
+FRESH                 aware        single     recent history
+Greedy                aware        single     complete past history
+Greedy Online         unaware      single     complete past history
+Greedy Total          unaware      single     past + future (oracle)
+Dynamic Programming   aware        multi      past + future (oracle)
+====================  ===========  =========  =====================
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from ..contacts import ContactTrace, NodeId
+from .history import OnlineContactHistory
+from .meed import MeedTable
+
+__all__ = [
+    "ForwardingAlgorithm",
+    "UtilityForwarding",
+    "EpidemicForwarding",
+    "FreshForwarding",
+    "GreedyForwarding",
+    "GreedyOnlineForwarding",
+    "GreedyTotalForwarding",
+    "DynamicProgrammingForwarding",
+    "default_algorithms",
+]
+
+
+class ForwardingAlgorithm(ABC):
+    """Interface implemented by every forwarding strategy.
+
+    Subclasses may override :meth:`prepare` to precompute oracle state from
+    the full trace (only the future-knowledge algorithms do).
+    """
+
+    #: Human-readable name used in result tables and figures.
+    name: str = "abstract"
+
+    #: Whether the algorithm needs the full trace ahead of time.
+    uses_future_knowledge: bool = False
+
+    def prepare(self, trace: ContactTrace) -> None:
+        """Precompute any oracle state.  Called once before simulation."""
+
+    @abstractmethod
+    def should_forward(
+        self,
+        carrier: NodeId,
+        peer: NodeId,
+        destination: NodeId,
+        now: float,
+        history: OnlineContactHistory,
+    ) -> bool:
+        """Return True if *carrier* should hand a copy to *peer* now."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class UtilityForwarding(ForwardingAlgorithm):
+    """Forward when the peer's utility for the destination is strictly higher.
+
+    The concrete algorithms below only differ in their utility function; ties
+    do not trigger a transfer (both nodes are equally good carriers), which
+    in particular prevents two nodes with no information from ping-ponging
+    copies.
+    """
+
+    @abstractmethod
+    def utility(
+        self,
+        node: NodeId,
+        destination: NodeId,
+        now: float,
+        history: OnlineContactHistory,
+    ) -> float:
+        """Larger is better; ``-inf`` means "knows nothing useful"."""
+
+    def should_forward(
+        self,
+        carrier: NodeId,
+        peer: NodeId,
+        destination: NodeId,
+        now: float,
+        history: OnlineContactHistory,
+    ) -> bool:
+        return (self.utility(peer, destination, now, history)
+                > self.utility(carrier, destination, now, history))
+
+
+class EpidemicForwarding(ForwardingAlgorithm):
+    """Flooding [Vahdat & Becker]: hand a copy to every encountered node.
+
+    Epidemic forwarding finds the optimal path whenever one exists, so it
+    upper-bounds both success rate and delay for every other algorithm — the
+    paper uses it as the reference throughout.
+    """
+
+    name = "Epidemic"
+
+    def should_forward(self, carrier, peer, destination, now, history) -> bool:
+        return True
+
+
+class FreshForwarding(UtilityForwarding):
+    """FRESH [Dubois-Ferriere, Grossglauser & Vetterli]:
+
+    forward to the peer if it has met the destination more recently than the
+    carrier has.  Nodes that never met the destination have utility ``-inf``.
+    """
+
+    name = "FRESH"
+
+    def utility(self, node, destination, now, history) -> float:
+        last = history.last_contact_time(node, destination)
+        return -math.inf if last is None else last
+
+
+class GreedyForwarding(UtilityForwarding):
+    """Greedy (destination aware, complete past history):
+
+    forward to the peer if it has met the destination more *times* since the
+    start of the simulation than the carrier has.
+    """
+
+    name = "Greedy"
+
+    def utility(self, node, destination, now, history) -> float:
+        return float(history.contacts_between(node, destination))
+
+
+class GreedyOnlineForwarding(UtilityForwarding):
+    """Greedy Online (destination unaware, past history only):
+
+    forward to the peer if it has had more total contacts (with anyone) since
+    the start of the simulation than the carrier.
+    """
+
+    name = "Greedy Online"
+
+    def utility(self, node, destination, now, history) -> float:
+        return float(history.total_contacts(node))
+
+
+class GreedyTotalForwarding(UtilityForwarding):
+    """Greedy Total (destination unaware, past and future knowledge):
+
+    forward to the peer if it has more total contacts *over the whole trace*
+    than the carrier.  This is the oracle version of Greedy Online and the
+    algorithm that most directly implements "push the message up the
+    contact-rate gradient".
+    """
+
+    name = "Greedy Total"
+    uses_future_knowledge = True
+
+    def __init__(self) -> None:
+        self._totals: Dict[NodeId, int] = {}
+
+    def prepare(self, trace: ContactTrace) -> None:
+        self._totals = trace.contact_counts()
+
+    def utility(self, node, destination, now, history) -> float:
+        if not self._totals:
+            raise RuntimeError("GreedyTotalForwarding.prepare() was not called")
+        return float(self._totals.get(node, 0))
+
+
+class DynamicProgrammingForwarding(ForwardingAlgorithm):
+    """Dynamic Programming (Minimum Expected Delay, destination aware, oracle).
+
+    Pairwise expected delays are computed from the full trace; the message is
+    forwarded to a peer whose minimum expected delay to the destination
+    (Dijkstra over the expected-delay graph) is strictly smaller than the
+    carrier's.  This is the paper's adaptation of the MED/MEED algorithms of
+    [9, 10].
+    """
+
+    name = "Dynamic Programming"
+    uses_future_knowledge = True
+
+    def __init__(self) -> None:
+        self._table: Optional[MeedTable] = None
+
+    def prepare(self, trace: ContactTrace) -> None:
+        self._table = MeedTable.from_trace(trace)
+
+    @property
+    def table(self) -> MeedTable:
+        if self._table is None:
+            raise RuntimeError("DynamicProgrammingForwarding.prepare() was not called")
+        return self._table
+
+    def should_forward(self, carrier, peer, destination, now, history) -> bool:
+        table = self.table
+        return table.distance(peer, destination) < table.distance(carrier, destination)
+
+
+def default_algorithms() -> List[ForwardingAlgorithm]:
+    """Fresh instances of the six algorithms compared in the paper."""
+    return [
+        EpidemicForwarding(),
+        FreshForwarding(),
+        GreedyForwarding(),
+        GreedyTotalForwarding(),
+        GreedyOnlineForwarding(),
+        DynamicProgrammingForwarding(),
+    ]

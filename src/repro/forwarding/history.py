@@ -1,0 +1,80 @@
+"""Online contact history available to forwarding algorithms.
+
+The destination-aware and history-based algorithms of Section 6 base their
+decisions on what the nodes could actually have observed so far:
+
+* FRESH uses the *most recent* encounter time of a node with the
+  destination;
+* Greedy uses the *number* of encounters with the destination since the
+  start of the simulation;
+* Greedy Online uses the node's *total* number of encounters so far.
+
+The simulator records every contact in an :class:`OnlineContactHistory` as it
+replays the trace, and hands the history to the algorithms at decision time.
+The history only ever contains contacts that started at or before "now", so
+online algorithms cannot accidentally peek into the future; the two
+future-knowledge algorithms (Greedy Total, Dynamic Programming) instead
+precompute what they need from the full trace in ``prepare()``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from ..contacts import NodeId
+
+__all__ = ["OnlineContactHistory"]
+
+
+class OnlineContactHistory:
+    """Incrementally updated record of past contacts."""
+
+    def __init__(self) -> None:
+        self._total_contacts: Dict[NodeId, int] = defaultdict(int)
+        self._pair_contacts: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+        self._last_contact: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._num_recorded = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(a: NodeId, b: NodeId) -> Tuple[NodeId, NodeId]:
+        return (a, b) if a <= b else (b, a)
+
+    def record(self, a: NodeId, b: NodeId, time: float) -> None:
+        """Record one contact between *a* and *b* starting at *time*."""
+        if a == b:
+            raise ValueError("a contact involves two distinct nodes")
+        key = self._key(a, b)
+        self._total_contacts[a] += 1
+        self._total_contacts[b] += 1
+        self._pair_contacts[key] += 1
+        previous = self._last_contact.get(key)
+        if previous is None or time > previous:
+            self._last_contact[key] = time
+        self._num_recorded += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def num_recorded(self) -> int:
+        """Total number of contacts recorded so far."""
+        return self._num_recorded
+
+    def total_contacts(self, node: NodeId) -> int:
+        """How many contacts *node* has had so far (with anyone)."""
+        return self._total_contacts.get(node, 0)
+
+    def contacts_between(self, a: NodeId, b: NodeId) -> int:
+        """How many contacts the pair has had so far."""
+        return self._pair_contacts.get(self._key(a, b), 0)
+
+    def last_contact_time(self, a: NodeId, b: NodeId) -> Optional[float]:
+        """Start time of the pair's most recent contact, or None if never met."""
+        return self._last_contact.get(self._key(a, b))
+
+    def has_met(self, a: NodeId, b: NodeId) -> bool:
+        return self._key(a, b) in self._last_contact
+
+    def snapshot_totals(self) -> Dict[NodeId, int]:
+        """A copy of the per-node total-contact counters (for diagnostics)."""
+        return dict(self._total_contacts)

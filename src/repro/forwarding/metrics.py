@@ -1,0 +1,205 @@
+"""Performance metrics and algorithm-comparison harness (Section 6.2).
+
+The paper's two headline metrics are the *success rate* ``S_A`` (fraction of
+messages delivered before the end of the window) and the *average delay*
+``D_A`` over delivered messages.  This module provides:
+
+* :class:`PerformanceSummary` — (success rate, mean delay, delay percentiles)
+  of one algorithm on one dataset;
+* :func:`delay_distribution` — the full delay CDF (Figure 10);
+* :func:`summarize_by_pair_type` — metrics broken down by in/out pair type
+  (Figure 13);
+* :func:`compare_algorithms` — run a set of algorithms over one or more
+  workload realisations and collect everything the Figure 9/10/13 benchmarks
+  need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..contacts import ContactTrace
+from ..core.pair_types import PairType, RateClassification, classify_nodes
+from .algorithms import ForwardingAlgorithm
+from .messages import Message, PoissonMessageWorkload
+from .simulator import DeliveryOutcome, ForwardingSimulator, SimulationResult
+
+__all__ = [
+    "PerformanceSummary",
+    "summarize",
+    "delay_distribution",
+    "summarize_by_pair_type",
+    "compare_algorithms",
+    "ComparisonResult",
+]
+
+
+@dataclass(frozen=True)
+class PerformanceSummary:
+    """Success rate and delay statistics of one algorithm on one dataset."""
+
+    algorithm: str
+    num_messages: int
+    num_delivered: int
+    success_rate: float
+    average_delay: Optional[float]
+    median_delay: Optional[float]
+    p90_delay: Optional[float]
+
+    def as_row(self) -> Dict[str, Union[str, float, int, None]]:
+        """A flat dict suitable for printing as a results-table row."""
+        return {
+            "algorithm": self.algorithm,
+            "messages": self.num_messages,
+            "delivered": self.num_delivered,
+            "success_rate": round(self.success_rate, 4),
+            "avg_delay_s": None if self.average_delay is None else round(self.average_delay, 1),
+            "median_delay_s": None if self.median_delay is None else round(self.median_delay, 1),
+            "p90_delay_s": None if self.p90_delay is None else round(self.p90_delay, 1),
+        }
+
+
+def summarize(result: SimulationResult) -> PerformanceSummary:
+    """Collapse a :class:`SimulationResult` into a :class:`PerformanceSummary`."""
+    delays = np.array(result.delays(), dtype=float)
+    return PerformanceSummary(
+        algorithm=result.algorithm,
+        num_messages=result.num_messages,
+        num_delivered=result.num_delivered,
+        success_rate=result.success_rate(),
+        average_delay=float(delays.mean()) if delays.size else None,
+        median_delay=float(np.median(delays)) if delays.size else None,
+        p90_delay=float(np.percentile(delays, 90)) if delays.size else None,
+    )
+
+
+def delay_distribution(
+    results: Union[SimulationResult, Sequence[SimulationResult]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of delivery delays, pooled over one or more runs.
+
+    Returns ``(delays, cdf)`` where ``cdf[i]`` is the fraction of *delivered*
+    messages with delay ``<= delays[i]`` (the Figure 10 curves plot the
+    fraction of all messages; multiply by the success rate to convert).
+    """
+    if isinstance(results, SimulationResult):
+        results = [results]
+    samples: List[float] = []
+    for result in results:
+        samples.extend(result.delays())
+    delays = np.sort(np.array(samples, dtype=float))
+    if delays.size == 0:
+        return delays, delays
+    cdf = np.arange(1, delays.size + 1, dtype=float) / delays.size
+    return delays, cdf
+
+
+def summarize_by_pair_type(
+    result: SimulationResult,
+    classification: RateClassification,
+) -> Dict[PairType, PerformanceSummary]:
+    """Per-pair-type success rate and delay (the Figure 13 breakdown)."""
+    grouped: Dict[PairType, List[DeliveryOutcome]] = {pt: [] for pt in PairType.ordered()}
+    for outcome in result.outcomes:
+        pair_type = classification.pair_type(outcome.message.source,
+                                             outcome.message.destination)
+        grouped[pair_type].append(outcome)
+    summaries: Dict[PairType, PerformanceSummary] = {}
+    for pair_type, outcomes in grouped.items():
+        delays = np.array([o.delay for o in outcomes if o.delivered and o.delay is not None],
+                          dtype=float)
+        delivered = int(sum(1 for o in outcomes if o.delivered))
+        summaries[pair_type] = PerformanceSummary(
+            algorithm=result.algorithm,
+            num_messages=len(outcomes),
+            num_delivered=delivered,
+            success_rate=(delivered / len(outcomes)) if outcomes else 0.0,
+            average_delay=float(delays.mean()) if delays.size else None,
+            median_delay=float(np.median(delays)) if delays.size else None,
+            p90_delay=float(np.percentile(delays, 90)) if delays.size else None,
+        )
+    return summaries
+
+
+@dataclass
+class ComparisonResult:
+    """Everything produced by :func:`compare_algorithms`."""
+
+    trace_name: str
+    runs_per_algorithm: int
+    results: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+    classification: Optional[RateClassification] = None
+
+    def summaries(self) -> Dict[str, PerformanceSummary]:
+        """Per-algorithm summary pooled over all runs."""
+        pooled: Dict[str, PerformanceSummary] = {}
+        for name, runs in self.results.items():
+            merged = SimulationResult(algorithm=name, trace_name=self.trace_name)
+            for run in runs:
+                merged.outcomes.extend(run.outcomes)
+            pooled[name] = summarize(merged)
+        return pooled
+
+    def pooled_result(self, algorithm: str) -> SimulationResult:
+        merged = SimulationResult(algorithm=algorithm, trace_name=self.trace_name)
+        for run in self.results[algorithm]:
+            merged.outcomes.extend(run.outcomes)
+        return merged
+
+    def pair_type_summaries(self) -> Dict[str, Dict[PairType, PerformanceSummary]]:
+        if self.classification is None:
+            raise RuntimeError("comparison was run without a rate classification")
+        return {
+            name: summarize_by_pair_type(self.pooled_result(name), self.classification)
+            for name in self.results
+        }
+
+    def delay_success_points(self) -> Dict[str, Tuple[float, Optional[float]]]:
+        """(success rate, average delay) per algorithm — the Figure 9 points."""
+        return {
+            name: (summary.success_rate, summary.average_delay)
+            for name, summary in self.summaries().items()
+        }
+
+
+def compare_algorithms(
+    trace: ContactTrace,
+    algorithms: Sequence[ForwardingAlgorithm],
+    workload: Optional[PoissonMessageWorkload] = None,
+    messages: Optional[Sequence[Message]] = None,
+    num_runs: int = 1,
+    seed: Union[int, np.random.Generator, None] = None,
+    copy_semantics: str = "copy",
+) -> ComparisonResult:
+    """Run every algorithm on identical message workloads and collect results.
+
+    Either a *workload* (regenerated per run with a fresh seed, as the paper
+    averages over 10 runs) or an explicit fixed *messages* list must be
+    given.  Every algorithm within a run sees exactly the same messages, so
+    the comparison is paired.
+    """
+    if (workload is None) == (messages is None):
+        raise ValueError("provide exactly one of workload or messages")
+    if num_runs < 1:
+        raise ValueError("num_runs must be positive")
+    rng = np.random.default_rng(seed)
+    comparison = ComparisonResult(
+        trace_name=trace.name,
+        runs_per_algorithm=num_runs,
+        classification=classify_nodes(trace),
+    )
+    for name in (a.name for a in algorithms):
+        comparison.results.setdefault(name, [])
+    for _ in range(num_runs):
+        if workload is not None:
+            run_messages: Sequence[Message] = workload.generate(trace, seed=rng)
+        else:
+            run_messages = list(messages or [])
+        for algorithm in algorithms:
+            simulator = ForwardingSimulator(trace, algorithm,
+                                            copy_semantics=copy_semantics)
+            comparison.results[algorithm.name].append(simulator.run(run_messages))
+    return comparison

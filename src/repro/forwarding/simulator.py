@@ -1,0 +1,325 @@
+"""Trace-driven forwarding simulator (Section 6.1 of the paper).
+
+The simulator replays a contact trace in time order and lets a forwarding
+algorithm decide, at every contact, whether the encountered node should
+receive a copy of each message the carrier holds.  The modelling assumptions
+follow the paper exactly:
+
+* nodes have **infinite buffers** and keep every copy until the end of the
+  simulation;
+* exchanges are **bidirectional** and instantaneous;
+* **minimal progress**: a node holding a message always delivers it when it
+  meets the destination, whatever the algorithm says;
+* messages can relay across several nodes "at the same instant" when the
+  receiving node is itself in contact with further nodes (the zero-weight
+  chaining of the space-time graph).
+
+Only the *first* delivery of each message is recorded (later copies arriving
+at the destination do not change success rate or delay).  By default message
+propagation stops once the message is delivered, which does not affect any
+reported metric but keeps large epidemic simulations fast; pass
+``stop_on_delivery=False`` to keep flooding after delivery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..contacts import Contact, ContactTrace, NodeId
+from .algorithms import ForwardingAlgorithm
+from .history import OnlineContactHistory
+from .messages import Message
+
+__all__ = ["DeliveryOutcome", "SimulationResult", "ForwardingSimulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Outcome of a single message under one algorithm."""
+
+    message: Message
+    delivered: bool
+    delivery_time: Optional[float]
+    hop_count: Optional[int]
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Delivery delay in seconds, or None if not delivered."""
+        if not self.delivered or self.delivery_time is None:
+            return None
+        return self.delivery_time - self.message.creation_time
+
+
+@dataclass
+class SimulationResult:
+    """All outcomes of one simulation run."""
+
+    algorithm: str
+    trace_name: str
+    outcomes: List[DeliveryOutcome] = field(default_factory=list)
+
+    @property
+    def num_messages(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_delivered(self) -> int:
+        return sum(1 for o in self.outcomes if o.delivered)
+
+    def success_rate(self) -> float:
+        """Fraction of messages delivered (the paper's S_A)."""
+        if not self.outcomes:
+            return 0.0
+        return self.num_delivered / len(self.outcomes)
+
+    def delays(self) -> List[float]:
+        """Delays of the delivered messages."""
+        return [o.delay for o in self.outcomes if o.delivered and o.delay is not None]
+
+    def average_delay(self) -> Optional[float]:
+        """Mean delivery delay over delivered messages (the paper's D_A)."""
+        delays = self.delays()
+        if not delays:
+            return None
+        return sum(delays) / len(delays)
+
+    def outcome_for(self, message_id: int) -> Optional[DeliveryOutcome]:
+        for outcome in self.outcomes:
+            if outcome.message.id == message_id:
+                return outcome
+        return None
+
+
+# ----------------------------------------------------------------------
+# event encoding: (time, priority, sequence, payload)
+# priority orders simultaneous events: contact starts first (so zero-duration
+# contacts are opened, exchanged over, and then closed rather than being
+# closed before they open), then contact ends, then message creations (a
+# message created the instant a contact ends does not see it as active,
+# matching the half-open [start, end) contact semantics).
+# ----------------------------------------------------------------------
+_START, _END, _CREATE = 0, 1, 2
+
+
+class ForwardingSimulator:
+    """Replay a trace under one forwarding algorithm.
+
+    Parameters
+    ----------
+    trace:
+        The contact trace to replay.
+    algorithm:
+        The forwarding strategy.  Its ``prepare`` hook is called once with
+        the full trace (only the future-knowledge algorithms use it).
+    copy_semantics:
+        ``"copy"`` (default) — the carrier keeps its copy after forwarding,
+        as assumed throughout the paper (infinite buffers, nodes hold
+        messages forever).  ``"handoff"`` — single-copy forwarding where the
+        carrier relinquishes the message, provided for cost-oriented
+        extension experiments.
+    stop_on_delivery:
+        Stop propagating a message once it has been delivered.  Does not
+        change success rate or delay.
+    """
+
+    def __init__(
+        self,
+        trace: ContactTrace,
+        algorithm: ForwardingAlgorithm,
+        copy_semantics: str = "copy",
+        stop_on_delivery: bool = True,
+    ) -> None:
+        if copy_semantics not in ("copy", "handoff"):
+            raise ValueError("copy_semantics must be 'copy' or 'handoff'")
+        self._trace = trace
+        self._algorithm = algorithm
+        self._copy = copy_semantics == "copy"
+        self._stop_on_delivery = stop_on_delivery
+
+    # ------------------------------------------------------------------
+    def run(self, messages: Sequence[Message]) -> SimulationResult:
+        """Simulate the delivery of *messages* and return the outcomes."""
+        for message in messages:
+            if message.source not in self._trace.nodes:
+                raise ValueError(f"message {message.id}: unknown source {message.source}")
+            if message.destination not in self._trace.nodes:
+                raise ValueError(
+                    f"message {message.id}: unknown destination {message.destination}"
+                )
+        self._algorithm.prepare(self._trace)
+
+        history = OnlineContactHistory()
+        active_counts: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+        active_peers: Dict[NodeId, Set[NodeId]] = defaultdict(set)
+        # holdings[message_id][node] = (receive_time, hop_count)
+        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]] = defaultdict(dict)
+        # ever_held[message_id] = nodes that have carried the message at some
+        # point.  A node never re-receives a message it already carried; in
+        # hand-off mode this is what prevents a copy from ping-ponging
+        # between two nodes within a single contact.
+        self._ever_held: Dict[int, Set[NodeId]] = defaultdict(set)
+        delivered: Dict[int, Tuple[float, int]] = {}
+        by_id: Dict[int, Message] = {m.id: m for m in messages}
+
+        events: List[Tuple[float, int, int, object]] = []
+        sequence = 0
+        for contact in self._trace:
+            events.append((contact.start, _START, sequence, contact))
+            sequence += 1
+            events.append((max(contact.end, contact.start), _END, sequence, contact))
+            sequence += 1
+        for message in messages:
+            events.append((message.creation_time, _CREATE, sequence, message))
+            sequence += 1
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+
+        for time, kind, _, payload in events:
+            if kind == _END:
+                contact = payload  # type: ignore[assignment]
+                self._close_contact(contact, active_counts, active_peers)
+            elif kind == _START:
+                contact = payload  # type: ignore[assignment]
+                history.record(contact.a, contact.b, time)
+                self._open_contact(contact, active_counts, active_peers)
+                self._exchange_on_contact(contact, time, history, active_peers,
+                                          holdings, delivered, by_id)
+            else:  # _CREATE
+                message = payload  # type: ignore[assignment]
+                holdings[message.id][message.source] = (time, 0)
+                self._ever_held[message.id].add(message.source)
+                self._cascade(message, message.source, time, history, active_peers,
+                              holdings, delivered)
+
+        outcomes = []
+        for message in messages:
+            if message.id in delivered:
+                delivery_time, hops = delivered[message.id]
+                outcomes.append(DeliveryOutcome(message=message, delivered=True,
+                                                delivery_time=delivery_time,
+                                                hop_count=hops))
+            else:
+                outcomes.append(DeliveryOutcome(message=message, delivered=False,
+                                                delivery_time=None, hop_count=None))
+        return SimulationResult(algorithm=self._algorithm.name,
+                                trace_name=self._trace.name, outcomes=outcomes)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _open_contact(contact: Contact,
+                      active_counts: Dict[Tuple[NodeId, NodeId], int],
+                      active_peers: Dict[NodeId, Set[NodeId]]) -> None:
+        pair = contact.pair
+        active_counts[pair] += 1
+        active_peers[contact.a].add(contact.b)
+        active_peers[contact.b].add(contact.a)
+
+    @staticmethod
+    def _close_contact(contact: Contact,
+                       active_counts: Dict[Tuple[NodeId, NodeId], int],
+                       active_peers: Dict[NodeId, Set[NodeId]]) -> None:
+        pair = contact.pair
+        active_counts[pair] -= 1
+        if active_counts[pair] <= 0:
+            active_counts.pop(pair, None)
+            active_peers[contact.a].discard(contact.b)
+            active_peers[contact.b].discard(contact.a)
+
+    # ------------------------------------------------------------------
+    def _exchange_on_contact(
+        self,
+        contact: Contact,
+        time: float,
+        history: OnlineContactHistory,
+        active_peers: Dict[NodeId, Set[NodeId]],
+        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]],
+        delivered: Dict[int, Tuple[float, int]],
+        by_id: Dict[int, Message],
+    ) -> None:
+        """Both endpoints of a new contact offer each other their messages."""
+        for carrier, peer in ((contact.a, contact.b), (contact.b, contact.a)):
+            held_ids = [mid for mid, holders in holdings.items() if carrier in holders]
+            for message_id in held_ids:
+                message = by_id[message_id]
+                self._try_transfer(message, carrier, peer, time, history,
+                                   active_peers, holdings, delivered)
+
+    def _cascade(
+        self,
+        message: Message,
+        start_node: NodeId,
+        time: float,
+        history: OnlineContactHistory,
+        active_peers: Dict[NodeId, Set[NodeId]],
+        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]],
+        delivered: Dict[int, Tuple[float, int]],
+    ) -> None:
+        """Propagate a freshly received message over currently active contacts."""
+        frontier = [start_node]
+        while frontier:
+            node = frontier.pop()
+            for peer in list(active_peers.get(node, ())):
+                moved = self._try_transfer(message, node, peer, time, history,
+                                           active_peers, holdings, delivered,
+                                           cascade=False)
+                if moved:
+                    frontier.append(peer)
+
+    def _try_transfer(
+        self,
+        message: Message,
+        carrier: NodeId,
+        peer: NodeId,
+        time: float,
+        history: OnlineContactHistory,
+        active_peers: Dict[NodeId, Set[NodeId]],
+        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]],
+        delivered: Dict[int, Tuple[float, int]],
+        cascade: bool = True,
+    ) -> bool:
+        """Attempt to move *message* from *carrier* to *peer* at *time*.
+
+        Returns True if the peer newly received a copy (delivery included).
+        """
+        holders = holdings[message.id]
+        if carrier not in holders:
+            return False
+        if message.id in delivered and self._stop_on_delivery:
+            return False
+        if peer in holders or peer in self._ever_held[message.id]:
+            return False
+        receive_time, hops = holders[carrier]
+        if time < receive_time:
+            return False
+        # Minimal progress: contact with the destination always delivers.
+        if peer == message.destination:
+            holders[peer] = (time, hops + 1)
+            self._ever_held[message.id].add(peer)
+            if message.id not in delivered:
+                delivered[message.id] = (time, hops + 1)
+            return True
+        if not self._algorithm.should_forward(carrier, peer, message.destination,
+                                              time, history):
+            return False
+        holders[peer] = (time, hops + 1)
+        self._ever_held[message.id].add(peer)
+        if not self._copy:
+            holders.pop(carrier, None)
+        if cascade:
+            self._cascade(message, peer, time, history, active_peers,
+                          holdings, delivered)
+        return True
+
+
+def simulate(
+    trace: ContactTrace,
+    algorithm: ForwardingAlgorithm,
+    messages: Sequence[Message],
+    copy_semantics: str = "copy",
+    stop_on_delivery: bool = True,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`ForwardingSimulator`."""
+    simulator = ForwardingSimulator(trace, algorithm, copy_semantics=copy_semantics,
+                                    stop_on_delivery=stop_on_delivery)
+    return simulator.run(messages)

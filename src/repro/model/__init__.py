@@ -1,0 +1,58 @@
+"""Analytic model of path explosion (Section 5 of the paper).
+
+Three complementary tools:
+
+* :mod:`repro.model.generating_function` — closed-form results for the
+  homogeneous model (mean/variance of per-node path counts, blow-up times,
+  expected first-path time);
+* :mod:`repro.model.ode` — numerical integration of the fluid-limit ODE for
+  the density of nodes with k paths;
+* :mod:`repro.model.markov` — exact stochastic simulation of the finite-N
+  Markov jump process, in both homogeneous and heterogeneous-rate variants;
+* :mod:`repro.model.heterogeneous` — the Section 5.2 reasoning about unequal
+  contact rates (subset explosion, pair-type predictions).
+"""
+
+from .generating_function import (
+    InitialPathDistribution,
+    blowup_time,
+    expected_first_path_time,
+    explosion_time_for_mean,
+    mean_paths,
+    phi,
+    second_moment,
+    variance,
+)
+from .heterogeneous import (
+    PairTypePrediction,
+    expected_wait_until_high_rate,
+    pair_type_predictions,
+    relative_magnitude_table,
+    subset_growth_rate,
+    two_class_process,
+)
+from .markov import PathCountProcess, PopulationState, simulate_homogeneous
+from .ode import PathDensitySolution, initial_condition, solve_path_density_ode
+
+__all__ = [
+    "InitialPathDistribution",
+    "blowup_time",
+    "expected_first_path_time",
+    "explosion_time_for_mean",
+    "mean_paths",
+    "phi",
+    "second_moment",
+    "variance",
+    "PairTypePrediction",
+    "expected_wait_until_high_rate",
+    "pair_type_predictions",
+    "relative_magnitude_table",
+    "subset_growth_rate",
+    "two_class_process",
+    "PathCountProcess",
+    "PopulationState",
+    "simulate_homogeneous",
+    "PathDensitySolution",
+    "initial_condition",
+    "solve_path_density_ode",
+]

@@ -1,0 +1,217 @@
+"""Closed-form results for the homogeneous path-explosion model.
+
+Section 5.1.3 of the paper introduces the generating function
+``φ_x(t) = Σ_k x^k u_k(t)`` and shows it satisfies ``dφ_x/dt = λ(φ_x² − φ_x)``
+with the closed-form solutions
+
+* ``φ_x(t) = φ_x(0) / (φ_x(0) + (1 − φ_x(0)) e^{λt})``      when ``0 < φ_x(0) < 1``
+* ``φ_x(t) = φ_x(0) / (φ_x(0) − (φ_x(0) − 1) e^{λt})``      when ``φ_x(0) > 1``
+
+from which follow
+
+* the mean number of paths per node     ``E[S(t)] = E[S(0)] e^{λt}``,
+* the second moment                     ``E[S(t)²] = (E[S(0)²] + 2(e^{λt}−1)E[S(0)]²) e^{λt}``,
+* the variance                          ``V[S(t)] = V[S(0)] e^{λt} + E[S(0)]²(e^{2λt} − e^{λt})``
+  (the paper prints ``E[S(0)]`` unsquared — see :func:`variance` for why the
+  squared form is the consistent one),
+* the blow-up time of ``φ_x`` for x > 1 ``T_C(x) = (1/λ) ln(φ_x(0) / (φ_x(0) − 1))``, and
+* the expected time for the first path  ``H = ln(N) / λ`` (Section 5.2).
+
+These closed forms are the ground truth the ODE integration and the
+stochastic (Gillespie) simulation are validated against in the tests and the
+model benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "InitialPathDistribution",
+    "phi",
+    "mean_paths",
+    "second_moment",
+    "variance",
+    "blowup_time",
+    "expected_first_path_time",
+    "explosion_time_for_mean",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class InitialPathDistribution:
+    """The distribution of per-node path counts at time zero.
+
+    The paper's setting is a single source holding a single path in a
+    population of N nodes: ``P[S(0)=1] = 1/N`` and ``P[S(0)=0] = 1 − 1/N``.
+    Arbitrary finite initial distributions are supported so that the model
+    can also be started "mid-explosion".
+    """
+
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probabilities, dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise ValueError("probabilities must be a non-empty 1-D array")
+        if np.any(probs < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        total = probs.sum()
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        object.__setattr__(self, "probabilities", probs)
+
+    @classmethod
+    def single_source(cls, num_nodes: int) -> "InitialPathDistribution":
+        """One source node with exactly one path; everyone else has zero."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        return cls(np.array([1.0 - 1.0 / num_nodes, 1.0 / num_nodes]))
+
+    def phi0(self, x: float) -> float:
+        """``φ_x(0) = Σ_k x^k u_k(0)``."""
+        powers = np.power(float(x), np.arange(self.probabilities.size, dtype=float))
+        return float(np.dot(self.probabilities, powers))
+
+    def mean(self) -> float:
+        k = np.arange(self.probabilities.size, dtype=float)
+        return float(np.dot(self.probabilities, k))
+
+    def second_moment(self) -> float:
+        k = np.arange(self.probabilities.size, dtype=float)
+        return float(np.dot(self.probabilities, k ** 2))
+
+    def variance(self) -> float:
+        mean = self.mean()
+        return self.second_moment() - mean ** 2
+
+
+def phi(
+    x: float,
+    t: ArrayLike,
+    contact_rate: float,
+    initial: InitialPathDistribution,
+) -> ArrayLike:
+    """The generating function ``φ_x(t)`` (Equations 2 and 3 of the paper).
+
+    For ``x > 1`` the solution blows up at :func:`blowup_time`; evaluations
+    at or beyond that time return ``inf``.
+    """
+    if contact_rate < 0:
+        raise ValueError("contact_rate must be non-negative")
+    t_arr = np.asarray(t, dtype=float)
+    phi0 = initial.phi0(x)
+    growth = np.exp(contact_rate * t_arr)
+    if phi0 == 1.0:
+        result = np.ones_like(t_arr)
+    elif 0.0 < phi0 < 1.0:
+        result = phi0 / (phi0 + (1.0 - phi0) * growth)
+    elif phi0 > 1.0:
+        denom = phi0 - (phi0 - 1.0) * growth
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(denom > 0, phi0 / denom, np.inf)
+    else:  # phi0 == 0 (e.g. x = 0 and no node has zero paths)
+        result = np.zeros_like(t_arr)
+    if np.isscalar(t):
+        return float(result)
+    return result
+
+
+def mean_paths(
+    t: ArrayLike,
+    contact_rate: float,
+    initial: InitialPathDistribution,
+) -> ArrayLike:
+    """``E[S(t)] = E[S(0)] e^{λt}`` (Equation 4)."""
+    t_arr = np.asarray(t, dtype=float)
+    result = initial.mean() * np.exp(contact_rate * t_arr)
+    return float(result) if np.isscalar(t) else result
+
+
+def second_moment(
+    t: ArrayLike,
+    contact_rate: float,
+    initial: InitialPathDistribution,
+) -> ArrayLike:
+    """``E[S(t)²] = (E[S(0)²] + 2(e^{λt} − 1) E[S(0)]²) e^{λt}``."""
+    t_arr = np.asarray(t, dtype=float)
+    growth = np.exp(contact_rate * t_arr)
+    result = (initial.second_moment() + 2.0 * (growth - 1.0) * initial.mean() ** 2) * growth
+    return float(result) if np.isscalar(t) else result
+
+
+def variance(
+    t: ArrayLike,
+    contact_rate: float,
+    initial: InitialPathDistribution,
+) -> ArrayLike:
+    """``V[S(t)] = V[S(0)] e^{λt} + E[S(0)]² (e^{2λt} − e^{λt})``.
+
+    Note: the paper's text prints the last coefficient as ``E[S(0)]`` (not
+    squared), which is inconsistent with its own second-moment expression and
+    with the fluid-limit ODE; differentiating ``dφ_x/dt = λ(φ_x² − φ_x)``
+    twice at ``x = 1`` gives the squared form used here, and the ODE
+    integration in :mod:`repro.model.ode` confirms it numerically (see the
+    model tests).  For the paper's single-source initial condition the two
+    versions differ only by an ``O(1/N)`` factor in the second term.
+    """
+    t_arr = np.asarray(t, dtype=float)
+    growth = np.exp(contact_rate * t_arr)
+    result = (initial.variance() * growth
+              + initial.mean() ** 2 * (growth ** 2 - growth))
+    return float(result) if np.isscalar(t) else result
+
+
+def blowup_time(x: float, contact_rate: float, initial: InitialPathDistribution) -> float:
+    """``T_C(x) = (1/λ) ln(φ_x(0) / (φ_x(0) − 1))`` for ``x > 1``.
+
+    Beyond this time the series ``φ_x`` diverges: the distribution of path
+    counts is no longer light-tailed with coefficient x.
+    """
+    if x <= 1:
+        raise ValueError("the blow-up time is only defined for x > 1")
+    if contact_rate <= 0:
+        return math.inf
+    phi0 = initial.phi0(x)
+    if phi0 <= 1:
+        return math.inf
+    return math.log(phi0 / (phi0 - 1.0)) / contact_rate
+
+
+def expected_first_path_time(num_nodes: int, contact_rate: float) -> float:
+    """``H = ln(N) / λ`` — expected time for the first path to reach a node.
+
+    Derived in Section 5.2 from ``E[S_i(0)] e^{λH} = 1`` with
+    ``E[S_i(0)] = 1/N``.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    if contact_rate <= 0:
+        return math.inf
+    return math.log(num_nodes) / contact_rate
+
+
+def explosion_time_for_mean(
+    target_mean: float,
+    num_nodes: int,
+    contact_rate: float,
+) -> float:
+    """Time at which the expected per-node path count reaches *target_mean*.
+
+    Solving ``(1/N) e^{λt} = target`` gives ``t = ln(N · target) / λ``; with
+    ``target = 2000`` this is the homogeneous model's prediction for when the
+    paper's explosion threshold is crossed at a typical node.
+    """
+    if target_mean <= 0:
+        raise ValueError("target_mean must be positive")
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    if contact_rate <= 0:
+        return math.inf
+    return math.log(num_nodes * target_mean) / contact_rate

@@ -1,0 +1,182 @@
+"""Heterogeneous-rate reasoning from Section 5.2 of the paper.
+
+The homogeneous model explains *that* path explosion happens and that it is
+exponential, but not why optimal paths can be long or why the time to
+explosion varies.  Section 5.2 argues informally that both are governed by
+the contact rates of the source and the destination:
+
+* while the message is held only by nodes of rate ≈ λ_i, path counts grow at
+  least like ``e^{λ_i t}`` among the *subset* of nodes with rate ≥ λ_i
+  ("subset path explosion");
+* a low-rate source delays the start of the high-rate explosion by roughly
+  ``1/λ_σ`` (more precisely, on the order of the first-meeting time);
+* a low-rate destination keeps the explosion *as seen by the destination*
+  slow, inflating ``TE``.
+
+This module encodes those hypotheses as quantitative helpers — growth-rate
+predictions per rate subset, expected waiting times, and the qualitative
+T1/TE ordering table for the four pair types — and provides a two-class
+population builder for the stochastic process so the predictions can be
+checked in simulation and against trace measurements (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..contacts import NodeId
+from ..core.pair_types import NodeClass, PairType
+from .markov import PathCountProcess
+
+__all__ = [
+    "PairTypePrediction",
+    "pair_type_predictions",
+    "subset_growth_rate",
+    "expected_wait_until_high_rate",
+    "two_class_process",
+    "relative_magnitude_table",
+]
+
+
+@dataclass(frozen=True)
+class PairTypePrediction:
+    """Qualitative prediction of T1 and TE magnitudes for one pair type.
+
+    ``"small"`` / ``"large"`` / ``"variable"`` follow the wording of the
+    paper's four hypotheses and its empirical reading of Figure 8.
+    """
+
+    pair_type: PairType
+    t1: str
+    te: str
+    rationale: str
+
+
+def pair_type_predictions() -> Dict[PairType, PairTypePrediction]:
+    """The paper's four hypotheses about T1 and TE per pair type."""
+    return {
+        PairType.IN_IN: PairTypePrediction(
+            PairType.IN_IN, t1="small", te="small",
+            rationale="explosion begins immediately and proceeds at high rate",
+        ),
+        PairType.IN_OUT: PairTypePrediction(
+            PairType.IN_OUT, t1="small", te="large",
+            rationale="explosion begins immediately but the low-rate destination "
+                      "is reached only by a slow subset explosion",
+        ),
+        PairType.OUT_IN: PairTypePrediction(
+            PairType.OUT_IN, t1="large", te="small",
+            rationale="a delay of order 1/λ_σ before a high-rate node is reached, "
+                      "after which explosion proceeds at high rate",
+        ),
+        PairType.OUT_OUT: PairTypePrediction(
+            PairType.OUT_OUT, t1="large", te="large",
+            rationale="both the initial hand-off and the destination-visible "
+                      "explosion are slow",
+        ),
+    }
+
+
+def subset_growth_rate(rates: Mapping[NodeId, float], holder_rate: float) -> float:
+    """Growth rate of the subset path explosion started by a node of rate λ_i.
+
+    The paper's argument: once a node of rate ``λ_i`` holds the message, path
+    counts among nodes with rate ≥ λ_i grow at least like ``e^{λ_i t}``.  The
+    growth *rate* is therefore the holder's own rate; the function also
+    reports 0 when no other node has rate ≥ λ_i (no subset to explode into).
+    """
+    if holder_rate < 0:
+        raise ValueError("holder_rate must be non-negative")
+    eligible = [r for r in rates.values() if r >= holder_rate]
+    if len(eligible) <= 1:
+        return 0.0
+    return float(holder_rate)
+
+
+def expected_wait_until_high_rate(
+    source_rate: float,
+    fraction_high_rate: float,
+) -> float:
+    """Expected time for a low-rate source to first meet a high-rate node.
+
+    Contacts of the source occur at rate ``λ_σ`` and each contact lands on a
+    high-rate node with probability *fraction_high_rate* (uniform peer
+    choice), so the wait is exponential with mean
+    ``1 / (λ_σ · fraction_high_rate)`` — the "on the order of 1/λ_σ" delay of
+    Section 5.2.
+    """
+    if source_rate < 0:
+        raise ValueError("source_rate must be non-negative")
+    if not 0 <= fraction_high_rate <= 1:
+        raise ValueError("fraction_high_rate must lie in [0, 1]")
+    if source_rate == 0 or fraction_high_rate == 0:
+        return math.inf
+    return 1.0 / (source_rate * fraction_high_rate)
+
+
+def two_class_process(
+    num_high: int,
+    num_low: int,
+    high_rate: float,
+    low_rate: float,
+    source_class: NodeClass = NodeClass.OUT,
+    peer_selection: str = "rate_weighted",
+) -> Tuple[PathCountProcess, np.ndarray]:
+    """Build a two-class heterogeneous path-count process.
+
+    Nodes ``0 .. num_high-1`` have *high_rate*; the rest have *low_rate*.
+    The source is node 0 (an 'in' node) when *source_class* is
+    :attr:`NodeClass.IN`, otherwise the first 'out' node.
+
+    The default peer selection is ``"rate_weighted"``: the contacted peer is
+    chosen with probability proportional to its own rate, which corresponds
+    to the product-form pairwise intensities (λ_ij ∝ λ_i λ_j) of the
+    conference traces and is what makes the *subset* explosion among
+    high-rate nodes visible.  Pass ``"uniform"`` to keep the paper's
+    homogeneous-model peer choice, in which every node is contacted equally
+    often regardless of its own rate.
+
+    Returns the process and the per-node rate vector (for later subsetting of
+    the simulation output into high/low groups).
+    """
+    if num_high < 1 or num_low < 1:
+        raise ValueError("need at least one node in each class")
+    if high_rate < low_rate:
+        raise ValueError("high_rate must be >= low_rate")
+    if low_rate < 0:
+        raise ValueError("rates must be non-negative")
+    rates = np.array([high_rate] * num_high + [low_rate] * num_low, dtype=float)
+    source = 0 if source_class is NodeClass.IN else num_high
+    process = PathCountProcess(rates, source=source, peer_selection=peer_selection)
+    return process, rates
+
+
+def relative_magnitude_table(
+    measurements: Mapping[PairType, Tuple[float, float]],
+) -> Dict[PairType, Dict[str, str]]:
+    """Label measured (median T1, median TE) pairs as small/large per pair type.
+
+    For each of the two quantities, the four pair-type medians are split at
+    their midrange; values below the midrange are labelled ``"small"`` and
+    the rest ``"large"``.  Comparing the result with
+    :func:`pair_type_predictions` is how the benchmarks check that the
+    Figure 8 structure is reproduced.
+    """
+    present = {pt: measurements[pt] for pt in PairType.ordered() if pt in measurements}
+    if len(present) < 2:
+        raise ValueError("need measurements for at least two pair types")
+    t1_values = np.array([v[0] for v in present.values()], dtype=float)
+    te_values = np.array([v[1] for v in present.values()], dtype=float)
+    t1_cut = (t1_values.min() + t1_values.max()) / 2.0
+    te_cut = (te_values.min() + te_values.max()) / 2.0
+    table: Dict[PairType, Dict[str, str]] = {}
+    for pair_type, (t1, te) in present.items():
+        table[pair_type] = {
+            "t1": "small" if t1 <= t1_cut else "large",
+            "te": "small" if te <= te_cut else "large",
+        }
+    return table

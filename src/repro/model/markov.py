@@ -1,0 +1,247 @@
+"""Stochastic (Gillespie) simulation of the path-count population process.
+
+The analytic model of Section 5.1 describes a Markov jump process: node
+``x_n`` has state ``S_n(t)`` (paths received so far), contact opportunities
+for each node arrive as a Poisson process, the contacted peer is uniform, and
+a contact from ``x_n`` to ``x_m`` triggers ``S_m ← S_m + S_n``.  The fluid
+limit of the *density* process is the ODE of :mod:`repro.model.ode`; this
+module simulates the finite-N process exactly so that
+
+* the fluid limit can be verified empirically (Kurtz's theorem: the density
+  process converges to the ODE solution as N grows), and
+* the heterogeneous-rate variant of Section 5.2 (each node has its own λ_i)
+  can be explored, including the *subset path explosion* effect in which the
+  path count grows first among high-rate nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["PopulationState", "PathCountProcess", "simulate_homogeneous"]
+
+
+@dataclass
+class PopulationState:
+    """Snapshot of the population at one sampling time."""
+
+    time: float
+    counts: np.ndarray  # counts[n] = S_n(t)
+
+    def density(self, max_k: Optional[int] = None) -> np.ndarray:
+        """Empirical density ``U_k / N`` of nodes per path count."""
+        counts = self.counts.astype(int)
+        k_max = int(counts.max()) if max_k is None else max_k
+        density = np.zeros(k_max + 1, dtype=float)
+        clipped = np.minimum(counts, k_max)
+        for value in clipped:
+            density[value] += 1
+        return density / counts.size
+
+    def mean(self) -> float:
+        return float(self.counts.mean())
+
+    def variance(self) -> float:
+        return float(self.counts.var())
+
+    def fraction_with_at_least(self, k_min: int) -> float:
+        return float((self.counts >= k_min).mean())
+
+
+class PathCountProcess:
+    """Exact simulation of the path-count Markov jump process.
+
+    Parameters
+    ----------
+    rates:
+        Per-node contact-opportunity rates λ_n (contacts initiated per
+        second).  A scalar gives the homogeneous model; a sequence gives the
+        heterogeneous variant of Section 5.2.
+    num_nodes:
+        Population size; required when *rates* is a scalar.
+    source:
+        Index of the node that starts with one path (default 0).
+    peer_selection:
+        ``"uniform"`` — the contacted peer is uniform over the other nodes
+        (the paper's homogeneity assumption), or ``"rate_weighted"`` — the
+        peer is chosen with probability proportional to its own rate, which
+        models the product-form pairwise intensities of the conference
+        generator.
+    """
+
+    def __init__(
+        self,
+        rates: Union[float, Sequence[float]],
+        num_nodes: Optional[int] = None,
+        source: int = 0,
+        peer_selection: str = "uniform",
+    ) -> None:
+        if np.isscalar(rates):
+            if num_nodes is None or num_nodes < 2:
+                raise ValueError("scalar rate requires num_nodes >= 2")
+            if rates < 0:
+                raise ValueError("contact rate must be non-negative")
+            self._rates = np.full(num_nodes, float(rates))
+        else:
+            self._rates = np.asarray(rates, dtype=float)
+            if self._rates.ndim != 1 or self._rates.size < 2:
+                raise ValueError("need at least two per-node rates")
+            if np.any(self._rates < 0):
+                raise ValueError("contact rates must be non-negative")
+        if not 0 <= source < self._rates.size:
+            raise ValueError(f"source index {source} out of range")
+        if peer_selection not in ("uniform", "rate_weighted"):
+            raise ValueError("peer_selection must be 'uniform' or 'rate_weighted'")
+        self._source = source
+        self._peer_selection = peer_selection
+
+    @property
+    def num_nodes(self) -> int:
+        return self._rates.size
+
+    @property
+    def rates(self) -> np.ndarray:
+        return self._rates.copy()
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        horizon: float,
+        sample_times: Sequence[float],
+        seed: Union[int, np.random.Generator, None] = None,
+        count_cap: float = 1e12,
+    ) -> List[PopulationState]:
+        """Run one realisation and sample the population at *sample_times*.
+
+        Contact opportunities are generated with the standard Gillespie
+        recipe: the next event time is exponential with rate ``Σ_n λ_n`` and
+        the initiating node is chosen proportionally to its λ_n.  Path counts
+        are capped at *count_cap* to avoid unbounded integer growth during
+        very long horizons (the explosion is, after all, exponential).
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        sample_times = sorted(float(t) for t in sample_times)
+        if not sample_times:
+            raise ValueError("need at least one sample time")
+        if sample_times[0] < 0 or sample_times[-1] > horizon:
+            raise ValueError("sample times must lie within [0, horizon]")
+        rng = np.random.default_rng(seed)
+        counts = np.zeros(self.num_nodes, dtype=float)
+        counts[self._source] = 1.0
+
+        total_rate = float(self._rates.sum())
+        initiator_probabilities = (
+            self._rates / total_rate if total_rate > 0 else None
+        )
+        if self._peer_selection == "rate_weighted":
+            peer_weights = self._rates.copy()
+        else:
+            peer_weights = np.ones(self.num_nodes, dtype=float)
+
+        snapshots: List[PopulationState] = []
+        t = 0.0
+        next_sample = 0
+        while next_sample < len(sample_times):
+            if total_rate <= 0:
+                break
+            dt = rng.exponential(1.0 / total_rate)
+            t_next = t + dt
+            while (next_sample < len(sample_times)
+                   and sample_times[next_sample] <= t_next):
+                snapshots.append(PopulationState(time=sample_times[next_sample],
+                                                 counts=counts.copy()))
+                next_sample += 1
+            if t_next > horizon:
+                break
+            t = t_next
+            initiator = int(rng.choice(self.num_nodes, p=initiator_probabilities))
+            weights = peer_weights.copy()
+            weights[initiator] = 0.0
+            weight_sum = weights.sum()
+            if weight_sum <= 0:
+                continue
+            peer = int(rng.choice(self.num_nodes, p=weights / weight_sum))
+            counts[peer] = min(counts[peer] + counts[initiator], count_cap)
+        # Emit any remaining samples at the final state (process went quiet
+        # or the horizon was reached).
+        while next_sample < len(sample_times):
+            snapshots.append(PopulationState(time=sample_times[next_sample],
+                                             counts=counts.copy()))
+            next_sample += 1
+        return snapshots
+
+    # ------------------------------------------------------------------
+    def mean_path_counts(
+        self,
+        horizon: float,
+        sample_times: Sequence[float],
+        num_runs: int = 10,
+        seed: Union[int, np.random.Generator, None] = None,
+    ) -> np.ndarray:
+        """Average per-node mean path count over *num_runs* realisations.
+
+        Returns an array aligned with *sample_times*; the analytic prediction
+        is ``(1/N) e^{λ t}`` for the homogeneous model.
+        """
+        if num_runs < 1:
+            raise ValueError("num_runs must be positive")
+        rng = np.random.default_rng(seed)
+        accumulator = np.zeros(len(sample_times), dtype=float)
+        for _ in range(num_runs):
+            snapshots = self.simulate(horizon, sample_times, seed=rng)
+            accumulator += np.array([s.mean() for s in snapshots])
+        return accumulator / num_runs
+
+    def first_arrival_times(
+        self,
+        horizon: float,
+        seed: Union[int, np.random.Generator, None] = None,
+    ) -> Dict[int, float]:
+        """Time at which each node first acquires a path, in one realisation.
+
+        Useful for checking the ``H = ln N / λ`` prediction for the expected
+        time of the first path (Section 5.2).
+        """
+        rng = np.random.default_rng(seed)
+        counts = np.zeros(self.num_nodes, dtype=float)
+        counts[self._source] = 1.0
+        arrival: Dict[int, float] = {self._source: 0.0}
+        total_rate = float(self._rates.sum())
+        if total_rate <= 0:
+            return arrival
+        probabilities = self._rates / total_rate
+        peer_weights = (self._rates if self._peer_selection == "rate_weighted"
+                        else np.ones(self.num_nodes))
+        t = 0.0
+        while t < horizon and len(arrival) < self.num_nodes:
+            t += rng.exponential(1.0 / total_rate)
+            if t > horizon:
+                break
+            initiator = int(rng.choice(self.num_nodes, p=probabilities))
+            weights = peer_weights.copy().astype(float)
+            weights[initiator] = 0.0
+            weights_sum = weights.sum()
+            if weights_sum <= 0:
+                continue
+            peer = int(rng.choice(self.num_nodes, p=weights / weights_sum))
+            if counts[initiator] > 0 and peer not in arrival:
+                arrival[peer] = t
+            counts[peer] = counts[peer] + counts[initiator]
+        return arrival
+
+
+def simulate_homogeneous(
+    num_nodes: int,
+    contact_rate: float,
+    horizon: float,
+    sample_times: Sequence[float],
+    num_runs: int = 5,
+    seed: Union[int, np.random.Generator, None] = None,
+) -> np.ndarray:
+    """Convenience wrapper: mean path counts of the homogeneous model."""
+    process = PathCountProcess(contact_rate, num_nodes=num_nodes)
+    return process.mean_path_counts(horizon, sample_times, num_runs=num_runs, seed=seed)

@@ -1,0 +1,29 @@
+"""Synthetic contact-trace generators.
+
+The paper's datasets are CRAWDAD iMote traces that cannot be redistributed;
+these generators produce traces with the same statistical structure (see
+DESIGN.md §2 for the substitution argument).
+"""
+
+from .heterogeneous import ConferenceTraceGenerator
+from .homogeneous import HomogeneousPoissonGenerator
+from .mobility import RandomWaypointModel, contacts_from_positions
+from .profiles import (
+    ActivityProfile,
+    ConstantProfile,
+    PiecewiseConstantProfile,
+    SessionBreakProfile,
+    TaperedProfile,
+)
+
+__all__ = [
+    "ConferenceTraceGenerator",
+    "HomogeneousPoissonGenerator",
+    "RandomWaypointModel",
+    "contacts_from_positions",
+    "ActivityProfile",
+    "ConstantProfile",
+    "PiecewiseConstantProfile",
+    "SessionBreakProfile",
+    "TaperedProfile",
+]

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tens of nodes, minutes of simulated time)
+so the full suite runs quickly; the scaling behaviour of the library is
+exercised by the benchmarks instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contacts import Contact, ContactTrace
+from repro.synth import ConferenceTraceGenerator, HomogeneousPoissonGenerator
+
+
+@pytest.fixture
+def tiny_trace() -> ContactTrace:
+    """A hand-built 5-node trace with known structure.
+
+    Timeline (seconds):
+      0-20    : 0-1 in contact
+      30-50   : 1-2 in contact
+      60-80   : 2-3 in contact
+      90-110  : 3-4 in contact
+      120-140 : 0-4 in contact
+    The only multi-hop route from 0 to 3 at t=0 goes 0→1→2→3 and completes
+    in the 60-80 contact window.
+    """
+    contacts = [
+        Contact(0.0, 20.0, 0, 1),
+        Contact(30.0, 50.0, 1, 2),
+        Contact(60.0, 80.0, 2, 3),
+        Contact(90.0, 110.0, 3, 4),
+        Contact(120.0, 140.0, 0, 4),
+    ]
+    return ContactTrace(contacts, nodes=range(5), duration=200.0, name="tiny")
+
+
+@pytest.fixture
+def star_trace() -> ContactTrace:
+    """A hub-and-spoke trace: node 0 meets every other node frequently,
+    spokes never meet each other.  Node 0 is the archetypal 'in' node."""
+    contacts = []
+    for spoke in range(1, 6):
+        for start in range(0, 600, 100):
+            offset = 10 * spoke
+            contacts.append(Contact(start + offset, start + offset + 20, 0, spoke))
+    return ContactTrace(contacts, nodes=range(6), duration=700.0, name="star")
+
+
+@pytest.fixture
+def dense_burst_trace() -> ContactTrace:
+    """All pairs of 4 nodes in contact simultaneously during one burst."""
+    contacts = []
+    for a in range(4):
+        for b in range(a + 1, 4):
+            contacts.append(Contact(100.0, 120.0, a, b))
+    return ContactTrace(contacts, nodes=range(4), duration=200.0, name="burst")
+
+
+@pytest.fixture(scope="session")
+def small_conference_trace() -> ContactTrace:
+    """A seeded heterogeneous conference trace small enough for enumeration."""
+    generator = ConferenceTraceGenerator(
+        num_nodes=20, num_stationary=4, duration=3600.0,
+        mean_contacts_per_node=40.0, mean_contact_duration=60.0,
+    )
+    return generator.generate(seed=42, name="small-conference")
+
+
+@pytest.fixture(scope="session")
+def small_homogeneous_trace() -> ContactTrace:
+    """A seeded homogeneous Poisson trace."""
+    generator = HomogeneousPoissonGenerator(
+        num_nodes=15, contact_rate=1.0 / 120.0, duration=3600.0,
+        contact_duration=30.0,
+    )
+    return generator.generate(seed=7, name="small-homogeneous")

@@ -1,0 +1,84 @@
+"""Unit tests for the statistical helpers (repro.analysis.cdf)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import cdf_at, empirical_cdf, exponential_growth_rate, quantile
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_normalised(self):
+        x, cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(cdf) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        x, cdf = empirical_cdf(rng.normal(size=100))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(cdf) > 0)
+
+    def test_empty(self):
+        x, cdf = empirical_cdf([])
+        assert x.size == 0 and cdf.size == 0
+
+    def test_duplicates_allowed(self):
+        x, cdf = empirical_cdf([5.0, 5.0])
+        assert list(x) == [5.0, 5.0]
+        assert cdf[-1] == 1.0
+
+
+class TestCdfAt:
+    def test_fraction_below_threshold(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+        assert cdf_at([1, 2, 3, 4], 4.0) == pytest.approx(1.0)
+        assert cdf_at([1, 2, 3, 4], 0.0) == 0.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(cdf_at([], 1.0))
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == pytest.approx(2.0)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(quantile([], 0.5))
+
+
+class TestExponentialGrowthRate:
+    def test_recovers_known_rate(self):
+        times = np.linspace(0, 100, 20)
+        counts = 3.0 * np.exp(0.05 * times)
+        rate = exponential_growth_rate(times, counts)
+        assert rate == pytest.approx(0.05, rel=1e-6)
+
+    def test_ignores_zero_counts(self):
+        times = [0.0, 10.0, 20.0, 30.0]
+        counts = [0.0, 1.0, math.e ** 1, math.e ** 2]
+        rate = exponential_growth_rate(times, counts)
+        assert rate == pytest.approx(0.1, rel=1e-6)
+
+    def test_none_for_insufficient_points(self):
+        assert exponential_growth_rate([1.0], [2.0]) is None
+        assert exponential_growth_rate([1.0, 2.0], [0.0, 0.0]) is None
+
+    def test_none_for_constant_times(self):
+        assert exponential_growth_rate([5.0, 5.0], [1.0, 2.0]) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            exponential_growth_rate([1.0, 2.0], [1.0])
+
+    def test_negative_rate_for_decay(self):
+        times = np.linspace(0, 10, 10)
+        counts = np.exp(-0.3 * times)
+        assert exponential_growth_rate(times, counts) == pytest.approx(-0.3, rel=1e-6)

@@ -1,0 +1,180 @@
+"""Unit tests for the per-figure data builders (repro.analysis.figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure1_contact_timeseries,
+    figure2_space_time_graph_example,
+    figure4_duration_and_explosion_cdfs,
+    figure5_duration_vs_explosion,
+    figure6_path_growth,
+    figure7_contact_count_cdfs,
+    figure8_pair_type_scatter,
+    figure9_delay_vs_success,
+    figure10_delay_distributions,
+    figure11_reception_times,
+    figure12_paths_taken,
+    figure13_pair_type_performance,
+    figure14_hop_rates,
+    figure15_rate_ratios,
+    message_delays_by_algorithm,
+    run_forwarding_study,
+    run_path_explosion_study,
+)
+from repro.core import PairType
+from repro.forwarding import EpidemicForwarding, FreshForwarding, Message
+
+
+@pytest.fixture(scope="module")
+def records(small_conference_trace_module):
+    return run_path_explosion_study(small_conference_trace_module, num_messages=25,
+                                    n_explosion=30, seed=5, keep_paths=True)
+
+
+@pytest.fixture(scope="module")
+def comparison(small_conference_trace_module):
+    return run_forwarding_study(
+        small_conference_trace_module,
+        algorithms=[EpidemicForwarding(), FreshForwarding()],
+        message_rate=0.02, seed=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_conference_trace_module():
+    from repro.synth import ConferenceTraceGenerator
+
+    generator = ConferenceTraceGenerator(
+        num_nodes=20, num_stationary=4, duration=3600.0,
+        mean_contacts_per_node=40.0, mean_contact_duration=60.0,
+    )
+    return generator.generate(seed=42, name="small-conference")
+
+
+class TestDatasetFigures:
+    def test_figure1_series_per_dataset(self, small_conference_trace_module):
+        data = figure1_contact_timeseries({"a": small_conference_trace_module})
+        bins, counts = data["a"]
+        assert counts.sum() == len(small_conference_trace_module)
+        assert len(bins) == len(counts)
+
+    def test_figure2_example_structure(self):
+        example = figure2_space_time_graph_example()
+        assert len(example["vertices"]) == 6  # 3 nodes x 2 steps
+        assert len(example["contact_edges"]) == 8
+        assert len(example["waiting_edges"]) == 3
+
+    def test_figure7_cdfs(self, small_conference_trace_module):
+        data = figure7_contact_count_cdfs({"a": small_conference_trace_module})
+        counts, cdf = data["a"]
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(counts) >= 0)
+
+
+class TestExplosionFigures:
+    def test_figure4_cdfs(self, records):
+        data = figure4_duration_and_explosion_cdfs({"d": records})
+        durations, duration_cdf = data["optimal_path_duration"]["d"]
+        te, te_cdf = data["time_to_explosion"]["d"]
+        assert durations.size > 0
+        assert te.size > 0
+        assert duration_cdf[-1] == pytest.approx(1.0)
+        assert te_cdf[-1] == pytest.approx(1.0)
+
+    def test_figure5_points(self, records):
+        points = figure5_duration_vs_explosion(records)
+        exploded = [r for r in records if r.exploded]
+        assert len(points) == len(exploded)
+        assert all(t1 >= 0 and te >= 0 for t1, te in points)
+
+    def test_figure6_growth(self, records):
+        growth = figure6_path_growth(records, te_threshold=0.0, bin_seconds=10.0,
+                                     horizon=200.0)
+        assert growth.num_messages > 0
+        assert np.all(np.diff(growth.mean_cumulative_paths) >= 0)
+
+    def test_figure6_empty_when_threshold_too_high(self, records):
+        growth = figure6_path_growth(records, te_threshold=1e9)
+        assert growth.num_messages == 0
+        assert growth.growth_rate is None
+
+    def test_figure8_grouping(self, small_conference_trace_module, records):
+        groups = figure8_pair_type_scatter(small_conference_trace_module, records)
+        assert set(groups) == set(PairType.ordered())
+        total_points = sum(len(v) for v in groups.values())
+        assert total_points == len(figure5_duration_vs_explosion(records))
+
+    def test_figure11_cumulative_reception(self, records):
+        times, cumulative = figure11_reception_times(records, bin_seconds=60.0)
+        assert cumulative[-1] == sum(r.num_paths for r in records if r.delivered)
+        assert np.all(np.diff(cumulative) >= 0)
+
+    def test_figure12_overlay(self, small_conference_trace_module, records):
+        delivered = next(r for r in records if r.delivered)
+        message = Message(id=0, source=delivered.source,
+                          destination=delivered.destination,
+                          creation_time=delivered.creation_time)
+        delays = message_delays_by_algorithm(
+            small_conference_trace_module, message,
+            algorithms=[EpidemicForwarding(), FreshForwarding()])
+        summary = figure12_paths_taken(delivered, delays)
+        assert summary.burst_counts.sum() == delivered.num_paths
+        assert set(summary.algorithm_offsets) == {"Epidemic", "FRESH"}
+        epidemic_offset = summary.algorithm_offsets["Epidemic"]
+        assert epidemic_offset is not None
+        # Epidemic finds the optimal path; the event-driven simulator can be
+        # at most one Δ faster than the pooled space-time optimum (and may be
+        # somewhat slower when within-step contact ordering matters).
+        assert epidemic_offset >= -10.0 - 1e-9
+
+    def test_figure12_requires_delivery(self, records):
+        undelivered = [r for r in records if not r.delivered]
+        if not undelivered:
+            pytest.skip("every sampled message was delivered")
+        with pytest.raises(ValueError):
+            figure12_paths_taken(undelivered[0], {})
+
+
+class TestForwardingFigures:
+    def test_figure9_points(self, comparison):
+        data = figure9_delay_vs_success({"d": comparison})
+        assert set(data["d"]) == {"Epidemic", "FRESH"}
+        success, delay = data["d"]["Epidemic"]
+        assert 0.0 <= success <= 1.0
+
+    def test_figure10_distributions(self, comparison):
+        curves = figure10_delay_distributions(comparison)
+        delays, scaled_cdf = curves["Epidemic"]
+        assert np.all(np.diff(scaled_cdf) >= 0)
+        # The curve is scaled by success rate, so it tops out at S_A <= 1.
+        assert scaled_cdf[-1] <= 1.0 + 1e-9
+
+    def test_figure13_breakdown(self, comparison):
+        data = figure13_pair_type_performance(comparison)
+        assert set(data) == {"Epidemic", "FRESH"}
+        assert set(data["Epidemic"]) == set(PairType.ordered())
+
+
+class TestHopFigures:
+    def test_figure14_series(self, small_conference_trace_module, records):
+        summaries = figure14_hop_rates(small_conference_trace_module, records)
+        assert summaries
+        assert summaries[0].hop == 0
+        assert all(s.count > 0 for s in summaries)
+
+    def test_figure15_boxes(self, small_conference_trace_module, records):
+        boxes = figure15_rate_ratios(small_conference_trace_module, records)
+        assert boxes
+        assert boxes[0].transition == "1/0"
+        for box in boxes:
+            assert box.q1 <= box.median <= box.q3
+
+    def test_hop_figures_require_paths(self, small_conference_trace_module):
+        bare = run_path_explosion_study(small_conference_trace_module,
+                                        num_messages=3, n_explosion=5, seed=9,
+                                        keep_paths=False)
+        with pytest.raises(ValueError):
+            figure14_hop_rates(small_conference_trace_module, bare)

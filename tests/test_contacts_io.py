@@ -1,0 +1,119 @@
+"""Unit tests for trace I/O (repro.contacts.io)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.contacts import (
+    Contact,
+    ContactTrace,
+    read_csv,
+    read_imote,
+    trace_from_records,
+    write_csv,
+    write_imote,
+)
+
+
+class TestTraceFromRecords:
+    def test_builds_contacts(self):
+        trace = trace_from_records([(0, 10, 1, 2), (5, 15, 2, 3)])
+        assert len(trace) == 2
+        assert trace[0].pair == (1, 2)
+
+    def test_respects_nodes_and_duration(self):
+        trace = trace_from_records([(0, 10, 1, 2)], nodes=range(5), duration=100.0)
+        assert trace.num_nodes == 5
+        assert trace.duration == 100.0
+
+    def test_coerces_types(self):
+        trace = trace_from_records([("0", "10", "1", "2")])
+        assert trace[0].start == 0.0
+        assert trace[0].a == 1
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_contacts(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_trace, path)
+        loaded = read_csv(path)
+        assert loaded == tiny_trace
+
+    def test_round_trip_preserves_metadata(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(tiny_trace, path)
+        loaded = read_csv(path)
+        assert loaded.name == "tiny"
+        assert loaded.duration == tiny_trace.duration
+        assert loaded.nodes == tiny_trace.nodes
+
+    def test_round_trip_with_silent_nodes(self, tmp_path):
+        trace = ContactTrace([Contact(0.0, 1.0, 0, 1)], nodes=range(4), duration=50.0)
+        path = tmp_path / "trace.csv"
+        write_csv(trace, path)
+        loaded = read_csv(path)
+        assert loaded.nodes == frozenset(range(4))
+
+    def test_round_trip_via_file_objects(self, tiny_trace):
+        buffer = io.StringIO()
+        write_csv(tiny_trace, buffer)
+        buffer.seek(0)
+        loaded = read_csv(buffer)
+        assert loaded == tiny_trace
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        trace = ContactTrace([], nodes=range(3), duration=10.0, name="empty")
+        path = tmp_path / "empty.csv"
+        write_csv(trace, path)
+        loaded = read_csv(path)
+        assert len(loaded) == 0
+        assert loaded.nodes == frozenset(range(3))
+
+    def test_rejects_wrong_header(self):
+        buffer = io.StringIO("x,y,z,w\n1,2,3,4\n")
+        with pytest.raises(ValueError):
+            read_csv(buffer)
+
+
+class TestImoteFormat:
+    def test_read_basic(self):
+        text = "1 2 100.0 160.0\n2 3 200.0 260.0 5 1\n"
+        trace = read_imote(io.StringIO(text))
+        assert len(trace) == 2
+        assert trace[0].pair == (1, 2)
+        assert trace[1].duration == pytest.approx(60.0)
+
+    def test_read_skips_comments_and_blank_lines(self):
+        text = "# header comment\n\n1 2 0 10\n"
+        trace = read_imote(io.StringIO(text))
+        assert len(trace) == 1
+
+    def test_read_skips_self_sightings(self):
+        text = "1 1 0 10\n1 2 0 10\n"
+        trace = read_imote(io.StringIO(text))
+        assert len(trace) == 1
+
+    def test_read_applies_time_origin(self):
+        text = "1 2 1000.0 1060.0\n"
+        trace = read_imote(io.StringIO(text), time_origin=1000.0)
+        assert trace[0].start == 0.0
+
+    def test_read_rejects_short_lines(self):
+        with pytest.raises(ValueError):
+            read_imote(io.StringIO("1 2 3\n"))
+
+    def test_write_then_read_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.imote"
+        write_imote(tiny_trace, path)
+        loaded = read_imote(path, duration=tiny_trace.duration)
+        assert len(loaded) == len(tiny_trace)
+        assert {c.pair for c in loaded} == {c.pair for c in tiny_trace}
+
+    def test_file_path_round_trip(self, tmp_path):
+        path = tmp_path / "x.txt"
+        with open(path, "w") as handle:
+            handle.write("4 7 10 20\n")
+        trace = read_imote(str(path))
+        assert trace[0].pair == (4, 7)

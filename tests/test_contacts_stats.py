@@ -1,0 +1,153 @@
+"""Unit tests for trace statistics (repro.contacts.stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import (
+    Contact,
+    ContactTrace,
+    contact_count_distribution,
+    contact_time_series,
+    describe,
+    inter_contact_ccdf,
+    inter_contact_time_samples,
+    node_contact_rates,
+    rate_uniformity_statistic,
+    stationarity_score,
+)
+
+
+class TestContactTimeSeries:
+    def test_counts_sum_to_total_contacts(self, star_trace):
+        _, counts = contact_time_series(star_trace, bin_seconds=60.0)
+        assert counts.sum() == len(star_trace)
+
+    def test_bin_edges_cover_duration(self, star_trace):
+        bins, counts = contact_time_series(star_trace, bin_seconds=60.0)
+        assert bins[0] == 0.0
+        assert len(bins) == len(counts)
+        assert bins[-1] < star_trace.duration
+
+    def test_single_bin_for_coarse_binning(self, tiny_trace):
+        bins, counts = contact_time_series(tiny_trace, bin_seconds=1000.0)
+        assert len(bins) == 1
+        assert counts[0] == len(tiny_trace)
+
+    def test_rejects_non_positive_bin(self, tiny_trace):
+        with pytest.raises(ValueError):
+            contact_time_series(tiny_trace, bin_seconds=0.0)
+
+    def test_empty_trace(self):
+        trace = ContactTrace([], nodes=range(2), duration=120.0)
+        bins, counts = contact_time_series(trace, bin_seconds=60.0)
+        assert counts.sum() == 0
+        assert len(bins) == 2
+
+
+class TestContactCountDistribution:
+    def test_cdf_is_monotone_and_ends_at_one(self, star_trace):
+        counts, cdf = contact_count_distribution(star_trace)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_counts_sorted(self, star_trace):
+        counts, _ = contact_count_distribution(star_trace)
+        assert np.all(np.diff(counts) >= 0)
+
+    def test_hub_has_maximum_count(self, star_trace):
+        counts, _ = contact_count_distribution(star_trace)
+        assert counts[-1] == star_trace.contact_counts()[0]
+
+    def test_empty_trace(self):
+        trace = ContactTrace([], duration=10.0)
+        counts, cdf = contact_count_distribution(trace)
+        assert counts.size == 0 and cdf.size == 0
+
+
+class TestRates:
+    def test_node_contact_rates_matches_trace_method(self, tiny_trace):
+        assert node_contact_rates(tiny_trace) == tiny_trace.contact_rates()
+
+    def test_rate_uniformity_statistic_bounded(self, star_trace, tiny_trace):
+        for trace in (star_trace, tiny_trace):
+            ks = rate_uniformity_statistic(trace)
+            assert 0.0 <= ks <= 1.0
+
+    def test_star_trace_is_far_from_uniform(self, star_trace):
+        # A hub-and-spoke topology is as far from the paper's uniform
+        # contact-count distribution as it gets: one node with 30 contacts,
+        # five with 6.
+        assert rate_uniformity_statistic(star_trace) > 0.5
+
+    def test_ladder_counts_are_close_to_uniform(self):
+        # A threshold graph (i meets j iff i + j >= 10) gives contact counts
+        # that form a near-perfect ladder 1..8, i.e. approximately uniform on
+        # (0, max) — the Figure 7 shape.
+        contacts = []
+        t = 0.0
+        for i in range(1, 10):
+            for j in range(i + 1, 10):
+                if i + j >= 10:
+                    contacts.append(Contact(t, t + 1.0, i, j))
+                    t += 2.0
+        trace = ContactTrace(contacts, duration=t + 10.0)
+        assert rate_uniformity_statistic(trace) < 0.2
+
+    def test_empty_trace_statistic_is_zero(self):
+        assert rate_uniformity_statistic(ContactTrace([], duration=5.0)) == 0.0
+
+
+class TestInterContactTimes:
+    def test_samples_pooled_across_pairs(self, star_trace):
+        samples = inter_contact_time_samples(star_trace)
+        # 5 spokes x 5 gaps each
+        assert len(samples) == 25
+        assert all(s == pytest.approx(80.0) for s in samples)
+
+    def test_ccdf_monotone_decreasing(self, star_trace):
+        grid, ccdf = inter_contact_ccdf(star_trace, num_points=50)
+        assert np.all(np.diff(ccdf) <= 1e-12)
+
+    def test_ccdf_empty_for_no_repeat_pairs(self, tiny_trace):
+        grid, ccdf = inter_contact_ccdf(tiny_trace)
+        assert grid.size == 0
+
+
+class TestStationarity:
+    def test_constant_activity_has_low_score(self):
+        contacts = [Contact(float(t), float(t) + 1.0, 0, 1) for t in range(0, 600, 10)]
+        trace = ContactTrace(contacts, duration=600.0)
+        assert stationarity_score(trace, bin_seconds=60.0) < 0.2
+
+    def test_bursty_activity_has_high_score(self):
+        contacts = [Contact(float(t), float(t) + 1.0, 0, 1) for t in range(0, 60, 2)]
+        trace = ContactTrace(contacts, duration=600.0)
+        assert stationarity_score(trace, bin_seconds=60.0) > 1.0
+
+    def test_empty_trace_scores_zero(self):
+        assert stationarity_score(ContactTrace([], duration=100.0)) == 0.0
+
+
+class TestDescribe:
+    def test_headline_fields(self, star_trace):
+        stats = describe(star_trace)
+        assert stats.num_nodes == 6
+        assert stats.num_contacts == 30
+        assert stats.duration == 700.0
+        assert stats.max_contacts_per_node == 30
+        assert stats.min_contacts_per_node == 6
+        assert stats.mean_contact_duration == pytest.approx(20.0)
+
+    def test_as_dict_round_trips_fields(self, star_trace):
+        stats = describe(star_trace)
+        data = stats.as_dict()
+        assert data["num_nodes"] == stats.num_nodes
+        assert data["stationarity"] == stats.stationarity
+
+    def test_empty_trace_describe(self):
+        stats = describe(ContactTrace([], nodes=range(2), duration=60.0))
+        assert stats.num_contacts == 0
+        assert stats.mean_contacts_per_node == 0.0
+        assert stats.mean_inter_contact_time == 0.0

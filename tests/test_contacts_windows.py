@@ -1,0 +1,112 @@
+"""Unit tests for window selection (repro.contacts.windows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contacts import (
+    Contact,
+    ContactTrace,
+    message_generation_window,
+    select_stable_windows,
+    split_into_windows,
+)
+
+
+def _steady_trace(duration: float = 7200.0, period: float = 20.0) -> ContactTrace:
+    contacts = []
+    t = 0.0
+    node = 0
+    while t < duration - 1:
+        contacts.append(Contact(t, t + 5.0, node % 5, (node + 1) % 5))
+        t += period
+        node += 1
+    return ContactTrace(contacts, nodes=range(5), duration=duration, name="steady")
+
+
+class TestSplitIntoWindows:
+    def test_covers_whole_trace(self):
+        trace = _steady_trace(3600.0)
+        windows = split_into_windows(trace, 600.0)
+        assert len(windows) == 6
+        assert sum(len(w) for w in windows) == len(trace)
+
+    def test_windows_are_rebased(self):
+        trace = _steady_trace(1200.0)
+        windows = split_into_windows(trace, 600.0)
+        assert all(w.duration == pytest.approx(600.0) for w in windows)
+        assert windows[1][0].start < 600.0
+
+    def test_last_window_may_be_short(self):
+        trace = _steady_trace(1000.0)
+        windows = split_into_windows(trace, 600.0)
+        assert windows[-1].duration == pytest.approx(400.0)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            split_into_windows(_steady_trace(600.0), 0.0)
+
+    def test_window_names_are_indexed(self):
+        windows = split_into_windows(_steady_trace(1200.0), 600.0)
+        assert windows[0].name.endswith("w0")
+        assert windows[1].name.endswith("w1")
+
+
+class TestSelectStableWindows:
+    def test_steady_trace_yields_windows(self):
+        trace = _steady_trace(7200.0)
+        windows = select_stable_windows(trace, window_seconds=3600.0,
+                                        step_seconds=1800.0)
+        assert windows
+        assert all(w.stationarity <= 0.75 for w in windows)
+
+    def test_windows_sorted_by_stability(self):
+        trace = _steady_trace(7200.0)
+        windows = select_stable_windows(trace, window_seconds=1800.0,
+                                        step_seconds=900.0)
+        scores = [w.stationarity for w in windows]
+        assert scores == sorted(scores)
+
+    def test_bursty_trace_yields_no_windows(self):
+        # All contacts in the first minute of a two-hour trace.
+        contacts = [Contact(float(t), float(t) + 1.0, 0, 1) for t in range(0, 60, 2)]
+        trace = ContactTrace(contacts, duration=7200.0)
+        windows = select_stable_windows(trace, window_seconds=3600.0,
+                                        step_seconds=1800.0, max_cov=0.5)
+        assert windows == []
+
+    def test_window_duration_property(self):
+        trace = _steady_trace(7200.0)
+        windows = select_stable_windows(trace, window_seconds=3600.0,
+                                        step_seconds=3600.0)
+        assert all(w.duration == pytest.approx(3600.0) for w in windows)
+
+    def test_rejects_bad_parameters(self):
+        trace = _steady_trace(3600.0)
+        with pytest.raises(ValueError):
+            select_stable_windows(trace, window_seconds=0.0)
+        with pytest.raises(ValueError):
+            select_stable_windows(trace, step_seconds=0.0)
+
+
+class TestMessageGenerationWindow:
+    def test_guard_hour_is_reserved(self):
+        trace = _steady_trace(3 * 3600.0)
+        lo, hi = message_generation_window(trace, guard_seconds=3600.0)
+        assert lo == 0.0
+        assert hi == pytest.approx(2 * 3600.0)
+
+    def test_short_trace_falls_back_to_half(self):
+        trace = _steady_trace(1800.0)
+        lo, hi = message_generation_window(trace, guard_seconds=3600.0)
+        assert lo == 0.0
+        assert hi == pytest.approx(900.0)
+
+    def test_zero_guard_uses_whole_window(self):
+        trace = _steady_trace(1000.0)
+        _, hi = message_generation_window(trace, guard_seconds=0.0)
+        assert hi == pytest.approx(1000.0)
+
+    def test_rejects_negative_guard(self):
+        with pytest.raises(ValueError):
+            message_generation_window(_steady_trace(600.0), guard_seconds=-1.0)

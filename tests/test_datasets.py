@@ -1,0 +1,121 @@
+"""Unit tests for the dataset registry (repro.datasets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contacts import describe
+from repro.datasets import (
+    PAPER_DATASET_KEYS,
+    conext06_9_12,
+    dataset_spec,
+    infocom05,
+    infocom06_9_12,
+    load_dataset,
+    paper_datasets,
+)
+
+
+class TestRegistry:
+    def test_paper_keys_present(self):
+        assert len(PAPER_DATASET_KEYS) == 4
+        for key in PAPER_DATASET_KEYS:
+            assert dataset_spec(key).key == key
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            dataset_spec("sigcomm-2042")
+
+    def test_specs_match_paper_population(self):
+        spec = dataset_spec("infocom06-9-12")
+        assert spec.num_nodes == 98
+        assert spec.num_stationary == 20
+        assert spec.duration == pytest.approx(3 * 3600.0)
+
+    def test_infocom05_replication_spec(self):
+        spec = dataset_spec("infocom05")
+        assert spec.num_nodes == 41
+
+    def test_afternoon_datasets_have_dropoff(self):
+        assert dataset_spec("infocom06-3-6").afternoon_dropoff
+        assert not dataset_spec("infocom06-9-12").afternoon_dropoff
+
+
+class TestGeneration:
+    def test_scaled_generation_is_deterministic(self):
+        a = load_dataset("conext06-9-12", scale=0.2)
+        b = load_dataset("conext06-9-12", scale=0.2)
+        assert a == b
+
+    def test_different_datasets_differ(self):
+        a = infocom06_9_12(scale=0.2)
+        b = conext06_9_12(scale=0.2)
+        assert a != b
+
+    def test_scale_reduces_population(self):
+        small = infocom06_9_12(scale=0.2)
+        assert small.num_nodes < 98
+        assert small.num_nodes >= 10
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            load_dataset("infocom06-9-12", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("infocom06-9-12", scale=1.5)
+
+    def test_mean_contacts_roughly_match_spec(self):
+        spec = dataset_spec("conext06-9-12")
+        trace = load_dataset("conext06-9-12", scale=0.25)
+        stats = describe(trace)
+        assert spec.mean_contacts_per_node * 0.6 < stats.mean_contacts_per_node \
+            < spec.mean_contacts_per_node * 1.4
+
+    def test_infocom_denser_than_conext(self):
+        infocom = infocom06_9_12(scale=0.25)
+        conext = conext06_9_12(scale=0.25)
+        assert (describe(infocom).mean_contacts_per_node
+                > describe(conext).mean_contacts_per_node)
+
+    def test_paper_datasets_returns_all_four(self):
+        traces = paper_datasets(scale=0.15)
+        assert set(traces) == set(PAPER_DATASET_KEYS)
+        assert all(t.num_nodes >= 10 for t in traces.values())
+
+    def test_infocom05_smaller_population(self):
+        trace = infocom05(scale=0.5)
+        assert trace.num_nodes < infocom06_9_12(scale=0.5).num_nodes
+
+    def test_custom_seed_changes_trace(self):
+        default = load_dataset("infocom06-9-12", scale=0.2)
+        reseeded = load_dataset("infocom06-9-12", scale=0.2, seed=999)
+        assert default != reseeded
+
+    def test_trace_names_carry_scale(self):
+        assert "x0.2" in infocom06_9_12(scale=0.2).name
+
+    def test_full_scale_trace_keeps_plain_name(self):
+        trace = dataset_spec("infocom05").generate(scale=1.0)
+        assert trace.name == "infocom05"
+        assert trace.num_nodes == 41
+
+
+class TestContactScale:
+    def test_contact_scale_reduces_volume(self):
+        dense = load_dataset("infocom06-9-12", scale=0.2)
+        sparse = load_dataset("infocom06-9-12", scale=0.2, contact_scale=0.2)
+        assert len(sparse) < len(dense)
+
+    def test_contact_scale_preserves_population(self):
+        sparse = load_dataset("conext06-9-12", scale=0.2, contact_scale=0.2)
+        assert sparse.num_nodes == load_dataset("conext06-9-12", scale=0.2).num_nodes
+
+    def test_contact_scale_deterministic(self):
+        a = load_dataset("infocom06-3-6", scale=0.2, contact_scale=0.5)
+        b = load_dataset("infocom06-3-6", scale=0.2, contact_scale=0.5)
+        assert a == b
+
+    def test_contact_scale_validation(self):
+        with pytest.raises(ValueError):
+            load_dataset("infocom06-9-12", scale=0.2, contact_scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("infocom06-9-12", scale=0.2, contact_scale=2.0)

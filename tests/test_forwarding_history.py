@@ -1,0 +1,62 @@
+"""Unit tests for the online contact history (repro.forwarding.history)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forwarding import OnlineContactHistory
+
+
+class TestOnlineContactHistory:
+    def test_empty_history(self):
+        history = OnlineContactHistory()
+        assert history.num_recorded == 0
+        assert history.total_contacts(3) == 0
+        assert history.contacts_between(1, 2) == 0
+        assert history.last_contact_time(1, 2) is None
+        assert not history.has_met(1, 2)
+
+    def test_record_updates_totals(self):
+        history = OnlineContactHistory()
+        history.record(1, 2, 10.0)
+        history.record(1, 3, 20.0)
+        assert history.num_recorded == 2
+        assert history.total_contacts(1) == 2
+        assert history.total_contacts(2) == 1
+        assert history.total_contacts(3) == 1
+
+    def test_pair_counts_symmetric(self):
+        history = OnlineContactHistory()
+        history.record(5, 2, 10.0)
+        history.record(2, 5, 30.0)
+        assert history.contacts_between(2, 5) == 2
+        assert history.contacts_between(5, 2) == 2
+
+    def test_last_contact_time_tracks_latest(self):
+        history = OnlineContactHistory()
+        history.record(1, 2, 10.0)
+        history.record(1, 2, 50.0)
+        assert history.last_contact_time(2, 1) == 50.0
+
+    def test_last_contact_time_ignores_out_of_order_older_record(self):
+        history = OnlineContactHistory()
+        history.record(1, 2, 50.0)
+        history.record(1, 2, 10.0)
+        assert history.last_contact_time(1, 2) == 50.0
+
+    def test_has_met(self):
+        history = OnlineContactHistory()
+        history.record(4, 9, 1.0)
+        assert history.has_met(9, 4)
+        assert not history.has_met(4, 5)
+
+    def test_rejects_self_contact(self):
+        with pytest.raises(ValueError):
+            OnlineContactHistory().record(1, 1, 0.0)
+
+    def test_snapshot_totals_is_a_copy(self):
+        history = OnlineContactHistory()
+        history.record(1, 2, 0.0)
+        snapshot = history.snapshot_totals()
+        snapshot[1] = 99
+        assert history.total_contacts(1) == 1

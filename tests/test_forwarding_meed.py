@@ -1,0 +1,92 @@
+"""Unit tests for the MEED expected-delay metric (repro.forwarding.meed)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.contacts import Contact, ContactTrace
+from repro.forwarding import MeedTable, pairwise_expected_delays
+
+
+class TestPairwiseExpectedDelays:
+    def test_single_periodic_pair(self):
+        # One instantaneous contact halfway through a 100 s window: the two
+        # wrap-around gaps are 50+50=100?  Actually a single contact leaves a
+        # single wrap gap of length ~100, so the expected wait is ~50.
+        trace = ContactTrace([Contact(50.0, 50.0, 0, 1)], duration=100.0)
+        delays = pairwise_expected_delays(trace)
+        assert delays[(0, 1)] == pytest.approx(100.0 ** 2 / (2 * 100.0))
+
+    def test_frequent_pair_has_lower_delay(self):
+        sparse = ContactTrace([Contact(500.0, 500.0, 0, 1)], duration=1000.0)
+        dense = ContactTrace(
+            [Contact(float(t), float(t), 0, 1) for t in range(0, 1000, 100)],
+            duration=1000.0,
+        )
+        assert (pairwise_expected_delays(dense)[(0, 1)]
+                < pairwise_expected_delays(sparse)[(0, 1)])
+
+    def test_always_in_contact_pair_has_zero_delay(self):
+        trace = ContactTrace([Contact(0.0, 1000.0, 0, 1)], duration=1000.0)
+        assert pairwise_expected_delays(trace)[(0, 1)] == pytest.approx(0.0)
+
+    def test_overlapping_contacts_merged(self):
+        trace = ContactTrace(
+            [Contact(0.0, 600.0, 0, 1), Contact(500.0, 1000.0, 0, 1)],
+            duration=1000.0,
+        )
+        assert pairwise_expected_delays(trace)[(0, 1)] == pytest.approx(0.0)
+
+    def test_pairs_that_never_meet_absent(self, tiny_trace):
+        delays = pairwise_expected_delays(tiny_trace)
+        assert (0, 3) not in delays
+
+    def test_empty_trace(self):
+        assert pairwise_expected_delays(ContactTrace([], duration=10.0)) == {}
+
+
+class TestMeedTable:
+    def test_direct_distance_matches_pairwise_delay(self, tiny_trace):
+        table = MeedTable.from_trace(tiny_trace)
+        delays = pairwise_expected_delays(tiny_trace)
+        assert table.distance(0, 1) <= delays[(0, 1)] + 1e-9
+
+    def test_distance_to_self_is_zero(self, tiny_trace):
+        table = MeedTable.from_trace(tiny_trace)
+        assert table.distance(2, 2) == 0.0
+
+    def test_multi_hop_distance_uses_relays(self, tiny_trace):
+        table = MeedTable.from_trace(tiny_trace)
+        # 0 and 2 never meet directly but both meet 1.
+        assert math.isfinite(table.distance(0, 2))
+        assert table.distance(0, 2) <= table.distance(0, 1) + table.distance(1, 2) + 1e-9
+
+    def test_disconnected_nodes_are_unreachable(self):
+        trace = ContactTrace([Contact(0.0, 10.0, 0, 1)], nodes=range(3), duration=100.0)
+        table = MeedTable.from_trace(trace)
+        assert not table.reachable(0, 2)
+        assert table.distance(0, 2) == math.inf
+
+    def test_triangle_inequality_through_best_relay(self, star_trace):
+        table = MeedTable.from_trace(star_trace)
+        # All spoke-to-spoke traffic must route through the hub.
+        assert table.distance(1, 2) == pytest.approx(
+            table.distance(1, 0) + table.distance(0, 2), rel=1e-9)
+
+    def test_expected_delay_path(self, star_trace):
+        table = MeedTable.from_trace(star_trace)
+        path = table.expected_delay_path(star_trace, 1, 2)
+        assert path == [1, 0, 2]
+
+    def test_expected_delay_path_none_when_disconnected(self):
+        trace = ContactTrace([Contact(0.0, 10.0, 0, 1)], nodes=range(3), duration=100.0)
+        table = MeedTable.from_trace(trace)
+        assert table.expected_delay_path(trace, 0, 2) is None
+
+    def test_symmetry(self, small_conference_trace):
+        table = MeedTable.from_trace(small_conference_trace)
+        nodes = sorted(small_conference_trace.nodes)
+        for a, b in [(nodes[0], nodes[3]), (nodes[1], nodes[-1])]:
+            assert table.distance(a, b) == pytest.approx(table.distance(b, a))

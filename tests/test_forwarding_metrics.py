@@ -1,0 +1,179 @@
+"""Unit tests for forwarding metrics and the comparison harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import Contact, ContactTrace
+from repro.core import PairType, classify_nodes
+from repro.forwarding import (
+    EpidemicForwarding,
+    FreshForwarding,
+    Message,
+    PoissonMessageWorkload,
+    SimulationResult,
+    compare_algorithms,
+    default_algorithms,
+    delay_distribution,
+    simulate,
+    summarize,
+    summarize_by_pair_type,
+)
+from repro.forwarding.simulator import DeliveryOutcome
+
+
+def _outcome(mid, source, dest, created, delivered_at=None):
+    message = Message(id=mid, source=source, destination=dest, creation_time=created)
+    if delivered_at is None:
+        return DeliveryOutcome(message=message, delivered=False,
+                               delivery_time=None, hop_count=None)
+    return DeliveryOutcome(message=message, delivered=True,
+                           delivery_time=delivered_at, hop_count=1)
+
+
+@pytest.fixture
+def handmade_result() -> SimulationResult:
+    result = SimulationResult(algorithm="Test", trace_name="t")
+    result.outcomes = [
+        _outcome(0, 0, 1, 0.0, delivered_at=100.0),
+        _outcome(1, 0, 2, 0.0, delivered_at=300.0),
+        _outcome(2, 1, 2, 50.0, delivered_at=250.0),
+        _outcome(3, 2, 0, 0.0, delivered_at=None),
+    ]
+    return result
+
+
+class TestSummarize:
+    def test_summary_values(self, handmade_result):
+        summary = summarize(handmade_result)
+        assert summary.num_messages == 4
+        assert summary.num_delivered == 3
+        assert summary.success_rate == pytest.approx(0.75)
+        assert summary.average_delay == pytest.approx((100 + 300 + 200) / 3)
+        assert summary.median_delay == pytest.approx(200.0)
+
+    def test_as_row_is_flat(self, handmade_result):
+        row = summarize(handmade_result).as_row()
+        assert row["algorithm"] == "Test"
+        assert row["success_rate"] == pytest.approx(0.75)
+
+    def test_empty_result(self):
+        summary = summarize(SimulationResult(algorithm="X", trace_name="t"))
+        assert summary.success_rate == 0.0
+        assert summary.average_delay is None
+        assert summary.as_row()["avg_delay_s"] is None
+
+
+class TestDelayDistribution:
+    def test_cdf_properties(self, handmade_result):
+        delays, cdf = delay_distribution(handmade_result)
+        assert list(delays) == [100.0, 200.0, 300.0]
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_pooling_across_runs(self, handmade_result):
+        delays, _ = delay_distribution([handmade_result, handmade_result])
+        assert len(delays) == 6
+
+    def test_empty(self):
+        delays, cdf = delay_distribution(SimulationResult(algorithm="X", trace_name="t"))
+        assert delays.size == 0 and cdf.size == 0
+
+
+class TestPairTypeBreakdown:
+    def test_grouping_covers_all_types(self, handmade_result):
+        # Median split of four rates: nodes 0 and 1 are 'in', 2 and 3 'out'.
+        rates = {0: 1.0, 1: 0.9, 2: 0.01, 3: 0.02}
+        classification = classify_nodes(rates)
+        by_type = summarize_by_pair_type(handmade_result, classification)
+        assert set(by_type) == set(PairType.ordered())
+        # message 0: 0(in)->1(in), message 1: 0(in)->2(out),
+        # message 2: 1(in)->2(out), message 3: 2(out)->0(in)
+        assert by_type[PairType.IN_IN].num_messages == 1
+        assert by_type[PairType.IN_OUT].num_messages == 2
+        assert by_type[PairType.OUT_IN].num_messages == 1
+        assert by_type[PairType.OUT_OUT].num_messages == 0
+
+    def test_per_type_success_rates(self, handmade_result):
+        rates = {0: 1.0, 1: 0.9, 2: 0.01, 3: 0.02}
+        by_type = summarize_by_pair_type(handmade_result, classify_nodes(rates))
+        assert by_type[PairType.IN_IN].success_rate == 1.0
+        assert by_type[PairType.OUT_IN].success_rate == 0.0
+        assert by_type[PairType.OUT_OUT].success_rate == 0.0
+
+
+class TestCompareAlgorithms:
+    def test_runs_every_algorithm_on_same_messages(self, small_conference_trace):
+        algorithms = [EpidemicForwarding(), FreshForwarding()]
+        comparison = compare_algorithms(
+            small_conference_trace, algorithms,
+            workload=PoissonMessageWorkload(rate=0.01), num_runs=1, seed=3,
+        )
+        assert set(comparison.results) == {"Epidemic", "FRESH"}
+        epidemic = comparison.results["Epidemic"][0]
+        fresh = comparison.results["FRESH"][0]
+        assert [o.message for o in epidemic.outcomes] == [o.message for o in fresh.outcomes]
+
+    def test_multiple_runs_pooled(self, small_conference_trace):
+        comparison = compare_algorithms(
+            small_conference_trace, [EpidemicForwarding()],
+            workload=PoissonMessageWorkload(rate=0.01), num_runs=3, seed=4,
+        )
+        assert len(comparison.results["Epidemic"]) == 3
+        pooled = comparison.pooled_result("Epidemic")
+        assert pooled.num_messages == sum(r.num_messages
+                                          for r in comparison.results["Epidemic"])
+
+    def test_fixed_messages_mode(self, small_conference_trace):
+        messages = PoissonMessageWorkload(rate=0.01).generate(small_conference_trace, seed=1)
+        comparison = compare_algorithms(small_conference_trace, [EpidemicForwarding()],
+                                        messages=messages)
+        assert comparison.results["Epidemic"][0].num_messages == len(messages)
+
+    def test_requires_exactly_one_workload_source(self, small_conference_trace):
+        with pytest.raises(ValueError):
+            compare_algorithms(small_conference_trace, [EpidemicForwarding()])
+        with pytest.raises(ValueError):
+            compare_algorithms(small_conference_trace, [EpidemicForwarding()],
+                               workload=PoissonMessageWorkload(rate=0.01),
+                               messages=[])
+
+    def test_rejects_non_positive_runs(self, small_conference_trace):
+        with pytest.raises(ValueError):
+            compare_algorithms(small_conference_trace, [EpidemicForwarding()],
+                               workload=PoissonMessageWorkload(rate=0.01),
+                               num_runs=0)
+
+    def test_summaries_and_points(self, small_conference_trace):
+        comparison = compare_algorithms(
+            small_conference_trace, [EpidemicForwarding(), FreshForwarding()],
+            workload=PoissonMessageWorkload(rate=0.02), num_runs=1, seed=7,
+        )
+        summaries = comparison.summaries()
+        points = comparison.delay_success_points()
+        assert set(summaries) == set(points)
+        for name, summary in summaries.items():
+            success, delay = points[name]
+            assert success == pytest.approx(summary.success_rate)
+            if summary.average_delay is not None:
+                assert delay == pytest.approx(summary.average_delay)
+
+    def test_pair_type_summaries(self, small_conference_trace):
+        comparison = compare_algorithms(
+            small_conference_trace, [EpidemicForwarding()],
+            workload=PoissonMessageWorkload(rate=0.02), num_runs=1, seed=9,
+        )
+        by_algorithm = comparison.pair_type_summaries()
+        assert "Epidemic" in by_algorithm
+        assert set(by_algorithm["Epidemic"]) == set(PairType.ordered())
+
+    def test_epidemic_dominates_success_rate(self, small_conference_trace):
+        comparison = compare_algorithms(
+            small_conference_trace, default_algorithms(),
+            workload=PoissonMessageWorkload(rate=0.02), num_runs=1, seed=11,
+        )
+        summaries = comparison.summaries()
+        epidemic_success = summaries["Epidemic"].success_rate
+        for name, summary in summaries.items():
+            assert summary.success_rate <= epidemic_success + 1e-9

@@ -1,0 +1,120 @@
+"""Unit tests for the hop-gradient analysis (repro.core.hop_analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Path,
+    fraction_of_uphill_hops,
+    hop_rate_summary,
+    rate_ratios_by_hop,
+    rates_by_hop,
+    ratio_box_stats,
+)
+
+RATES = {0: 0.01, 1: 0.05, 2: 0.20, 3: 0.50, 4: 0.02}
+
+
+def _path(*nodes):
+    return Path(hops=tuple((node, 10.0 * i) for i, node in enumerate(nodes)))
+
+
+class TestRatesByHop:
+    def test_collects_rates_per_position(self):
+        per_hop = rates_by_hop([_path(0, 1, 2), _path(4, 2, 3)], RATES)
+        assert per_hop[0] == [0.01, 0.02]
+        assert per_hop[1] == [0.05, 0.20]
+        assert per_hop[2] == [0.20, 0.50]
+
+    def test_exclude_endpoints(self):
+        per_hop = rates_by_hop([_path(0, 1, 2, 3)], RATES, include_endpoints=False)
+        assert 0 not in per_hop
+        assert 3 not in per_hop
+        assert per_hop[1] == [0.05]
+        assert per_hop[2] == [0.20]
+
+    def test_missing_rate_raises(self):
+        with pytest.raises(KeyError):
+            rates_by_hop([_path(0, 99)], RATES)
+
+
+class TestHopRateSummary:
+    def test_means_rise_along_uphill_paths(self):
+        summaries = hop_rate_summary([_path(0, 1, 2, 3), _path(4, 1, 2, 3)], RATES)
+        means = [s.mean_rate for s in summaries]
+        assert means == sorted(means)
+        assert all(s.count == 2 for s in summaries)
+
+    def test_confidence_interval_zero_for_single_sample(self):
+        summaries = hop_rate_summary([_path(0, 1)], RATES)
+        assert all(s.ci_half_width == 0.0 for s in summaries)
+
+    def test_confidence_interval_bounds(self):
+        summaries = hop_rate_summary([_path(0, 1, 2), _path(4, 3, 2)], RATES)
+        for s in summaries:
+            assert s.ci_low <= s.mean_rate <= s.ci_high
+
+    def test_max_hop_truncation(self):
+        summaries = hop_rate_summary([_path(0, 1, 2, 3)], RATES, max_hop=1)
+        assert [s.hop for s in summaries] == [0, 1]
+
+    def test_empty_input(self):
+        assert hop_rate_summary([], RATES) == []
+
+
+class TestRateRatios:
+    def test_ratios_per_transition(self):
+        ratios = rate_ratios_by_hop([_path(0, 1, 2)], RATES)
+        assert ratios[0] == [pytest.approx(5.0)]
+        assert ratios[1] == [pytest.approx(4.0)]
+
+    def test_zero_rate_upstream_skipped(self):
+        rates = dict(RATES)
+        rates[0] = 0.0
+        ratios = rate_ratios_by_hop([_path(0, 1, 2)], rates)
+        assert 0 not in ratios
+        assert 1 in ratios
+
+    def test_missing_rate_raises(self):
+        with pytest.raises(KeyError):
+            rate_ratios_by_hop([_path(0, 99)], RATES)
+
+
+class TestRatioBoxStats:
+    def test_quartiles_ordered(self):
+        paths = [_path(0, 1, 2, 3), _path(4, 1, 3), _path(0, 2, 3)]
+        stats = ratio_box_stats(paths, RATES)
+        for entry in stats:
+            assert entry.whisker_low <= entry.q1 <= entry.median <= entry.q3 <= entry.whisker_high
+
+    def test_transition_labels(self):
+        stats = ratio_box_stats([_path(0, 1, 2, 3)], RATES)
+        assert [s.transition for s in stats] == ["1/0", "2/1", "3/2"]
+
+    def test_max_transitions(self):
+        stats = ratio_box_stats([_path(0, 1, 2, 3)], RATES, max_transitions=2)
+        assert len(stats) == 2
+
+    def test_fraction_above_one(self):
+        stats = ratio_box_stats([_path(0, 1), _path(3, 0)], RATES)
+        assert stats[0].fraction_above_one == pytest.approx(0.5)
+
+
+class TestUphillFraction:
+    def test_all_uphill(self):
+        assert fraction_of_uphill_hops([_path(0, 1, 2, 3)], RATES) == 1.0
+
+    def test_all_downhill(self):
+        assert fraction_of_uphill_hops([_path(3, 2, 1, 0)], RATES) == 0.0
+
+    def test_mixed(self):
+        value = fraction_of_uphill_hops([_path(0, 1, 0), _path(0, 3)], RATES)
+        # transitions: 0->1 uphill, 1->0 downhill, 0->3 uphill
+        assert value == pytest.approx(2.0 / 3.0)
+
+    def test_empty_input_is_nan(self):
+        assert math.isnan(fraction_of_uphill_hops([], RATES))

@@ -1,0 +1,173 @@
+"""Unit tests for the closed-form homogeneous model (repro.model.generating_function)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    InitialPathDistribution,
+    blowup_time,
+    expected_first_path_time,
+    explosion_time_for_mean,
+    mean_paths,
+    phi,
+    second_moment,
+    variance,
+)
+
+
+@pytest.fixture
+def single_source() -> InitialPathDistribution:
+    return InitialPathDistribution.single_source(num_nodes=100)
+
+
+class TestInitialDistribution:
+    def test_single_source_probabilities(self):
+        dist = InitialPathDistribution.single_source(4)
+        assert dist.probabilities.tolist() == pytest.approx([0.75, 0.25])
+        assert dist.mean() == pytest.approx(0.25)
+
+    def test_phi0_at_one_is_one(self, single_source):
+        assert single_source.phi0(1.0) == pytest.approx(1.0)
+
+    def test_phi0_general(self):
+        dist = InitialPathDistribution(np.array([0.5, 0.3, 0.2]))
+        assert dist.phi0(2.0) == pytest.approx(0.5 + 0.3 * 2 + 0.2 * 4)
+
+    def test_moments(self):
+        dist = InitialPathDistribution(np.array([0.5, 0.3, 0.2]))
+        assert dist.mean() == pytest.approx(0.7)
+        assert dist.second_moment() == pytest.approx(0.3 + 0.8)
+        assert dist.variance() == pytest.approx(1.1 - 0.49)
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError):
+            InitialPathDistribution(np.array([0.5, 0.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InitialPathDistribution(np.array([1.2, -0.2]))
+
+    def test_rejects_bad_num_nodes(self):
+        with pytest.raises(ValueError):
+            InitialPathDistribution.single_source(0)
+
+
+class TestPhi:
+    def test_phi_at_x_one_is_constant_one(self, single_source):
+        times = np.linspace(0, 1000, 5)
+        values = phi(1.0, times, 0.01, single_source)
+        assert np.allclose(values, 1.0)
+
+    def test_phi_decreases_for_x_below_one(self, single_source):
+        # phi_x(t) = sum x^k u_k(t); as mass moves to larger k it shrinks.
+        values = phi(0.5, np.array([0.0, 100.0, 500.0]), 0.01, single_source)
+        assert values[0] > values[1] > values[2]
+
+    def test_phi_solves_the_ode(self, single_source):
+        """dφ/dt = λ(φ² − φ), checked by finite differences."""
+        lam = 0.02
+        t = 120.0
+        h = 1e-4
+        x = 0.6
+        f_plus = phi(x, t + h, lam, single_source)
+        f_minus = phi(x, t - h, lam, single_source)
+        derivative = (f_plus - f_minus) / (2 * h)
+        value = phi(x, t, lam, single_source)
+        assert derivative == pytest.approx(lam * (value ** 2 - value), rel=1e-4)
+
+    def test_phi_blows_up_for_x_above_one(self, single_source):
+        lam = 0.01
+        t_blow = blowup_time(2.0, lam, single_source)
+        before = phi(2.0, t_blow * 0.99, lam, single_source)
+        after = phi(2.0, t_blow * 1.01, lam, single_source)
+        assert np.isfinite(before)
+        assert not np.isfinite(after)
+
+    def test_phi_scalar_input_returns_scalar(self, single_source):
+        value = phi(0.5, 10.0, 0.01, single_source)
+        assert isinstance(value, float)
+
+    def test_rejects_negative_rate(self, single_source):
+        with pytest.raises(ValueError):
+            phi(0.5, 1.0, -0.1, single_source)
+
+
+class TestMoments:
+    def test_mean_growth_is_exponential(self, single_source):
+        lam = 0.005
+        t = np.array([0.0, 200.0, 400.0])
+        means = mean_paths(t, lam, single_source)
+        assert means[0] == pytest.approx(0.01)
+        assert means[1] / means[0] == pytest.approx(math.exp(lam * 200.0))
+        assert means[2] / means[1] == pytest.approx(math.exp(lam * 200.0))
+
+    def test_second_moment_formula_at_zero(self, single_source):
+        assert second_moment(0.0, 0.01, single_source) == pytest.approx(
+            single_source.second_moment())
+
+    def test_variance_zero_at_time_zero_for_deterministic_start(self):
+        # A start where every node has exactly one path: V[S(0)] = 0 but the
+        # variance still grows as E[S(0)](e^{2λt} − e^{λt}).
+        dist = InitialPathDistribution(np.array([0.0, 1.0]))
+        lam = 0.01
+        assert variance(0.0, lam, dist) == pytest.approx(0.0)
+        t = 100.0
+        expected = math.exp(2 * lam * t) - math.exp(lam * t)
+        assert variance(t, lam, dist) == pytest.approx(expected)
+
+    def test_variance_consistent_with_moments(self, single_source):
+        lam, t = 0.02, 150.0
+        direct = variance(t, lam, single_source)
+        from_moments = second_moment(t, lam, single_source) - mean_paths(t, lam, single_source) ** 2
+        assert direct == pytest.approx(from_moments, rel=1e-9)
+
+    def test_zero_rate_freezes_moments(self, single_source):
+        assert mean_paths(500.0, 0.0, single_source) == pytest.approx(single_source.mean())
+        assert variance(500.0, 0.0, single_source) == pytest.approx(single_source.variance())
+
+
+class TestCharacteristicTimes:
+    def test_blowup_time_formula(self, single_source):
+        lam = 0.01
+        x = 2.0
+        phi0 = single_source.phi0(x)
+        expected = math.log(phi0 / (phi0 - 1.0)) / lam
+        assert blowup_time(x, lam, single_source) == pytest.approx(expected)
+
+    def test_blowup_requires_x_above_one(self, single_source):
+        with pytest.raises(ValueError):
+            blowup_time(1.0, 0.01, single_source)
+
+    def test_blowup_infinite_for_zero_rate(self, single_source):
+        assert blowup_time(2.0, 0.0, single_source) == math.inf
+
+    def test_expected_first_path_time(self):
+        assert expected_first_path_time(100, 0.01) == pytest.approx(math.log(100) / 0.01)
+
+    def test_expected_first_path_time_infinite_for_zero_rate(self):
+        assert expected_first_path_time(100, 0.0) == math.inf
+
+    def test_expected_first_path_decreases_with_rate(self):
+        assert expected_first_path_time(100, 0.02) < expected_first_path_time(100, 0.01)
+
+    def test_explosion_time_for_mean(self):
+        lam, n, target = 0.01, 100, 2000
+        t = explosion_time_for_mean(target, n, lam)
+        # At that time the predicted mean path count equals the target.
+        assert (1.0 / n) * math.exp(lam * t) == pytest.approx(target)
+
+    def test_explosion_time_after_first_path_time(self):
+        lam, n = 0.01, 100
+        assert explosion_time_for_mean(2000, n, lam) > expected_first_path_time(n, lam)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_first_path_time(0, 0.01)
+        with pytest.raises(ValueError):
+            explosion_time_for_mean(0.0, 10, 0.01)
+        with pytest.raises(ValueError):
+            explosion_time_for_mean(10.0, 0, 0.01)

@@ -1,0 +1,133 @@
+"""Unit tests for the Section 5.2 heterogeneous-rate reasoning (repro.model.heterogeneous)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import NodeClass, PairType
+from repro.model import (
+    expected_wait_until_high_rate,
+    pair_type_predictions,
+    relative_magnitude_table,
+    subset_growth_rate,
+    two_class_process,
+)
+
+
+class TestPredictions:
+    def test_all_four_pair_types_covered(self):
+        predictions = pair_type_predictions()
+        assert set(predictions) == set(PairType.ordered())
+
+    def test_paper_hypotheses(self):
+        predictions = pair_type_predictions()
+        assert (predictions[PairType.IN_IN].t1, predictions[PairType.IN_IN].te) == ("small", "small")
+        assert (predictions[PairType.IN_OUT].t1, predictions[PairType.IN_OUT].te) == ("small", "large")
+        assert (predictions[PairType.OUT_IN].t1, predictions[PairType.OUT_IN].te) == ("large", "small")
+        assert (predictions[PairType.OUT_OUT].t1, predictions[PairType.OUT_OUT].te) == ("large", "large")
+
+    def test_rationales_present(self):
+        assert all(p.rationale for p in pair_type_predictions().values())
+
+
+class TestSubsetGrowthRate:
+    def test_growth_rate_is_holder_rate(self):
+        rates = {0: 0.1, 1: 0.2, 2: 0.3}
+        assert subset_growth_rate(rates, 0.1) == 0.1
+        assert subset_growth_rate(rates, 0.2) == 0.2
+
+    def test_zero_when_no_subset(self):
+        rates = {0: 0.1, 1: 0.2}
+        assert subset_growth_rate(rates, 0.5) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            subset_growth_rate({0: 0.1}, -1.0)
+
+
+class TestExpectedWait:
+    def test_formula(self):
+        assert expected_wait_until_high_rate(0.01, 0.5) == pytest.approx(200.0)
+
+    def test_lower_rate_waits_longer(self):
+        assert (expected_wait_until_high_rate(0.005, 0.5)
+                > expected_wait_until_high_rate(0.02, 0.5))
+
+    def test_infinite_when_impossible(self):
+        assert expected_wait_until_high_rate(0.0, 0.5) == math.inf
+        assert expected_wait_until_high_rate(0.1, 0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_wait_until_high_rate(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            expected_wait_until_high_rate(0.1, 1.5)
+
+
+class TestTwoClassProcess:
+    def test_rate_vector_layout(self):
+        process, rates = two_class_process(3, 5, high_rate=1.0, low_rate=0.1)
+        assert process.num_nodes == 8
+        assert rates[:3].tolist() == [1.0, 1.0, 1.0]
+        assert rates[3:].tolist() == [0.1] * 5
+
+    def test_source_class_selection(self):
+        process_in, _ = two_class_process(3, 5, 1.0, 0.1, source_class=NodeClass.IN)
+        process_out, _ = two_class_process(3, 5, 1.0, 0.1, source_class=NodeClass.OUT)
+        in_start = process_in.simulate(1e-6, [0.0], seed=1)[0].counts
+        out_start = process_out.simulate(1e-6, [0.0], seed=1)[0].counts
+        assert in_start[0] == 1.0
+        assert out_start[3] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_class_process(0, 5, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            two_class_process(3, 5, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            two_class_process(3, 5, 1.0, -0.1)
+
+    def test_high_rate_source_explodes_sooner(self):
+        """The Section 5.2 argument in simulation: with an 'in' source the
+        population accumulates paths faster than with an 'out' source."""
+        horizon, t = 4.0, [4.0]
+        rng_runs = 15
+        totals = {}
+        for label, source_class in (("in", NodeClass.IN), ("out", NodeClass.OUT)):
+            process, _ = two_class_process(8, 8, high_rate=1.0, low_rate=0.05,
+                                           source_class=source_class)
+            rng = np.random.default_rng(17)
+            run_totals = [process.simulate(horizon, t, seed=rng)[0].counts.sum()
+                          for _ in range(rng_runs)]
+            totals[label] = float(np.mean(run_totals))
+        assert totals["in"] > totals["out"]
+
+
+class TestRelativeMagnitudeTable:
+    def test_labels_match_paper_structure(self):
+        measurements = {
+            PairType.IN_IN: (50.0, 20.0),
+            PairType.IN_OUT: (60.0, 400.0),
+            PairType.OUT_IN: (900.0, 30.0),
+            PairType.OUT_OUT: (1000.0, 500.0),
+        }
+        table = relative_magnitude_table(measurements)
+        predictions = pair_type_predictions()
+        for pair_type, labels in table.items():
+            assert labels["t1"] == predictions[pair_type].t1
+            assert labels["te"] == predictions[pair_type].te
+
+    def test_partial_measurements_allowed(self):
+        measurements = {
+            PairType.IN_IN: (50.0, 20.0),
+            PairType.OUT_OUT: (1000.0, 500.0),
+        }
+        table = relative_magnitude_table(measurements)
+        assert set(table) == {PairType.IN_IN, PairType.OUT_OUT}
+
+    def test_requires_at_least_two_pair_types(self):
+        with pytest.raises(ValueError):
+            relative_magnitude_table({PairType.IN_IN: (1.0, 1.0)})

@@ -1,0 +1,172 @@
+"""Unit tests for the stochastic population process (repro.model.markov)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    PathCountProcess,
+    PopulationState,
+    expected_first_path_time,
+    simulate_homogeneous,
+)
+
+
+class TestPopulationState:
+    def test_density_sums_to_one(self):
+        state = PopulationState(time=1.0, counts=np.array([0, 0, 1, 3, 3]))
+        density = state.density()
+        assert density.sum() == pytest.approx(1.0)
+        assert density[0] == pytest.approx(2 / 5)
+        assert density[3] == pytest.approx(2 / 5)
+
+    def test_density_with_cap(self):
+        state = PopulationState(time=1.0, counts=np.array([0, 5, 10]))
+        density = state.density(max_k=4)
+        assert density.size == 5
+        assert density[4] == pytest.approx(2 / 3)  # 5 and 10 collapse into the cap
+
+    def test_mean_and_variance(self):
+        state = PopulationState(time=0.0, counts=np.array([1.0, 3.0]))
+        assert state.mean() == pytest.approx(2.0)
+        assert state.variance() == pytest.approx(1.0)
+
+    def test_fraction_with_at_least(self):
+        state = PopulationState(time=0.0, counts=np.array([0, 1, 2, 5]))
+        assert state.fraction_with_at_least(1) == pytest.approx(0.75)
+        assert state.fraction_with_at_least(3) == pytest.approx(0.25)
+
+
+class TestProcessConstruction:
+    def test_scalar_rate_requires_num_nodes(self):
+        with pytest.raises(ValueError):
+            PathCountProcess(0.1)
+        with pytest.raises(ValueError):
+            PathCountProcess(0.1, num_nodes=1)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            PathCountProcess(-0.1, num_nodes=5)
+        with pytest.raises(ValueError):
+            PathCountProcess([0.1, -0.2])
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(ValueError):
+            PathCountProcess(0.1, num_nodes=5, source=9)
+
+    def test_rejects_bad_peer_selection(self):
+        with pytest.raises(ValueError):
+            PathCountProcess(0.1, num_nodes=5, peer_selection="nearest")
+
+    def test_rates_property(self):
+        process = PathCountProcess([0.1, 0.2, 0.3])
+        assert process.num_nodes == 3
+        assert process.rates.tolist() == [0.1, 0.2, 0.3]
+
+
+class TestSimulation:
+    def test_snapshot_times_match_request(self):
+        process = PathCountProcess(0.05, num_nodes=10)
+        sample_times = [0.0, 50.0, 100.0]
+        snapshots = process.simulate(horizon=100.0, sample_times=sample_times, seed=1)
+        assert [s.time for s in snapshots] == sample_times
+
+    def test_initial_state_has_single_path(self):
+        process = PathCountProcess(0.05, num_nodes=10, source=3)
+        snapshots = process.simulate(horizon=10.0, sample_times=[0.0], seed=1)
+        counts = snapshots[0].counts
+        assert counts[3] == 1.0
+        assert counts.sum() == 1.0
+
+    def test_total_paths_never_decrease(self):
+        process = PathCountProcess(0.05, num_nodes=10)
+        snapshots = process.simulate(horizon=200.0,
+                                     sample_times=np.linspace(0, 200, 9), seed=2)
+        totals = [s.counts.sum() for s in snapshots]
+        assert totals == sorted(totals)
+
+    def test_reproducible_with_seed(self):
+        process = PathCountProcess(0.05, num_nodes=10)
+        a = process.simulate(horizon=100.0, sample_times=[100.0], seed=5)
+        b = process.simulate(horizon=100.0, sample_times=[100.0], seed=5)
+        assert np.array_equal(a[0].counts, b[0].counts)
+
+    def test_zero_rate_never_spreads(self):
+        process = PathCountProcess(0.0, num_nodes=5)
+        snapshots = process.simulate(horizon=100.0, sample_times=[100.0], seed=1)
+        assert snapshots[0].counts.sum() == 1.0
+
+    def test_sample_time_validation(self):
+        process = PathCountProcess(0.05, num_nodes=5)
+        with pytest.raises(ValueError):
+            process.simulate(horizon=10.0, sample_times=[])
+        with pytest.raises(ValueError):
+            process.simulate(horizon=10.0, sample_times=[20.0])
+        with pytest.raises(ValueError):
+            process.simulate(horizon=0.0, sample_times=[0.0])
+
+    def test_count_cap_respected(self):
+        process = PathCountProcess(2.0, num_nodes=5)
+        snapshots = process.simulate(horizon=50.0, sample_times=[50.0], seed=3,
+                                     count_cap=100.0)
+        assert snapshots[0].counts.max() <= 100.0
+
+
+class TestAgainstAnalyticModel:
+    def test_mean_growth_matches_exponential_prediction(self):
+        """Kurtz convergence check: the empirical mean path count should track
+        E[S(t)] = (1/N) e^{λt} within statistical error."""
+        lam, num_nodes = 0.05, 60
+        horizon = 120.0
+        sample_times = [40.0, 80.0, 120.0]
+        means = simulate_homogeneous(num_nodes, lam, horizon, sample_times,
+                                     num_runs=20, seed=11)
+        predicted = (1.0 / num_nodes) * np.exp(lam * np.asarray(sample_times))
+        ratio = means / predicted
+        assert np.all(ratio > 0.4) and np.all(ratio < 2.5)
+
+    def test_first_arrival_times_scale_like_log_n_over_lambda(self):
+        lam, num_nodes = 0.1, 50
+        process = PathCountProcess(lam, num_nodes=num_nodes)
+        horizon = 50 * expected_first_path_time(num_nodes, lam)
+        rng = np.random.default_rng(7)
+        samples = []
+        for _ in range(10):
+            arrivals = process.first_arrival_times(horizon=horizon, seed=rng)
+            others = [t for node, t in arrivals.items() if node != 0]
+            samples.extend(others)
+        measured = float(np.mean(samples))
+        predicted = expected_first_path_time(num_nodes, lam)
+        assert 0.3 * predicted < measured < 3.0 * predicted
+
+    def test_heterogeneous_rates_spread_faster_among_high_rate_nodes(self):
+        """Subset path explosion: high-rate nodes accumulate paths sooner."""
+        rates = [1.0] * 10 + [0.02] * 10
+        process = PathCountProcess(rates, source=0)
+        snapshots = process.simulate(horizon=3.0, sample_times=[3.0], seed=13)
+        counts = snapshots[0].counts
+        high = counts[:10].mean()
+        low = counts[10:].mean()
+        assert high > low
+
+    def test_rate_weighted_peer_selection_biases_high_rate_nodes(self):
+        rates = [1.0] * 5 + [0.05] * 15
+        uniform = PathCountProcess(rates, source=0, peer_selection="uniform")
+        weighted = PathCountProcess(rates, source=0, peer_selection="rate_weighted")
+        t = [2.0]
+        uniform_counts = uniform.simulate(horizon=2.0, sample_times=t, seed=3)[0].counts
+        weighted_counts = weighted.simulate(horizon=2.0, sample_times=t, seed=3)[0].counts
+        # With rate-weighted peer choice, a larger share of the paths should
+        # sit on the 5 high-rate nodes.
+        def high_share(counts):
+            total = counts.sum()
+            return counts[:5].sum() / total if total else 0.0
+        assert high_share(weighted_counts) >= high_share(uniform_counts) - 0.1
+
+    def test_mean_path_counts_validation(self):
+        process = PathCountProcess(0.1, num_nodes=5)
+        with pytest.raises(ValueError):
+            process.mean_path_counts(10.0, [5.0], num_runs=0)

@@ -1,0 +1,114 @@
+"""Unit tests for the fluid-limit ODE (repro.model.ode)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    InitialPathDistribution,
+    initial_condition,
+    mean_paths,
+    solve_path_density_ode,
+    variance,
+)
+
+
+class TestInitialCondition:
+    def test_single_source_density(self):
+        u0 = initial_condition(num_nodes=50, truncation=10)
+        assert u0[0] == pytest.approx(1 - 1 / 50)
+        assert u0[1] == pytest.approx(1 / 50)
+        assert u0[2:].sum() == 0.0
+        assert u0.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            initial_condition(0, 10)
+        with pytest.raises(ValueError):
+            initial_condition(10, 0)
+
+
+class TestSolve:
+    def test_mass_conserved(self):
+        solution = solve_path_density_ode(contact_rate=0.01, horizon=300.0,
+                                          num_nodes=50, truncation=100)
+        assert np.all(np.abs(solution.mass() - 1.0) < 1e-3)
+
+    def test_densities_non_negative(self):
+        solution = solve_path_density_ode(contact_rate=0.01, horizon=300.0,
+                                          num_nodes=50, truncation=100)
+        assert np.all(solution.densities >= 0.0)
+
+    def test_mean_matches_closed_form(self):
+        """The ODE mean must reproduce E[S(t)] = E[S(0)] e^{λt} (Equation 4)."""
+        lam, num_nodes = 0.01, 50
+        solution = solve_path_density_ode(contact_rate=lam, horizon=400.0,
+                                          num_nodes=num_nodes, truncation=400)
+        initial = InitialPathDistribution.single_source(num_nodes)
+        predicted = mean_paths(solution.times, lam, initial)
+        measured = solution.mean_paths()
+        assert np.allclose(measured, predicted, rtol=2e-2)
+
+    def test_variance_matches_closed_form(self):
+        lam, num_nodes = 0.008, 50
+        solution = solve_path_density_ode(contact_rate=lam, horizon=400.0,
+                                          num_nodes=num_nodes, truncation=400)
+        initial = InitialPathDistribution.single_source(num_nodes)
+        predicted = variance(solution.times, lam, initial)
+        measured = solution.variance()
+        # The truncated system slightly under-counts the tail; allow a
+        # modest relative error.
+        assert np.allclose(measured, predicted, rtol=8e-2)
+
+    def test_zero_rate_is_static(self):
+        solution = solve_path_density_ode(contact_rate=0.0, horizon=100.0,
+                                          num_nodes=20, truncation=10)
+        assert np.allclose(solution.densities[0], solution.densities[-1])
+
+    def test_fraction_with_at_least_increases(self):
+        solution = solve_path_density_ode(contact_rate=0.02, horizon=300.0,
+                                          num_nodes=30, truncation=200)
+        curve = solution.fraction_with_at_least(1)
+        assert curve[0] == pytest.approx(1 / 30, abs=1e-6)
+        assert np.all(np.diff(curve) >= -1e-9)
+        assert curve[-1] > curve[0]
+
+    def test_growth_rate_scales_with_lambda(self):
+        """Doubling λ should (approximately) double the exponential growth
+        rate of the mean path count — the core of the paper's model result."""
+        horizon = 250.0
+        slow = solve_path_density_ode(contact_rate=0.005, horizon=horizon,
+                                      num_nodes=40, truncation=300)
+        fast = solve_path_density_ode(contact_rate=0.01, horizon=horizon,
+                                      num_nodes=40, truncation=300)
+        slow_rate = np.polyfit(slow.times, np.log(slow.mean_paths()), 1)[0]
+        fast_rate = np.polyfit(fast.times, np.log(fast.mean_paths()), 1)[0]
+        assert fast_rate / slow_rate == pytest.approx(2.0, rel=0.1)
+
+    def test_custom_initial_condition(self):
+        truncation = 50
+        u0 = np.zeros(truncation + 1)
+        u0[2] = 1.0  # every node starts with exactly two paths
+        solution = solve_path_density_ode(contact_rate=0.01, horizon=50.0,
+                                          truncation=truncation, initial=u0)
+        assert solution.mean_paths()[0] == pytest.approx(2.0)
+
+    def test_truncation_property(self):
+        solution = solve_path_density_ode(contact_rate=0.01, horizon=10.0,
+                                          num_nodes=10, truncation=33)
+        assert solution.truncation == 33
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_path_density_ode(contact_rate=-0.1, horizon=10.0)
+        with pytest.raises(ValueError):
+            solve_path_density_ode(contact_rate=0.1, horizon=0.0)
+        with pytest.raises(ValueError):
+            solve_path_density_ode(contact_rate=0.1, horizon=10.0,
+                                   truncation=5, initial=np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            solve_path_density_ode(contact_rate=0.1, horizon=10.0,
+                                   truncation=1, initial=np.array([1.5, -0.5]))

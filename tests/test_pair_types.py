@@ -1,0 +1,102 @@
+"""Unit tests for in/out node and pair classification (repro.core.pair_types)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NodeClass,
+    PairType,
+    classify_nodes,
+    classify_pair,
+    group_by_pair_type,
+    pair_type_of_message,
+)
+
+
+class TestNodeClassification:
+    def test_median_split_from_rates(self):
+        rates = {0: 0.1, 1: 0.2, 2: 0.3, 3: 0.4}
+        classification = classify_nodes(rates)
+        assert classification.threshold == pytest.approx(0.25)
+        assert classification.node_class(0) is NodeClass.OUT
+        assert classification.node_class(1) is NodeClass.OUT
+        assert classification.node_class(2) is NodeClass.IN
+        assert classification.node_class(3) is NodeClass.IN
+
+    def test_split_from_trace(self, star_trace):
+        classification = classify_nodes(star_trace)
+        assert classification.node_class(0) is NodeClass.IN  # the hub
+        # The five spokes all sit exactly at the median and are 'out'.
+        assert all(classification.node_class(n) is NodeClass.OUT for n in range(1, 6))
+
+    def test_explicit_threshold(self):
+        rates = {0: 0.1, 1: 0.5}
+        classification = classify_nodes(rates, threshold=0.05)
+        assert classification.node_class(0) is NodeClass.IN
+        assert classification.node_class(1) is NodeClass.IN
+
+    def test_groups_roughly_equal_size(self, small_conference_trace):
+        classification = classify_nodes(small_conference_trace)
+        num_in = len(classification.nodes_in_class(NodeClass.IN))
+        num_out = len(classification.nodes_in_class(NodeClass.OUT))
+        assert abs(num_in - num_out) <= small_conference_trace.num_nodes // 4
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            classify_nodes({})
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            classify_nodes([1, 2, 3])
+
+    def test_rates_preserved_in_result(self):
+        rates = {7: 0.4, 8: 0.8}
+        classification = classify_nodes(rates)
+        assert classification.rates == rates
+
+
+class TestPairTypes:
+    def test_from_classes_mapping(self):
+        assert PairType.from_classes(NodeClass.IN, NodeClass.IN) is PairType.IN_IN
+        assert PairType.from_classes(NodeClass.IN, NodeClass.OUT) is PairType.IN_OUT
+        assert PairType.from_classes(NodeClass.OUT, NodeClass.IN) is PairType.OUT_IN
+        assert PairType.from_classes(NodeClass.OUT, NodeClass.OUT) is PairType.OUT_OUT
+
+    def test_ordered_matches_paper_presentation(self):
+        assert PairType.ordered() == (PairType.IN_IN, PairType.IN_OUT,
+                                      PairType.OUT_IN, PairType.OUT_OUT)
+
+    def test_pair_type_is_direction_sensitive(self):
+        rates = {0: 1.0, 1: 0.01, 2: 0.9, 3: 0.02}
+        classification = classify_nodes(rates)
+        assert classify_pair(classification, 0, 1) is PairType.IN_OUT
+        assert classify_pair(classification, 1, 0) is PairType.OUT_IN
+
+    def test_pair_type_of_message_from_trace(self, star_trace):
+        assert pair_type_of_message(star_trace, 0, 1) is PairType.IN_OUT
+        assert pair_type_of_message(star_trace, 1, 2) is PairType.OUT_OUT
+
+    def test_value_strings(self):
+        assert PairType.IN_IN.value == "in-in"
+        assert NodeClass.OUT.value == "out"
+
+
+class TestGroupByPairType:
+    def test_groups_items(self):
+        rates = {0: 1.0, 1: 0.01, 2: 0.9, 3: 0.02}
+        classification = classify_nodes(rates)
+        items = [(0, 2, "a"), (0, 1, "b"), (1, 2, "c"), (1, 3, "d")]
+        grouped = group_by_pair_type(items, classification,
+                                     endpoints=lambda item: (item[0], item[1]))
+        assert [i[2] for i in grouped[PairType.IN_IN]] == ["a"]
+        assert [i[2] for i in grouped[PairType.IN_OUT]] == ["b"]
+        assert [i[2] for i in grouped[PairType.OUT_IN]] == ["c"]
+        assert [i[2] for i in grouped[PairType.OUT_OUT]] == ["d"]
+
+    def test_all_pair_types_present_even_if_empty(self):
+        rates = {0: 1.0, 1: 0.01}
+        classification = classify_nodes(rates)
+        grouped = group_by_pair_type([], classification, endpoints=lambda x: x)
+        assert set(grouped) == set(PairType.ordered())
+        assert all(v == [] for v in grouped.values())

@@ -1,0 +1,255 @@
+"""Unit tests for the synthetic trace generators (homogeneous, conference, RWP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts import describe, rate_uniformity_statistic, stationarity_score
+from repro.synth import (
+    ConferenceTraceGenerator,
+    ConstantProfile,
+    HomogeneousPoissonGenerator,
+    RandomWaypointModel,
+    TaperedProfile,
+    contacts_from_positions,
+)
+
+
+class TestHomogeneousPoissonGenerator:
+    def test_basic_generation(self):
+        generator = HomogeneousPoissonGenerator(num_nodes=10, contact_rate=0.01,
+                                                duration=1000.0)
+        trace = generator.generate(seed=1)
+        assert trace.num_nodes == 10
+        assert trace.duration == 1000.0
+        assert len(trace) > 0
+
+    def test_expected_contact_count(self):
+        generator = HomogeneousPoissonGenerator(num_nodes=20, contact_rate=0.01,
+                                                duration=2000.0, contact_duration=0.0)
+        trace = generator.generate(seed=3)
+        expected = 20 * 0.01 * 2000.0
+        assert expected * 0.7 < len(trace) < expected * 1.3
+
+    def test_reproducible_with_seed(self):
+        generator = HomogeneousPoissonGenerator(num_nodes=8, contact_rate=0.02,
+                                                duration=500.0)
+        assert generator.generate(seed=5) == generator.generate(seed=5)
+
+    def test_different_seeds_differ(self):
+        generator = HomogeneousPoissonGenerator(num_nodes=8, contact_rate=0.02,
+                                                duration=500.0)
+        assert generator.generate(seed=5) != generator.generate(seed=6)
+
+    def test_rates_are_roughly_homogeneous(self):
+        generator = HomogeneousPoissonGenerator(num_nodes=20, contact_rate=0.05,
+                                                duration=5000.0, contact_duration=0.0)
+        trace = generator.generate(seed=11)
+        counts = np.array(list(trace.contact_counts().values()), dtype=float)
+        # Every node participates, and the spread is modest compared with the
+        # heterogeneous generator (coefficient of variation well below 0.5).
+        assert counts.min() > 0
+        assert counts.std() / counts.mean() < 0.5
+
+    def test_zero_duration_contacts(self):
+        generator = HomogeneousPoissonGenerator(num_nodes=5, contact_rate=0.02,
+                                                duration=500.0, contact_duration=0.0)
+        trace = generator.generate(seed=2)
+        assert all(c.duration == 0.0 for c in trace)
+
+    def test_profile_thinning_reduces_contacts(self):
+        base = HomogeneousPoissonGenerator(num_nodes=10, contact_rate=0.05,
+                                           duration=1000.0)
+        thinned = HomogeneousPoissonGenerator(num_nodes=10, contact_rate=0.05,
+                                              duration=1000.0,
+                                              profile=ConstantProfile(0.2))
+        assert len(thinned.generate(seed=9)) < len(base.generate(seed=9))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HomogeneousPoissonGenerator(num_nodes=1, contact_rate=0.1, duration=10.0)
+        with pytest.raises(ValueError):
+            HomogeneousPoissonGenerator(num_nodes=5, contact_rate=-1.0, duration=10.0)
+        with pytest.raises(ValueError):
+            HomogeneousPoissonGenerator(num_nodes=5, contact_rate=0.1, duration=0.0)
+        with pytest.raises(ValueError):
+            HomogeneousPoissonGenerator(num_nodes=5, contact_rate=0.1, duration=10.0,
+                                        contact_duration=-5.0)
+
+
+class TestConferenceTraceGenerator:
+    def test_basic_generation(self):
+        generator = ConferenceTraceGenerator(num_nodes=30, num_stationary=5,
+                                             duration=1800.0,
+                                             mean_contacts_per_node=20.0)
+        trace = generator.generate(seed=1)
+        assert trace.num_nodes == 30
+        assert trace.duration == 1800.0
+        assert len(trace) > 0
+
+    def test_mean_contacts_close_to_target(self):
+        target = 40.0
+        generator = ConferenceTraceGenerator(num_nodes=40, num_stationary=8,
+                                             duration=3600.0,
+                                             mean_contacts_per_node=target)
+        trace = generator.generate(seed=2)
+        stats = describe(trace)
+        assert target * 0.7 < stats.mean_contacts_per_node < target * 1.3
+
+    def test_reproducible_with_seed(self):
+        generator = ConferenceTraceGenerator(num_nodes=15, num_stationary=3,
+                                             duration=600.0,
+                                             mean_contacts_per_node=10.0)
+        assert generator.generate(seed=4) == generator.generate(seed=4)
+
+    def test_heterogeneous_rates(self):
+        generator = ConferenceTraceGenerator(num_nodes=40, num_stationary=0,
+                                             duration=3600.0,
+                                             mean_contacts_per_node=50.0)
+        trace = generator.generate(seed=3)
+        counts = np.array(sorted(trace.contact_counts().values()), dtype=float)
+        # Strong heterogeneity: the busiest node sees several times more
+        # contacts than the quietest.
+        assert counts[-1] > 3 * max(counts[0], 1.0)
+
+    def test_contact_count_distribution_roughly_uniform(self):
+        generator = ConferenceTraceGenerator(num_nodes=60, num_stationary=0,
+                                             duration=3600.0,
+                                             mean_contacts_per_node=60.0)
+        trace = generator.generate(seed=8)
+        # The paper's Figure 7 claim: per-node contact counts look uniform on
+        # (0, max).  KS distance against uniform should be modest.
+        assert rate_uniformity_statistic(trace) < 0.35
+
+    def test_explicit_weights_override(self):
+        generator = ConferenceTraceGenerator(num_nodes=4, num_stationary=0,
+                                             duration=1000.0,
+                                             mean_contacts_per_node=20.0,
+                                             weights=[1.0, 1.0, 0.05, 0.05])
+        trace = generator.generate(seed=6)
+        counts = trace.contact_counts()
+        assert counts[0] + counts[1] > counts[2] + counts[3]
+
+    def test_two_class_constructor(self):
+        generator = ConferenceTraceGenerator.two_class(
+            num_high=5, num_low=10, high_weight=1.0, low_weight=0.1,
+            duration=1800.0, mean_contacts_per_node=20.0,
+        )
+        assert generator.num_nodes == 15
+        trace = generator.generate(seed=5)
+        rates = trace.contact_rates()
+        high = np.mean([rates[n] for n in range(5)])
+        low = np.mean([rates[n] for n in range(5, 15)])
+        assert high > 2 * low
+
+    def test_tapered_profile_reduces_late_activity(self):
+        duration = 3600.0
+        generator = ConferenceTraceGenerator(
+            num_nodes=40, num_stationary=0, duration=duration,
+            mean_contacts_per_node=60.0, mean_contact_duration=0.0,
+            profile=TaperedProfile(window_end=duration, taper_start=duration / 2,
+                                   final_level=0.1),
+        )
+        trace = generator.generate(seed=9)
+        first_half = len(trace.contacts_starting_in(0.0, duration / 2))
+        second_half = len(trace.contacts_starting_in(duration / 2, duration))
+        assert second_half < first_half * 0.8
+
+    def test_stationary_window_is_stable(self):
+        generator = ConferenceTraceGenerator(num_nodes=50, num_stationary=10,
+                                             duration=3600.0,
+                                             mean_contacts_per_node=80.0)
+        trace = generator.generate(seed=10)
+        assert stationarity_score(trace, bin_seconds=60.0) < 0.6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator(num_nodes=1)
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator(num_nodes=10, num_stationary=11)
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator(num_nodes=10, duration=0.0)
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator(num_nodes=10, mean_contacts_per_node=0.0)
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator(num_nodes=10, min_weight=0.0)
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator(num_nodes=10, weights=[1.0] * 9)
+
+    def test_rejects_non_positive_explicit_weights(self):
+        generator = ConferenceTraceGenerator(num_nodes=3, num_stationary=0,
+                                             weights=[1.0, 0.5, 0.0],
+                                             duration=100.0,
+                                             mean_contacts_per_node=5.0)
+        with pytest.raises(ValueError):
+            generator.generate(seed=1)
+
+    def test_two_class_validation(self):
+        with pytest.raises(ValueError):
+            ConferenceTraceGenerator.two_class(num_high=0, num_low=1)
+
+
+class TestRandomWaypoint:
+    def test_positions_shape_and_bounds(self):
+        model = RandomWaypointModel(num_nodes=6, width=50.0, height=40.0)
+        positions = model.sample_positions(duration=100.0, step=10.0, seed=1)
+        assert positions.shape == (11, 6, 2)
+        assert positions[..., 0].min() >= 0.0 and positions[..., 0].max() <= 50.0
+        assert positions[..., 1].min() >= 0.0 and positions[..., 1].max() <= 40.0
+
+    def test_positions_change_over_time(self):
+        model = RandomWaypointModel(num_nodes=6, max_pause=0.0)
+        positions = model.sample_positions(duration=200.0, step=10.0, seed=2)
+        assert not np.allclose(positions[0], positions[-1])
+
+    def test_generate_trace_produces_contacts(self):
+        model = RandomWaypointModel(num_nodes=15, width=40.0, height=40.0,
+                                    radio_range=12.0, max_pause=10.0)
+        trace = model.generate_trace(duration=600.0, step=10.0, seed=3)
+        assert trace.num_nodes == 15
+        assert len(trace) > 0
+        assert trace.duration == 600.0
+
+    def test_trace_reproducible(self):
+        model = RandomWaypointModel(num_nodes=8, radio_range=15.0)
+        assert (model.generate_trace(300.0, step=10.0, seed=4)
+                == model.generate_trace(300.0, step=10.0, seed=4))
+
+    def test_contacts_from_positions_interval_detection(self):
+        # Two nodes approach, stay close during steps 1-2, then separate.
+        positions = np.array([
+            [[0.0, 0.0], [30.0, 0.0]],
+            [[0.0, 0.0], [5.0, 0.0]],
+            [[0.0, 0.0], [5.0, 0.0]],
+            [[0.0, 0.0], [30.0, 0.0]],
+        ])
+        trace = contacts_from_positions(positions, step=10.0, radio_range=10.0)
+        assert len(trace) == 1
+        contact = trace[0]
+        assert contact.start == pytest.approx(10.0)
+        assert contact.end == pytest.approx(30.0)
+
+    def test_contact_open_at_end_is_closed_at_duration(self):
+        positions = np.array([
+            [[0.0, 0.0], [3.0, 0.0]],
+            [[0.0, 0.0], [3.0, 0.0]],
+        ])
+        trace = contacts_from_positions(positions, step=10.0, radio_range=10.0)
+        assert len(trace) == 1
+        assert trace[0].end == pytest.approx(10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(num_nodes=1)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(num_nodes=5, min_speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(num_nodes=5, radio_range=0.0)
+        model = RandomWaypointModel(num_nodes=5)
+        with pytest.raises(ValueError):
+            model.sample_positions(duration=0.0)
+        with pytest.raises(ValueError):
+            model.sample_positions(duration=10.0, step=0.0)
+        with pytest.raises(ValueError):
+            contacts_from_positions(np.zeros((3, 4)), step=1.0, radio_range=1.0)

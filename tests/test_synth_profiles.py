@@ -1,0 +1,97 @@
+"""Unit tests for activity profiles (repro.synth.profiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import (
+    ConstantProfile,
+    PiecewiseConstantProfile,
+    SessionBreakProfile,
+    TaperedProfile,
+)
+
+
+class TestConstantProfile:
+    def test_default_is_full_activity(self):
+        profile = ConstantProfile()
+        assert profile(0.0) == 1.0
+        assert profile(1e6) == 1.0
+
+    def test_custom_level(self):
+        assert ConstantProfile(0.5)(100.0) == 0.5
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            ConstantProfile(1.5)
+        with pytest.raises(ValueError):
+            ConstantProfile(-0.1)
+
+
+class TestPiecewiseConstantProfile:
+    def test_levels_by_segment(self):
+        profile = PiecewiseConstantProfile([100.0, 200.0], [1.0, 0.5, 0.2])
+        assert profile(50.0) == 1.0
+        assert profile(150.0) == 0.5
+        assert profile(250.0) == 0.2
+
+    def test_breakpoint_belongs_to_next_segment(self):
+        profile = PiecewiseConstantProfile([100.0], [1.0, 0.3])
+        assert profile(100.0) == pytest.approx(0.3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantProfile([100.0], [1.0])
+
+    def test_rejects_non_increasing_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantProfile([100.0, 100.0], [1.0, 0.5, 0.2])
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstantProfile([100.0], [1.0, 1.5])
+
+
+class TestTaperedProfile:
+    def test_full_activity_before_taper(self):
+        profile = TaperedProfile(window_end=1000.0, taper_start=800.0, final_level=0.2)
+        assert profile(0.0) == 1.0
+        assert profile(800.0) == 1.0
+
+    def test_linear_taper(self):
+        profile = TaperedProfile(window_end=1000.0, taper_start=800.0, final_level=0.2)
+        assert profile(900.0) == pytest.approx(0.6)
+        assert profile(1000.0) == pytest.approx(0.2)
+
+    def test_clamped_after_window_end(self):
+        profile = TaperedProfile(window_end=1000.0, taper_start=800.0, final_level=0.2)
+        assert profile(1500.0) == pytest.approx(0.2)
+
+    def test_rejects_taper_outside_window(self):
+        with pytest.raises(ValueError):
+            TaperedProfile(window_end=1000.0, taper_start=1200.0)
+
+    def test_rejects_bad_final_level(self):
+        with pytest.raises(ValueError):
+            TaperedProfile(window_end=1000.0, taper_start=500.0, final_level=2.0)
+
+
+class TestSessionBreakProfile:
+    def test_alternation(self):
+        profile = SessionBreakProfile(session_seconds=100.0, break_seconds=50.0,
+                                      session_level=0.4, break_level=1.0)
+        assert profile(10.0) == 0.4
+        assert profile(120.0) == 1.0
+        assert profile(160.0) == 0.4  # second session
+
+    def test_periodicity(self):
+        profile = SessionBreakProfile(session_seconds=100.0, break_seconds=50.0)
+        assert profile(10.0) == profile(160.0)
+
+    def test_rejects_non_positive_durations(self):
+        with pytest.raises(ValueError):
+            SessionBreakProfile(session_seconds=0.0)
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            SessionBreakProfile(session_level=1.2)
