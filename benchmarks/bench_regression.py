@@ -1,0 +1,28 @@
+"""Perf-regression harness entry point.
+
+Times the enumeration-bound data pipelines behind Figures 3, 4 and 6 with
+both the reference (seed) engine and the fast engine and records the medians
+in ``BENCH_enumeration.json`` so the perf trajectory is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_regression.py
+    PYTHONPATH=src python benchmarks/bench_regression.py --quick
+    PYTHONPATH=src python benchmarks/bench_regression.py --engines fast \
+        --benchmark-json /tmp/current.json
+
+See :func:`_bench_utils.run_regression_harness` for the record format.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for path in (_HERE, _HERE.parent / "src"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+from _bench_utils import run_regression_harness  # noqa: E402
+
+if __name__ == "__main__":
+    run_regression_harness()

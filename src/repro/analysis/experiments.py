@@ -29,12 +29,38 @@ from ..forwarding import (
     default_algorithms,
     simulate,
 )
+from .parallel import process_map
 
 __all__ = [
     "run_path_explosion_study",
     "run_forwarding_study",
     "message_delays_by_algorithm",
 ]
+
+
+# ----------------------------------------------------------------------
+# per-worker state for the parallel explosion study: the space-time graph
+# (and its fast-path step tables) is built once per worker process by the
+# pool initializer, then shared by every message analysed in that worker.
+# ----------------------------------------------------------------------
+_EXPLOSION_WORKER: Dict[str, PathEnumerator] = {}
+
+
+def _init_explosion_worker(trace: ContactTrace, delta: float, k: int,
+                           engine: str) -> None:
+    graph = SpaceTimeGraph(trace, delta=delta)
+    if engine == "fast":
+        graph.step_tables()
+    _EXPLOSION_WORKER["enumerator"] = PathEnumerator(graph, k=k, engine=engine)
+
+
+def _analyze_message_job(
+    job: Tuple[NodeId, NodeId, float, int, bool],
+) -> ExplosionRecord:
+    source, destination, creation_time, n_explosion, keep_paths = job
+    return analyze_message(_EXPLOSION_WORKER["enumerator"], source, destination,
+                           creation_time, n_explosion=n_explosion,
+                           keep_paths=keep_paths)
 
 
 def run_path_explosion_study(
@@ -45,6 +71,9 @@ def run_path_explosion_study(
     seed: Union[int, np.random.Generator, None] = 0,
     keep_paths: bool = False,
     messages: Optional[Sequence[Tuple[NodeId, NodeId, float]]] = None,
+    engine: str = "fast",
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
 ) -> List[ExplosionRecord]:
     """Enumerate paths for a batch of random messages on one dataset.
 
@@ -52,18 +81,30 @@ def run_path_explosion_study(
     explosion threshold defaults to 200 paths rather than the paper's 2000 so
     the study completes in benchmark-friendly time; the threshold is recorded
     in every returned :class:`ExplosionRecord`.
+
+    With ``parallel=True`` the messages are distributed over a process pool
+    of *n_workers* (default: CPU count); each worker builds the space-time
+    graph once and reuses it for all of its messages.  Records are returned
+    in message order either way, so serial and parallel runs are
+    interchangeable.
     """
-    graph = SpaceTimeGraph(trace, delta=delta)
-    enumerator = PathEnumerator(graph, k=max(n_explosion, 1))
     if messages is None:
         messages = random_messages(trace, num_messages, seed=seed)
-    records: List[ExplosionRecord] = []
-    for source, destination, creation_time in messages:
-        records.append(
-            analyze_message(enumerator, source, destination, creation_time,
-                            n_explosion=n_explosion, keep_paths=keep_paths)
+    jobs = [(source, destination, creation_time, n_explosion, keep_paths)
+            for source, destination, creation_time in messages]
+    if parallel and len(jobs) > 1:
+        return process_map(
+            _analyze_message_job, jobs, n_workers=n_workers,
+            initializer=_init_explosion_worker,
+            initargs=(trace, delta, max(n_explosion, 1), engine),
         )
-    return records
+    graph = SpaceTimeGraph(trace, delta=delta)
+    enumerator = PathEnumerator(graph, k=max(n_explosion, 1), engine=engine)
+    return [
+        analyze_message(enumerator, source, destination, creation_time,
+                        n_explosion=n_explosion, keep_paths=keep_paths)
+        for source, destination, creation_time in messages
+    ]
 
 
 def run_forwarding_study(
@@ -72,6 +113,8 @@ def run_forwarding_study(
     message_rate: float = 0.25,
     num_runs: int = 1,
     seed: Union[int, np.random.Generator, None] = 0,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
 ) -> ComparisonResult:
     """Run the Section 6 forwarding comparison on one dataset.
 
@@ -79,12 +122,17 @@ def run_forwarding_study(
     message per four seconds during the first two-thirds of the window, with
     uniformly random endpoints.  Results over multiple runs are pooled by the
     returned :class:`ComparisonResult`.
+
+    ``parallel=True`` fans the (run, algorithm) simulations out over a
+    process pool; workloads are still drawn sequentially in the parent, so
+    results match a serial run exactly.
     """
     if algorithms is None:
         algorithms = default_algorithms()
     workload = PoissonMessageWorkload(rate=message_rate)
     return compare_algorithms(trace, algorithms, workload=workload,
-                              num_runs=num_runs, seed=seed)
+                              num_runs=num_runs, seed=seed,
+                              parallel=parallel, n_workers=n_workers)
 
 
 def message_delays_by_algorithm(

@@ -6,10 +6,12 @@ from .enumeration import (
     Delivery,
     EnumerationResult,
     PathEnumerator,
+    enumerate_batch,
     enumerate_paths,
     epidemic_infection_times,
     first_delivery_time,
 )
+from .fastpath import NodeInterner, StepTables
 from .explosion import (
     DEFAULT_EXPLOSION_THRESHOLD,
     ExplosionRecord,
@@ -52,7 +54,10 @@ __all__ = [
     "Delivery",
     "EnumerationResult",
     "PathEnumerator",
+    "enumerate_batch",
     "enumerate_paths",
+    "NodeInterner",
+    "StepTables",
     "epidemic_infection_times",
     "first_delivery_time",
     "DEFAULT_EXPLOSION_THRESHOLD",

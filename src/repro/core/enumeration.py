@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..contacts import ContactTrace, NodeId
-from .path import Path
+from .path import Hop, Path
 from .space_time_graph import SpaceTimeGraph
 
 __all__ = [
@@ -48,12 +48,19 @@ __all__ = [
     "EnumerationResult",
     "PathEnumerator",
     "enumerate_paths",
+    "enumerate_batch",
     "epidemic_infection_times",
     "first_delivery_time",
 ]
 
 #: Default number of paths kept per node, matching the paper's k >= 2000.
 DEFAULT_K = 2000
+
+#: Engines accepted by :class:`PathEnumerator`.  ``"fast"`` runs the interned
+#: bitmask dynamic program over the graph's precomputed step tables;
+#: ``"reference"`` runs the original frozenset/Path implementation.  Both
+#: produce identical delivery streams (enforced by the equivalence suite).
+ENGINES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -171,13 +178,23 @@ class PathEnumerator:
     k:
         Maximum number of paths maintained per node, and the per-step
         delivery count that triggers the paper's stop rule.
+    engine:
+        ``"fast"`` (default) — the interned bitmask dynamic program backed by
+        the graph's precomputed :class:`~repro.core.fastpath.StepTables`;
+        ``"reference"`` — the original frozenset/Path implementation, kept as
+        the ground truth the fast engine is verified against.  Both engines
+        emit byte-identical delivery streams.
     """
 
-    def __init__(self, graph: SpaceTimeGraph, k: int = DEFAULT_K) -> None:
+    def __init__(self, graph: SpaceTimeGraph, k: int = DEFAULT_K,
+                 engine: str = "fast") -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self._graph = graph
         self._k = k
+        self._engine = engine
 
     @property
     def graph(self) -> SpaceTimeGraph:
@@ -186,6 +203,10 @@ class PathEnumerator:
     @property
     def k(self) -> int:
         return self._k
+
+    @property
+    def engine(self) -> str:
+        return self._engine
 
     # ------------------------------------------------------------------
     def enumerate(
@@ -215,6 +236,42 @@ class PathEnumerator:
             destination within a single timestep.
         """
         self._validate_message(source, destination, creation_time)
+        if self._engine == "fast":
+            return self._enumerate_fast(source, destination, creation_time,
+                                        max_total_deliveries, max_steps)
+        return self._enumerate_reference(source, destination, creation_time,
+                                         max_total_deliveries, max_steps)
+
+    def enumerate_batch(
+        self,
+        messages: Iterable[Tuple[NodeId, NodeId, float]],
+        max_total_deliveries: Optional[int] = None,
+        max_steps: Optional[int] = None,
+    ) -> List[EnumerationResult]:
+        """Enumerate every ``(source, destination, creation_time)`` message.
+
+        The space-time graph's step tables are warmed once up front, so the
+        per-message cost is the dynamic program alone.  Results are returned
+        in input order.
+        """
+        if self._engine == "fast":
+            self._graph.step_tables()
+        return [
+            self.enumerate(source, destination, creation_time,
+                           max_total_deliveries=max_total_deliveries,
+                           max_steps=max_steps)
+            for source, destination, creation_time in messages
+        ]
+
+    # ------------------------------------------------------------------
+    def _enumerate_reference(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        creation_time: float,
+        max_total_deliveries: Optional[int],
+        max_steps: Optional[int],
+    ) -> EnumerationResult:
         graph = self._graph
         result = EnumerationResult(source=source, destination=destination,
                                    creation_time=creation_time)
@@ -223,6 +280,12 @@ class PathEnumerator:
             source: [_StoredPath(Path.single(source, creation_time),
                                  frozenset((source,)), start_step)]
         }
+        # Store entries are deleted when they go empty (so dead nodes stop
+        # being iterated), but the hand-off snapshot must still process
+        # nodes in the order the original algorithm would: a dict key's
+        # position is its *first*-insertion position, kept here forever even
+        # across delete/re-insert cycles.
+        first_slot: Dict[NodeId, int] = {source: 0}
         last_step = graph.num_steps
         if max_steps is not None:
             last_step = min(last_step, start_step + max_steps)
@@ -234,7 +297,8 @@ class PathEnumerator:
                 continue
             arrival_time = graph.time_of_step(step)
             delivered_this_step = self._process_step(
-                store, adjacency, step, arrival_time, destination, result,
+                store, first_slot, adjacency, step, arrival_time, destination,
+                result,
             )
             if delivered_this_step >= self._k:
                 result.stopped_early = True
@@ -265,6 +329,7 @@ class PathEnumerator:
     def _process_step(
         self,
         store: Dict[NodeId, List[_StoredPath]],
+        first_slot: Dict[NodeId, int],
         adjacency: Dict[NodeId, Set[NodeId]],
         step: int,
         arrival_time: float,
@@ -280,7 +345,10 @@ class PathEnumerator:
         dest_neighbors: Set[NodeId] = set(adjacency.get(destination, ()))
 
         # 1. Deliveries from nodes already holding paths (first preference:
-        #    their stored paths are delivered now and removed).
+        #    their stored paths are delivered now and removed).  The store
+        #    entry is deleted outright — leaving an empty list behind would
+        #    make the purge and snapshot phases below iterate dead entries
+        #    for the rest of the enumeration.
         for node in list(dest_neighbors):
             held = store.get(node)
             if not held:
@@ -288,23 +356,33 @@ class PathEnumerator:
             for stored in held:
                 self._emit(result, stored.path, destination, arrival_time, step)
                 delivered += 1
-            store[node] = []
+            del store[node]
 
         # 1b. First-preference purge: any path that passes through a node
         #     currently in contact with the destination can only deliver
         #     *later* than that node could have delivered it, so it is not a
         #     first-preference path and is dropped everywhere in the system.
+        #     Nodes left with no paths are dropped from the store entirely.
         if dest_neighbors:
+            emptied: List[NodeId] = []
             for node, held in store.items():
-                if held:
-                    store[node] = [s for s in held
-                                   if not (s.node_set & dest_neighbors)]
+                kept = [s for s in held if not (s.node_set & dest_neighbors)]
+                if len(kept) != len(held):
+                    if kept:
+                        store[node] = kept
+                    else:
+                        emptied.append(node)
+            for node in emptied:
+                del store[node]
 
         # 2. Hand-offs.  Work from a snapshot of the stores taken after the
         #    delivery phase, so paths placed during this step are extended
-        #    exactly once (by the within-step cascade below).
+        #    exactly once (by the within-step cascade below).  Nodes are
+        #    processed in first-insertion order — the position they would
+        #    occupy in the store dict had empty entries never been pruned.
         frontier: List[Tuple[NodeId, _StoredPath]] = []
-        snapshot = {node: list(held) for node, held in store.items() if held}
+        ordered = sorted(store.items(), key=lambda item: first_slot[item[0]])
+        snapshot = {node: list(held) for node, held in ordered}
         for node, held in snapshot.items():
             if node not in adjacency:
                 continue
@@ -324,8 +402,8 @@ class PathEnumerator:
                     new_stored = _StoredPath(new_path,
                                              stored.node_set | {peer}, step)
                     delivered += self._place(
-                        store, adjacency, new_stored, peer, destination,
-                        arrival_time, step, result, frontier,
+                        store, first_slot, adjacency, new_stored, peer,
+                        destination, arrival_time, step, result, frontier,
                     )
 
         # 3. Within-step cascade: paths that just arrived can keep moving
@@ -341,14 +419,15 @@ class PathEnumerator:
                 new_path = stored.path.extended(peer, arrival_time)
                 new_stored = _StoredPath(new_path, stored.node_set | {peer}, step)
                 delivered += self._place(
-                    store, adjacency, new_stored, peer, destination,
-                    arrival_time, step, result, frontier,
+                    store, first_slot, adjacency, new_stored, peer,
+                    destination, arrival_time, step, result, frontier,
                 )
         return delivered
 
     def _place(
         self,
         store: Dict[NodeId, List[_StoredPath]],
+        first_slot: Dict[NodeId, int],
         adjacency: Dict[NodeId, Set[NodeId]],
         stored: _StoredPath,
         node: NodeId,
@@ -370,7 +449,11 @@ class PathEnumerator:
         if destination in adjacency.get(node, ()):  # immediate delivery
             self._emit(result, stored.path, destination, arrival_time, step)
             return 1
-        held = store.setdefault(node, [])
+        held = store.get(node)
+        if held is None:
+            held = store[node] = []
+            if node not in first_slot:
+                first_slot[node] = len(first_slot)
         if len(held) < self._k:
             held.append(stored)
             frontier.append((node, stored))
@@ -393,10 +476,280 @@ class PathEnumerator:
     def _sort_deliveries(result: EnumerationResult) -> None:
         result.deliveries.sort(key=lambda d: (d.time, d.hop_count))
 
+    # ------------------------------------------------------------------
+    # fast engine: interned bitmask dynamic program
+    # ------------------------------------------------------------------
+    # A stored path is the tuple (link, mask, arrival_step, hop_count) where
+    #
+    # * link  — a (parent_link, node, arrival_time) cons cell; the full hop
+    #   sequence is materialised into a Path object only when the path is
+    #   actually delivered;
+    # * mask  — int bitmask of the visited nodes (loop avoidance and the
+    #   first-preference purge become single AND operations);
+    # * arrival_step / hop_count — as in the reference engine.
+    #
+    # The engine replays the reference engine's iteration orders exactly
+    # (see fastpath module docstring), so the two delivery streams are
+    # identical including tie order.
+
+    def _enumerate_fast(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        creation_time: float,
+        max_total_deliveries: Optional[int],
+        max_steps: Optional[int],
+    ) -> EnumerationResult:
+        graph = self._graph
+        tables = graph.step_tables()
+        interner = tables.interner
+        k = self._k
+        delta = graph.delta
+
+        src_idx = interner.index_of(source)
+        dst_idx = interner.index_of(destination)
+        result = EnumerationResult(source=source, destination=destination,
+                                   creation_time=creation_time)
+        start_step = graph.step_of_time(creation_time)
+        last_step = graph.num_steps
+        if max_steps is not None:
+            last_step = min(last_step, start_step + max_steps)
+
+        root_link = (None, source, creation_time)
+        store: Dict[int, List[tuple]] = {
+            src_idx: [(root_link, 1 << src_idx, start_step, 0)]
+        }
+        # first-insertion order of store keys (see _enumerate_reference):
+        # preserved across delete/re-insert cycles so the hand-off snapshot
+        # processes nodes exactly as the reference engine does.
+        first_slot: Dict[int, int] = {src_idx: 0}
+        # emissions: (time, delivered_hop_count, step, delivered_link)
+        emitted: List[Tuple[float, int, int, tuple]] = []
+        # cached (max_hop, first_max_index) per node store at capacity
+        cap_cache: Dict[int, Tuple[int, int]] = {}
+
+        raw_adjacency = graph._adjacency
+        neighbor_masks = tables.neighbor_masks
+        next_active = tables.next_active
+        steps_counted = 0
+        total_deliveries = 0
+        step = start_step
+        while step < last_step:
+            if not store:
+                # No paths anywhere: the remaining steps are no-ops; count
+                # them as processed, as the reference engine would.
+                steps_counted += last_step - step
+                break
+            masks_t = neighbor_masks[step]
+            dest_mask = masks_t.get(dst_idx, 0)
+            if not dest_mask and all(idx not in masks_t for idx in store):
+                # Neither the destination nor any path-holding node has a
+                # contact edge: jump to the next step where one does.
+                jump = min(
+                    min(next_active[idx][step] for idx in store),
+                    next_active[dst_idx][step],
+                    last_step,
+                )
+                steps_counted += jump - step
+                step = jump
+                continue
+            steps_counted += 1
+            arrival_time = (step + 1) * delta
+            delivered_this_step = self._process_step_fast(
+                store, first_slot, cap_cache, emitted, step, arrival_time,
+                dest_mask, dst_idx, destination, raw_adjacency[step], tables,
+            )
+            total_deliveries += delivered_this_step
+            if delivered_this_step >= k:
+                result.stopped_early = True
+                break
+            if (max_total_deliveries is not None
+                    and total_deliveries >= max_total_deliveries):
+                result.stopped_early = True
+                break
+            step += 1
+        result.steps_processed = steps_counted
+        emitted.sort(key=lambda record: (record[0], record[1]))
+        result.deliveries = [
+            Delivery(path=Path(hops=_materialize_hops(link)), time=time, step=step)
+            for time, _, step, link in emitted
+        ]
+        return result
+
+    def _process_step_fast(
+        self,
+        store: Dict[int, List[tuple]],
+        first_slot: Dict[int, int],
+        cap_cache: Dict[int, Tuple[int, int]],
+        emitted: List[Tuple[float, int, int, tuple]],
+        step: int,
+        arrival_time: float,
+        dest_mask: int,
+        dst_idx: int,
+        destination: NodeId,
+        raw_adjacency: Dict[NodeId, Set[NodeId]],
+        tables,
+    ) -> int:
+        delivered = 0
+        interner = tables.interner
+        index_of = interner.index_of
+        node_of = interner.nodes
+        neighbor_list = tables.neighbor_lists[step]
+        place = self._place_fast
+
+        if dest_mask:
+            # 1. Deliveries.  The reference engine iterates a set *copy* of
+            #    the destination's adjacency; perform the identical operation
+            #    on the identical set object so tie order matches exactly.
+            dest_neighbors = set(raw_adjacency.get(destination, ()))
+            for node in dest_neighbors:
+                idx = index_of(node)
+                held = store.get(idx)
+                if not held:
+                    continue
+                for link, _, _, hop_count in held:
+                    emitted.append((arrival_time, hop_count + 1, step,
+                                    (link, destination, arrival_time)))
+                delivered += len(held)
+                del store[idx]
+                cap_cache.pop(idx, None)
+
+            # 1b. First-preference purge: one AND per stored path.
+            emptied: List[int] = []
+            for idx, held in store.items():
+                kept = [entry for entry in held if not (entry[1] & dest_mask)]
+                if len(kept) != len(held):
+                    cap_cache.pop(idx, None)
+                    if kept:
+                        store[idx] = kept
+                    else:
+                        emptied.append(idx)
+            for idx in emptied:
+                del store[idx]
+
+        # 2. Hand-offs from a post-delivery snapshot, in first-insertion
+        #    order (the reference engine's effective processing order).
+        frontier: List[Tuple[int, tuple]] = []
+        snapshot = [(idx, list(held))
+                    for idx, held in sorted(store.items(),
+                                            key=lambda item: first_slot[item[0]])]
+        for idx, held in snapshot:
+            neighbors = neighbor_list.get(idx)
+            if not neighbors:
+                continue
+            for peer_idx, fresh in neighbors:
+                if peer_idx == dst_idx:
+                    continue
+                peer = node_of[peer_idx]
+                peer_bit = 1 << peer_idx
+                for entry in held:
+                    if not fresh and entry[2] < step:
+                        # Ongoing contact, old path: the hand-off already
+                        # happened in an earlier step.
+                        continue
+                    mask = entry[1]
+                    if mask & peer_bit:
+                        continue
+                    new_entry = ((entry[0], peer, arrival_time),
+                                 mask | peer_bit, step, entry[3] + 1)
+                    delivered += place(
+                        store, first_slot, cap_cache, emitted, new_entry,
+                        peer_idx, dest_mask, arrival_time, step, destination,
+                        frontier,
+                    )
+
+        # 3. Within-step cascade over zero-weight edges.
+        while frontier:
+            idx, entry = frontier.pop()
+            neighbors = neighbor_list.get(idx)
+            if not neighbors:
+                continue
+            link, mask, _, hop_count = entry
+            for peer_idx, _ in neighbors:
+                peer_bit = 1 << peer_idx
+                if peer_idx == dst_idx or mask & peer_bit:
+                    continue
+                new_entry = ((link, node_of[peer_idx], arrival_time),
+                             mask | peer_bit, step, hop_count + 1)
+                delivered += place(
+                    store, first_slot, cap_cache, emitted, new_entry,
+                    peer_idx, dest_mask, arrival_time, step, destination,
+                    frontier,
+                )
+        return delivered
+
+    def _place_fast(
+        self,
+        store: Dict[int, List[tuple]],
+        first_slot: Dict[int, int],
+        cap_cache: Dict[int, Tuple[int, int]],
+        emitted: List[Tuple[float, int, int, tuple]],
+        entry: tuple,
+        idx: int,
+        dest_mask: int,
+        arrival_time: float,
+        step: int,
+        destination: NodeId,
+        frontier: List[Tuple[int, tuple]],
+    ) -> int:
+        if dest_mask >> idx & 1:  # immediate delivery (first preference)
+            emitted.append((arrival_time, entry[3] + 1, step,
+                            (entry[0], destination, arrival_time)))
+            return 1
+        held = store.get(idx)
+        if held is None:
+            held = store[idx] = []
+            if idx not in first_slot:
+                first_slot[idx] = len(first_slot)
+        if len(held) < self._k:
+            held.append(entry)
+            frontier.append((idx, entry))
+            return 0
+        # At capacity: keep the k shortest by hop count.  The reference
+        # engine rescans for the first index holding the maximum hop count
+        # on every placement; cache that scan until the list changes.
+        cached = cap_cache.get(idx)
+        if cached is None:
+            worst_hops = -1
+            worst_index = 0
+            for position, existing in enumerate(held):
+                if existing[3] > worst_hops:
+                    worst_hops = existing[3]
+                    worst_index = position
+            cached = (worst_hops, worst_index)
+            cap_cache[idx] = cached
+        worst_hops, worst_index = cached
+        if worst_hops > entry[3]:
+            held[worst_index] = entry
+            cap_cache.pop(idx, None)
+            frontier.append((idx, entry))
+        return 0
+
+
+def _materialize_hops(link: tuple) -> Tuple[Hop, ...]:
+    """Expand a (parent, node, time) cons chain into a hop tuple."""
+    hops: List[Hop] = []
+    while link is not None:
+        parent, node, time = link
+        hops.append((node, time))
+        link = parent
+    hops.reverse()
+    return tuple(hops)
+
 
 # ----------------------------------------------------------------------
 # module-level conveniences
 # ----------------------------------------------------------------------
+def _coerce_graph(trace_or_graph, delta: float) -> SpaceTimeGraph:
+    if isinstance(trace_or_graph, SpaceTimeGraph):
+        return trace_or_graph
+    if isinstance(trace_or_graph, ContactTrace):
+        return SpaceTimeGraph(trace_or_graph, delta=delta)
+    raise TypeError(
+        f"expected ContactTrace or SpaceTimeGraph, got {type(trace_or_graph)!r}"
+    )
+
+
 def enumerate_paths(
     trace_or_graph,
     source: NodeId,
@@ -405,24 +758,37 @@ def enumerate_paths(
     k: int = DEFAULT_K,
     max_total_deliveries: Optional[int] = None,
     delta: float = 10.0,
+    engine: str = "fast",
 ) -> EnumerationResult:
     """One-shot enumeration from a trace or a prebuilt space-time graph.
 
     When iterating over many messages of the same trace, build the
-    :class:`SpaceTimeGraph` once and use :class:`PathEnumerator` directly to
-    avoid rebuilding it per message.
+    :class:`SpaceTimeGraph` once and use :class:`PathEnumerator` (or
+    :func:`enumerate_batch`) directly to avoid rebuilding it per message.
     """
-    if isinstance(trace_or_graph, SpaceTimeGraph):
-        graph = trace_or_graph
-    elif isinstance(trace_or_graph, ContactTrace):
-        graph = SpaceTimeGraph(trace_or_graph, delta=delta)
-    else:
-        raise TypeError(
-            f"expected ContactTrace or SpaceTimeGraph, got {type(trace_or_graph)!r}"
-        )
-    enumerator = PathEnumerator(graph, k=k)
+    graph = _coerce_graph(trace_or_graph, delta)
+    enumerator = PathEnumerator(graph, k=k, engine=engine)
     return enumerator.enumerate(source, destination, creation_time,
                                 max_total_deliveries=max_total_deliveries)
+
+
+def enumerate_batch(
+    trace_or_graph,
+    messages: Iterable[Tuple[NodeId, NodeId, float]],
+    k: int = DEFAULT_K,
+    max_total_deliveries: Optional[int] = None,
+    delta: float = 10.0,
+    engine: str = "fast",
+) -> List[EnumerationResult]:
+    """Enumerate a batch of ``(source, destination, creation_time)`` messages.
+
+    The space-time graph and its fast-path step tables are built once and
+    shared across the whole batch; results are returned in input order.
+    """
+    graph = _coerce_graph(trace_or_graph, delta)
+    enumerator = PathEnumerator(graph, k=k, engine=engine)
+    return enumerator.enumerate_batch(
+        messages, max_total_deliveries=max_total_deliveries)
 
 
 def epidemic_infection_times(

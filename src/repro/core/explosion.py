@@ -168,15 +168,18 @@ def analyze_dataset(
     delta: float = 10.0,
     keep_paths: bool = False,
     graph: Optional[SpaceTimeGraph] = None,
+    engine: str = "fast",
 ) -> List[ExplosionRecord]:
     """Run the path-explosion analysis over a batch of messages.
 
     Builds the space-time graph once (unless one is supplied) and reuses it
-    for every message.
+    for every message.  *engine* selects the enumeration engine (``"fast"``
+    or ``"reference"``; see :class:`PathEnumerator`).
     """
     if graph is None:
         graph = SpaceTimeGraph(trace, delta=delta)
-    enumerator = PathEnumerator(graph, k=k if k is not None else max(n_explosion, 1))
+    enumerator = PathEnumerator(graph, k=k if k is not None else max(n_explosion, 1),
+                                engine=engine)
     records = []
     for source, destination, creation_time in messages:
         records.append(

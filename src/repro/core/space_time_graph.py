@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 import networkx as nx
 
 from ..contacts import Contact, ContactTrace, NodeId
+from .fastpath import NodeInterner, StepTables
 
 __all__ = ["SpaceTimeGraph", "DEFAULT_DELTA"]
 
@@ -54,6 +55,7 @@ class SpaceTimeGraph:
         self._delta = float(delta)
         self._num_steps = max(1, int(math.ceil(trace.duration / delta)))
         self._adjacency: List[Adjacency] = [dict() for _ in range(self._num_steps)]
+        self._step_tables: Optional[StepTables] = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -64,9 +66,18 @@ class SpaceTimeGraph:
                 last = first
             else:
                 # A contact active anywhere inside [sΔ, (s+1)Δ) creates a
-                # contact edge at step s.  The end instant itself is
-                # exclusive, hence the small epsilon.
-                last = int((contact.end - 1e-9) // self._delta)
+                # contact edge at step s.  The contact interval is half-open,
+                # [start, end), so an end instant that falls exactly on a
+                # step edge does not reach into the following step: the last
+                # step is floor(end / Δ), stepped back by one when end is an
+                # exact multiple of Δ.  End times are taken at face value —
+                # an end one ulp past a boundary extends into the next step
+                # (the seed's 1e-9 epsilon instead silently truncated any
+                # contact ending within a nanosecond past a boundary).
+                quotient, remainder = divmod(contact.end, self._delta)
+                last = int(quotient)
+                if remainder == 0.0:
+                    last -= 1
             last = min(last, self._num_steps - 1)
             first = min(first, self._num_steps - 1)
             for step in range(first, last + 1):
@@ -97,6 +108,22 @@ class SpaceTimeGraph:
     @property
     def nodes(self) -> FrozenSet[NodeId]:
         return self._trace.nodes
+
+    @property
+    def interner(self) -> NodeInterner:
+        """The dense node-id interner shared by the fast-path structures."""
+        return self.step_tables().interner
+
+    def step_tables(self) -> StepTables:
+        """Per-step fast-path indexes (interned neighbour lists, freshness
+        flags, neighbour bitmasks, and the next-active-step skip index).
+
+        Built lazily on first use and cached for the lifetime of the graph,
+        so the cost is paid once per trace rather than once per message.
+        """
+        if self._step_tables is None:
+            self._step_tables = StepTables.build(self.nodes, self._adjacency)
+        return self._step_tables
 
     def step_of_time(self, t: float) -> int:
         """The step whose interval ``[sΔ, (s+1)Δ)`` contains instant *t*."""

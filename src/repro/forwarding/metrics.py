@@ -165,6 +165,26 @@ class ComparisonResult:
         }
 
 
+# The trace is shared by every (run, algorithm) simulation, so it is shipped
+# to each worker process once via the pool initializer rather than pickled
+# into every job.
+_SIMULATION_WORKER: Dict[str, ContactTrace] = {}
+
+
+def _init_simulation_worker(trace: ContactTrace) -> None:
+    _SIMULATION_WORKER["trace"] = trace
+
+
+def _run_simulation_job(
+    job: Tuple[ForwardingAlgorithm, Sequence[Message], str],
+) -> SimulationResult:
+    """Top-level worker for the parallel comparison (must be picklable)."""
+    algorithm, run_messages, copy_semantics = job
+    simulator = ForwardingSimulator(_SIMULATION_WORKER["trace"], algorithm,
+                                    copy_semantics=copy_semantics)
+    return simulator.run(run_messages)
+
+
 def compare_algorithms(
     trace: ContactTrace,
     algorithms: Sequence[ForwardingAlgorithm],
@@ -173,6 +193,8 @@ def compare_algorithms(
     num_runs: int = 1,
     seed: Union[int, np.random.Generator, None] = None,
     copy_semantics: str = "copy",
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
 ) -> ComparisonResult:
     """Run every algorithm on identical message workloads and collect results.
 
@@ -180,6 +202,11 @@ def compare_algorithms(
     averages over 10 runs) or an explicit fixed *messages* list must be
     given.  Every algorithm within a run sees exactly the same messages, so
     the comparison is paired.
+
+    With ``parallel=True`` the (run, algorithm) simulations are distributed
+    over a process pool of *n_workers* (default: CPU count).  Workloads are
+    still drawn sequentially in the parent process, so the messages — and
+    therefore the results — are identical to a serial run.
     """
     if (workload is None) == (messages is None):
         raise ValueError("provide exactly one of workload or messages")
@@ -193,13 +220,32 @@ def compare_algorithms(
     )
     for name in (a.name for a in algorithms):
         comparison.results.setdefault(name, [])
+    messages_per_run: List[Sequence[Message]] = []
     for _ in range(num_runs):
         if workload is not None:
-            run_messages: Sequence[Message] = workload.generate(trace, seed=rng)
+            messages_per_run.append(workload.generate(trace, seed=rng))
         else:
-            run_messages = list(messages or [])
+            messages_per_run.append(list(messages or []))
+    jobs = [
+        (algorithm, run_messages, copy_semantics)
+        for run_messages in messages_per_run
+        for algorithm in algorithms
+    ]
+    if parallel and len(jobs) > 1:
+        from ..analysis.parallel import process_map
+
+        results = process_map(_run_simulation_job, jobs, n_workers=n_workers,
+                              initializer=_init_simulation_worker,
+                              initargs=(trace,))
+    else:
+        results = [
+            ForwardingSimulator(trace, algorithm,
+                                copy_semantics=job_copy).run(run_messages)
+            for algorithm, run_messages, job_copy in jobs
+        ]
+    job_index = 0
+    for _ in range(num_runs):
         for algorithm in algorithms:
-            simulator = ForwardingSimulator(trace, algorithm,
-                                            copy_semantics=copy_semantics)
-            comparison.results[algorithm.name].append(simulator.run(run_messages))
+            comparison.results[algorithm.name].append(results[job_index])
+            job_index += 1
     return comparison

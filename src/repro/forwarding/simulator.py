@@ -19,15 +19,27 @@ at the destination do not change success rate or delay).  By default message
 propagation stops once the message is delivered, which does not affect any
 reported metric but keeps large epidemic simulations fast; pass
 ``stop_on_delivery=False`` to keep flooding after delivery.
+
+Implementation notes
+--------------------
+Node ids are interned to dense integers for the duration of a run (via the
+same :class:`~repro.core.fastpath.NodeInterner` the enumeration engine
+uses), which buys two structural speedups over a naive replay:
+
+* each node keeps an index of the message ids it currently carries, so a new
+  contact only iterates the carrier's own messages instead of scanning every
+  message in the system;
+* the ``ever_held`` relation — consulted on every transfer attempt — is one
+  int bitmask per message instead of a set of node ids.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..contacts import Contact, ContactTrace, NodeId
+from ..core.fastpath import NodeInterner
 from .algorithms import ForwardingAlgorithm
 from .history import OnlineContactHistory
 from .messages import Message
@@ -59,6 +71,9 @@ class SimulationResult:
     algorithm: str
     trace_name: str
     outcomes: List[DeliveryOutcome] = field(default_factory=list)
+    # (number of outcomes indexed, id -> outcome); see outcome_for
+    _outcome_index: Optional[Tuple[int, Dict[int, DeliveryOutcome]]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def num_messages(self) -> int:
@@ -86,10 +101,21 @@ class SimulationResult:
         return sum(delays) / len(delays)
 
     def outcome_for(self, message_id: int) -> Optional[DeliveryOutcome]:
-        for outcome in self.outcomes:
-            if outcome.message.id == message_id:
-                return outcome
-        return None
+        """The outcome of one message, by id (O(1) after the first call).
+
+        The id → outcome index is built lazily and rebuilt whenever the
+        length of :attr:`outcomes` has changed since it was built; should
+        ids ever collide, the first occurrence wins, matching a front-to-back
+        scan.  (Replacing an outcome in place without changing the list
+        length is not detected — treat a populated result as read-only.)
+        """
+        cached = self._outcome_index
+        if cached is None or cached[0] != len(self.outcomes):
+            index: Dict[int, DeliveryOutcome] = {}
+            for outcome in self.outcomes:
+                index.setdefault(outcome.message.id, outcome)
+            self._outcome_index = cached = (len(self.outcomes), index)
+        return cached[1].get(message_id)
 
 
 # ----------------------------------------------------------------------
@@ -101,6 +127,34 @@ class SimulationResult:
 # matching the half-open [start, end) contact semantics).
 # ----------------------------------------------------------------------
 _START, _END, _CREATE = 0, 1, 2
+
+
+class _RunState:
+    """Mutable per-run simulation state over interned node indices."""
+
+    __slots__ = ("interner", "node_of", "active_counts", "active_peers",
+                 "holdings", "carried", "ever_held", "delivered", "dest_index")
+
+    def __init__(self, interner: NodeInterner, messages: Sequence[Message]) -> None:
+        self.interner = interner
+        self.node_of = interner.nodes
+        num_nodes = len(interner)
+        # reference counts for (possibly overlapping) contacts per pair
+        self.active_counts: Dict[Tuple[int, int], int] = {}
+        self.active_peers: List[Set[int]] = [set() for _ in range(num_nodes)]
+        # holdings[message_id][node_index] = (receive_time, hop_count)
+        self.holdings: Dict[int, Dict[int, Tuple[float, int]]] = {}
+        # carried[node_index] = message ids the node currently holds
+        self.carried: List[Set[int]] = [set() for _ in range(num_nodes)]
+        # ever_held[message_id] = bitmask of node indices that carried the
+        # message at some point; a node never re-receives such a message (in
+        # hand-off mode this is what prevents ping-ponging within a contact).
+        self.ever_held: Dict[int, int] = {}
+        self.delivered: Dict[int, Tuple[float, int]] = {}
+        index_of = interner.index_of
+        self.dest_index: Dict[int, int] = {
+            m.id: index_of(m.destination) for m in messages
+        }
 
 
 class ForwardingSimulator:
@@ -150,25 +204,19 @@ class ForwardingSimulator:
                 )
         self._algorithm.prepare(self._trace)
 
+        interner = NodeInterner(self._trace.nodes)
+        index_of = interner.index_of
+        state = _RunState(interner, messages)
         history = OnlineContactHistory()
-        active_counts: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
-        active_peers: Dict[NodeId, Set[NodeId]] = defaultdict(set)
-        # holdings[message_id][node] = (receive_time, hop_count)
-        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]] = defaultdict(dict)
-        # ever_held[message_id] = nodes that have carried the message at some
-        # point.  A node never re-receives a message it already carried; in
-        # hand-off mode this is what prevents a copy from ping-ponging
-        # between two nodes within a single contact.
-        self._ever_held: Dict[int, Set[NodeId]] = defaultdict(set)
-        delivered: Dict[int, Tuple[float, int]] = {}
         by_id: Dict[int, Message] = {m.id: m for m in messages}
 
         events: List[Tuple[float, int, int, object]] = []
         sequence = 0
         for contact in self._trace:
-            events.append((contact.start, _START, sequence, contact))
+            payload = (contact, index_of(contact.a), index_of(contact.b))
+            events.append((contact.start, _START, sequence, payload))
             sequence += 1
-            events.append((max(contact.end, contact.start), _END, sequence, contact))
+            events.append((max(contact.end, contact.start), _END, sequence, payload))
             sequence += 1
         for message in messages:
             events.append((message.creation_time, _CREATE, sequence, message))
@@ -177,25 +225,25 @@ class ForwardingSimulator:
 
         for time, kind, _, payload in events:
             if kind == _END:
-                contact = payload  # type: ignore[assignment]
-                self._close_contact(contact, active_counts, active_peers)
+                contact, a, b = payload  # type: ignore[misc]
+                self._close_contact(state, a, b)
             elif kind == _START:
-                contact = payload  # type: ignore[assignment]
+                contact, a, b = payload  # type: ignore[misc]
                 history.record(contact.a, contact.b, time)
-                self._open_contact(contact, active_counts, active_peers)
-                self._exchange_on_contact(contact, time, history, active_peers,
-                                          holdings, delivered, by_id)
+                self._open_contact(state, a, b)
+                self._exchange_on_contact(state, a, b, time, history, by_id)
             else:  # _CREATE
                 message = payload  # type: ignore[assignment]
-                holdings[message.id][message.source] = (time, 0)
-                self._ever_held[message.id].add(message.source)
-                self._cascade(message, message.source, time, history, active_peers,
-                              holdings, delivered)
+                source = index_of(message.source)
+                state.holdings[message.id] = {source: (time, 0)}
+                state.carried[source].add(message.id)
+                state.ever_held[message.id] = 1 << source
+                self._cascade(state, message, source, time, history)
 
         outcomes = []
         for message in messages:
-            if message.id in delivered:
-                delivery_time, hops = delivered[message.id]
+            if message.id in state.delivered:
+                delivery_time, hops = state.delivered[message.id]
                 outcomes.append(DeliveryOutcome(message=message, delivered=True,
                                                 delivery_time=delivery_time,
                                                 hop_count=hops))
@@ -207,108 +255,101 @@ class ForwardingSimulator:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _open_contact(contact: Contact,
-                      active_counts: Dict[Tuple[NodeId, NodeId], int],
-                      active_peers: Dict[NodeId, Set[NodeId]]) -> None:
-        pair = contact.pair
-        active_counts[pair] += 1
-        active_peers[contact.a].add(contact.b)
-        active_peers[contact.b].add(contact.a)
+    def _open_contact(state: _RunState, a: int, b: int) -> None:
+        pair = (a, b) if a <= b else (b, a)
+        state.active_counts[pair] = state.active_counts.get(pair, 0) + 1
+        state.active_peers[a].add(b)
+        state.active_peers[b].add(a)
 
     @staticmethod
-    def _close_contact(contact: Contact,
-                       active_counts: Dict[Tuple[NodeId, NodeId], int],
-                       active_peers: Dict[NodeId, Set[NodeId]]) -> None:
-        pair = contact.pair
-        active_counts[pair] -= 1
-        if active_counts[pair] <= 0:
-            active_counts.pop(pair, None)
-            active_peers[contact.a].discard(contact.b)
-            active_peers[contact.b].discard(contact.a)
+    def _close_contact(state: _RunState, a: int, b: int) -> None:
+        pair = (a, b) if a <= b else (b, a)
+        remaining = state.active_counts.get(pair, 0) - 1
+        if remaining <= 0:
+            state.active_counts.pop(pair, None)
+            state.active_peers[a].discard(b)
+            state.active_peers[b].discard(a)
+        else:
+            state.active_counts[pair] = remaining
 
     # ------------------------------------------------------------------
     def _exchange_on_contact(
         self,
-        contact: Contact,
+        state: _RunState,
+        a: int,
+        b: int,
         time: float,
         history: OnlineContactHistory,
-        active_peers: Dict[NodeId, Set[NodeId]],
-        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]],
-        delivered: Dict[int, Tuple[float, int]],
         by_id: Dict[int, Message],
     ) -> None:
         """Both endpoints of a new contact offer each other their messages."""
-        for carrier, peer in ((contact.a, contact.b), (contact.b, contact.a)):
-            held_ids = [mid for mid, holders in holdings.items() if carrier in holders]
-            for message_id in held_ids:
-                message = by_id[message_id]
-                self._try_transfer(message, carrier, peer, time, history,
-                                   active_peers, holdings, delivered)
+        for carrier, peer in ((a, b), (b, a)):
+            for message_id in list(state.carried[carrier]):
+                self._try_transfer(state, by_id[message_id], carrier, peer,
+                                   time, history)
 
     def _cascade(
         self,
+        state: _RunState,
         message: Message,
-        start_node: NodeId,
+        start_node: int,
         time: float,
         history: OnlineContactHistory,
-        active_peers: Dict[NodeId, Set[NodeId]],
-        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]],
-        delivered: Dict[int, Tuple[float, int]],
     ) -> None:
         """Propagate a freshly received message over currently active contacts."""
         frontier = [start_node]
         while frontier:
             node = frontier.pop()
-            for peer in list(active_peers.get(node, ())):
-                moved = self._try_transfer(message, node, peer, time, history,
-                                           active_peers, holdings, delivered,
-                                           cascade=False)
+            for peer in list(state.active_peers[node]):
+                moved = self._try_transfer(state, message, node, peer, time,
+                                           history, cascade=False)
                 if moved:
                     frontier.append(peer)
 
     def _try_transfer(
         self,
+        state: _RunState,
         message: Message,
-        carrier: NodeId,
-        peer: NodeId,
+        carrier: int,
+        peer: int,
         time: float,
         history: OnlineContactHistory,
-        active_peers: Dict[NodeId, Set[NodeId]],
-        holdings: Dict[int, Dict[NodeId, Tuple[float, int]]],
-        delivered: Dict[int, Tuple[float, int]],
         cascade: bool = True,
     ) -> bool:
         """Attempt to move *message* from *carrier* to *peer* at *time*.
 
         Returns True if the peer newly received a copy (delivery included).
         """
-        holders = holdings[message.id]
-        if carrier not in holders:
+        holders = state.holdings.get(message.id)
+        if holders is None or carrier not in holders:
             return False
-        if message.id in delivered and self._stop_on_delivery:
+        if message.id in state.delivered and self._stop_on_delivery:
             return False
-        if peer in holders or peer in self._ever_held[message.id]:
+        if state.ever_held[message.id] >> peer & 1:
             return False
         receive_time, hops = holders[carrier]
         if time < receive_time:
             return False
         # Minimal progress: contact with the destination always delivers.
-        if peer == message.destination:
+        if peer == state.dest_index[message.id]:
             holders[peer] = (time, hops + 1)
-            self._ever_held[message.id].add(peer)
-            if message.id not in delivered:
-                delivered[message.id] = (time, hops + 1)
+            state.carried[peer].add(message.id)
+            state.ever_held[message.id] |= 1 << peer
+            if message.id not in state.delivered:
+                state.delivered[message.id] = (time, hops + 1)
             return True
-        if not self._algorithm.should_forward(carrier, peer, message.destination,
-                                              time, history):
+        node_of = state.node_of
+        if not self._algorithm.should_forward(node_of[carrier], node_of[peer],
+                                              message.destination, time, history):
             return False
         holders[peer] = (time, hops + 1)
-        self._ever_held[message.id].add(peer)
+        state.carried[peer].add(message.id)
+        state.ever_held[message.id] |= 1 << peer
         if not self._copy:
             holders.pop(carrier, None)
+            state.carried[carrier].discard(message.id)
         if cascade:
-            self._cascade(message, peer, time, history, active_peers,
-                          holdings, delivered)
+            self._cascade(state, message, peer, time, history)
         return True
 
 
