@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Benchmark: trace-driven simulator vs the DES engine.
+
+Times the Section 6 forwarding replay of one Poisson workload on the
+benchmark-scale primary dataset with (a) the idealized trace-driven
+simulator, (b) the DES engine with constraints disabled (same results,
+measures the event-queue overhead) and (c) the DES engine under a
+representative constraint set.  Medians are written to ``BENCH_sim.json``
+at the repo root so the overhead is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_sim_engines.py [--quick]
+        [--benchmark-json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for path in (_HERE, _HERE.parent / "src"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+from repro.datasets import load_dataset  # noqa: E402
+from repro.forwarding import ForwardingSimulator, PoissonMessageWorkload  # noqa: E402
+from repro.forwarding.algorithms import algorithm_by_name  # noqa: E402
+from repro.sim import DesSimulator, ResourceConstraints  # noqa: E402
+
+DEFAULT_BENCHMARK_JSON = _HERE.parent / "BENCH_sim.json"
+ALGORITHMS = ("Epidemic", "Greedy", "Dynamic Programming")
+CONSTRAINED = ResourceConstraints(buffer_capacity=8.0, ttl=2700.0)
+
+
+def _time_runs(factory, repeats: int) -> list:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        factory()
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller dataset and fewer repetitions")
+    parser.add_argument("--benchmark-json", type=Path,
+                        default=DEFAULT_BENCHMARK_JSON)
+    args = parser.parse_args()
+
+    scale = 0.2 if args.quick else 0.5
+    repeats = 3 if args.quick else 5
+    rate = 0.02 if args.quick else 0.05
+    trace = load_dataset("infocom06-9-12", scale=scale, contact_scale=scale)
+    messages = PoissonMessageWorkload(rate=rate).generate(trace, seed=77)
+    print(f"dataset: {trace.name} ({trace.num_nodes} nodes, {len(trace)} "
+          f"contacts), {len(messages)} messages, {repeats} repetitions\n")
+
+    records = {}
+    for name in ALGORITHMS:
+        trace_samples = _time_runs(
+            lambda: ForwardingSimulator(trace, algorithm_by_name(name)).run(messages),
+            repeats)
+        des_samples = _time_runs(
+            lambda: DesSimulator(trace, algorithm_by_name(name)).run(messages),
+            repeats)
+        constrained_samples = _time_runs(
+            lambda: DesSimulator(trace, algorithm_by_name(name),
+                                 constraints=CONSTRAINED).run(messages),
+            repeats)
+        trace_median = statistics.median(trace_samples)
+        des_median = statistics.median(des_samples)
+        constrained_median = statistics.median(constrained_samples)
+        records[name] = {
+            "trace_driven_s": trace_median,
+            "des_unconstrained_s": des_median,
+            "des_constrained_s": constrained_median,
+            "des_overhead": des_median / trace_median if trace_median else None,
+            "samples": {
+                "trace_driven": trace_samples,
+                "des_unconstrained": des_samples,
+                "des_constrained": constrained_samples,
+            },
+        }
+        print(f"  {name:<22s} trace {trace_median * 1e3:8.1f} ms   "
+              f"des {des_median * 1e3:8.1f} ms   "
+              f"constrained {constrained_median * 1e3:8.1f} ms   "
+              f"overhead {des_median / trace_median:5.2f}x")
+
+    payload = {
+        "benchmark": "sim_engines",
+        "dataset": trace.name,
+        "num_messages": len(messages),
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "records": records,
+    }
+    with open(args.benchmark_json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.benchmark_json}")
+
+
+if __name__ == "__main__":
+    main()

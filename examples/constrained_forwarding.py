@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Beyond the paper: forwarding under resource constraints.
+
+The Section 6 evaluation assumes infinite buffers, instantaneous exchanges
+and no message expiry.  This example measures how those assumptions flatter
+the algorithms: it runs the same workload on a paper dataset stand-in with
+the idealized engine, then under finite buffers, a tight TTL, and
+bandwidth-limited contacts, and prints the success-rate degradation per
+algorithm plus a buffer-capacity sweep.
+
+Run with::
+
+    PYTHONPATH=src python examples/constrained_forwarding.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_constraint_sweep
+from repro.sim import (
+    ResourceConstraints,
+    get_scenario,
+    run_scenario,
+)
+
+CONFIGS = [
+    ("idealized", ResourceConstraints()),
+    ("buffer=4 (drop-oldest)", ResourceConstraints(buffer_capacity=4.0)),
+    ("ttl=15 min", ResourceConstraints(ttl=900.0)),
+    ("2 B/s links, 300 B msgs", ResourceConstraints(bandwidth=2.0,
+                                                    message_size=300.0)),
+]
+
+
+def main() -> None:
+    base = get_scenario("paper-buffer-crunch")
+    print(f"trace: {base.trace.key} stand-in (scaled), workload: Poisson "
+          f"{base.workload.rate:g} msg/s, algorithms: {', '.join(base.algorithms)}\n")
+
+    # ----- idealized vs constrained, same trace and workload -------------
+    per_config = {}
+    for label, constraints in CONFIGS:
+        result = run_scenario(base.with_overrides(constraints=constraints))
+        per_config[label] = result.summaries()
+    rows = []
+    for name in base.algorithms:
+        row = {"algorithm": name}
+        for label, _ in CONFIGS:
+            row[label] = round(float(per_config[label][name]["success_rate"]), 2)
+        rows.append(row)
+    print("success rate, idealized vs constrained:")
+    print(format_table(rows))
+    print("  (the idealized ranking survives, but absolute success collapses "
+          "under pressure — epidemic flooding suffers most from small buffers)")
+
+    # ----- buffer-capacity sweep -----------------------------------------
+    print("\nsuccess rate vs buffer capacity (messages per node):")
+    sweep = run_constraint_sweep("paper-buffer-crunch", "buffer_capacity",
+                                 [2.0, 4.0, 8.0, 16.0, None])
+    print(format_table(sweep.table_rows(),
+                       columns=["buffer_capacity", "algorithm",
+                                "success_rate", "copies", "evictions"]))
+    print("  (reproduce from the command line: python -m repro sim sweep "
+          "paper-buffer-crunch --param buffer_capacity --values 2,4,8,16,inf)")
+
+
+if __name__ == "__main__":
+    main()

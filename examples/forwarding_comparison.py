@@ -23,6 +23,7 @@ from repro.analysis import (
     figure13_pair_type_performance,
     figure14_hop_rates,
     figure15_rate_ratios,
+    format_table,
     run_forwarding_study,
     run_path_explosion_study,
 )
@@ -41,12 +42,23 @@ def main() -> None:
                                       num_runs=2, seed=5)
 
     # ----- Figure 9: success rate vs average delay -----------------------
+    # SimulationResult.summary() provides the headline metrics directly
+    # (success rate, mean/median delay, copies per delivery).
     print("success rate and average delay per algorithm (Figure 9):")
-    print(f"  {'algorithm':<22s} {'success':>8s} {'avg delay':>10s} {'median':>8s}")
-    for name, summary in sorted(comparison.summaries().items()):
-        delay = "-" if summary.average_delay is None else f"{summary.average_delay:8.0f} s"
-        median = "-" if summary.median_delay is None else f"{summary.median_delay:6.0f} s"
-        print(f"  {name:<22s} {summary.success_rate:8.2f} {delay:>10s} {median:>8s}")
+    rows = []
+    for name in sorted(comparison.results):
+        summary = comparison.pooled_result(name).summary()
+        rows.append({
+            "algorithm": name,
+            "success_rate": round(summary["success_rate"], 2),
+            "mean_delay_s": None if summary["mean_delay_s"] is None
+            else round(summary["mean_delay_s"]),
+            "median_delay_s": None if summary["median_delay_s"] is None
+            else round(summary["median_delay_s"]),
+            "copies/delivery": None if summary["copies_per_delivery"] is None
+            else round(summary["copies_per_delivery"], 1),
+        })
+    print(format_table(rows))
     print("  (the paper's headline: all algorithms except Epidemic are nearly "
           "indistinguishable)")
 

@@ -14,6 +14,9 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.model` — the analytic path-explosion model of Section 5;
 * :mod:`repro.forwarding` — the trace-driven simulator and the six
   forwarding algorithms of Section 6;
+* :mod:`repro.sim` — the resource-constrained discrete-event engine
+  (finite buffers, bandwidth-limited contacts, TTL), scenario registry and
+  the ``python -m repro`` CLI;
 * :mod:`repro.analysis` — experiment runners and per-figure data builders.
 
 Quickstart
@@ -26,9 +29,9 @@ Quickstart
 True
 """
 
-from . import analysis, contacts, core, datasets, forwarding, model, synth
+from . import analysis, contacts, core, datasets, forwarding, model, sim, synth
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -37,6 +40,7 @@ __all__ = [
     "datasets",
     "forwarding",
     "model",
+    "sim",
     "synth",
     "__version__",
 ]

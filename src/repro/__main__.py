@@ -1,0 +1,8 @@
+"""``python -m repro`` — the command-line entry point (see repro.sim.cli)."""
+
+import sys
+
+from .sim.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

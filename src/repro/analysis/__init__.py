@@ -3,9 +3,11 @@
 from .cdf import cdf_at, empirical_cdf, exponential_growth_rate, quantile
 from .experiments import (
     message_delays_by_algorithm,
+    run_constraint_sweep,
     run_forwarding_study,
     run_path_explosion_study,
 )
+from .tables import format_table
 from .figures import (
     figure1_contact_timeseries,
     figure2_space_time_graph_example,
@@ -29,8 +31,10 @@ __all__ = [
     "exponential_growth_rate",
     "quantile",
     "message_delays_by_algorithm",
+    "run_constraint_sweep",
     "run_forwarding_study",
     "run_path_explosion_study",
+    "format_table",
     "figure1_contact_timeseries",
     "figure2_space_time_graph_example",
     "figure4_duration_and_explosion_cdfs",

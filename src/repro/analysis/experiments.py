@@ -34,6 +34,7 @@ from .parallel import process_map
 __all__ = [
     "run_path_explosion_study",
     "run_forwarding_study",
+    "run_constraint_sweep",
     "message_delays_by_algorithm",
 ]
 
@@ -133,6 +134,33 @@ def run_forwarding_study(
     return compare_algorithms(trace, algorithms, workload=workload,
                               num_runs=num_runs, seed=seed,
                               parallel=parallel, n_workers=n_workers)
+
+
+def run_constraint_sweep(
+    scenario: Union[str, "object"],
+    parameter: str,
+    values: Sequence[Optional[float]],
+    num_runs: Optional[int] = None,
+    seed: Optional[int] = None,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
+):
+    """Grid one resource-constraint axis of a named simulation scenario.
+
+    This is the experiment family the idealized Section 6 study cannot
+    express: how success rate and delay degrade as buffers shrink, links
+    slow down, or TTLs tighten.  Delegates to
+    :func:`repro.sim.sweep_scenario` (see there for semantics); *scenario*
+    is a registry name or a :class:`repro.sim.Scenario`, *parameter* one of
+    ``buffer_capacity``, ``bandwidth``, ``ttl``, ``message_size``, and a
+    ``None`` value means "unlimited" for that grid point.  Returns a
+    :class:`repro.sim.SweepResult` whose ``table_rows()`` feed
+    :func:`repro.analysis.tables.format_table`.
+    """
+    from ..sim.runner import sweep_scenario  # local import: sim builds on analysis
+
+    return sweep_scenario(scenario, parameter, values, num_runs=num_runs,
+                          seed=seed, parallel=parallel, n_workers=n_workers)
 
 
 def message_delays_by_algorithm(

@@ -1,0 +1,52 @@
+"""Plain-text result tables shared by the CLI and the examples.
+
+A "table" is a list of flat dicts (rows); columns are taken from the first
+row unless given explicitly.  Numbers are right-aligned, ``None`` renders
+as ``-``, and floats keep whatever rounding the caller applied.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 indent: str = "  ") -> str:
+    """Render *rows* as an aligned text table (header + one line per row)."""
+    if not rows:
+        return f"{indent}(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    numeric = {column: True for column in columns}
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            cells.append(_cell(value))
+            if isinstance(value, str):
+                numeric[column] = False
+        rendered.append(cells)
+    widths = [max(len(line[index]) for line in rendered)
+              for index in range(len(columns))]
+    lines = []
+    for line_index, cells in enumerate(rendered):
+        parts = []
+        for index, (cell, column) in enumerate(zip(cells, columns)):
+            if numeric[column] and line_index > 0:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        lines.append(indent + "  ".join(parts).rstrip())
+    return "\n".join(lines)

@@ -41,6 +41,8 @@ __all__ = [
     "GreedyTotalForwarding",
     "DynamicProgrammingForwarding",
     "default_algorithms",
+    "algorithm_names",
+    "algorithm_by_name",
 ]
 
 
@@ -224,3 +226,35 @@ def default_algorithms() -> List[ForwardingAlgorithm]:
         GreedyOnlineForwarding(),
         DynamicProgrammingForwarding(),
     ]
+
+
+#: The six paper algorithms by their display name; the scenario registry and
+#: CLI of :mod:`repro.sim` instantiate algorithms through this table, and
+#:  — because instances are created per run — parallel runners can ship the
+#: *name* to worker processes instead of pickling prepared oracle state.
+_ALGORITHM_CLASSES = {
+    cls.name: cls
+    for cls in (
+        EpidemicForwarding,
+        FreshForwarding,
+        GreedyForwarding,
+        GreedyTotalForwarding,
+        GreedyOnlineForwarding,
+        DynamicProgrammingForwarding,
+    )
+}
+
+
+def algorithm_names() -> List[str]:
+    """The registered algorithm names, in the paper's comparison order."""
+    return list(_ALGORITHM_CLASSES)
+
+
+def algorithm_by_name(name: str) -> ForwardingAlgorithm:
+    """A fresh, unprepared instance of the named algorithm."""
+    try:
+        cls = _ALGORITHM_CLASSES[name]
+    except KeyError:
+        known = ", ".join(_ALGORITHM_CLASSES)
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return cls()

@@ -34,22 +34,41 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Message:
-    """A unicast message ``(σ, δ, t1)`` with a stable identifier."""
+    """A unicast message ``(σ, δ, t1)`` with a stable identifier.
+
+    ``size`` (bytes) and ``ttl`` (seconds from creation, ``None`` = never
+    expires) are ignored by the idealized trace-driven simulator — the paper
+    assumes infinite buffers, instantaneous exchanges and no expiry — and
+    consumed by the resource-constrained engine in :mod:`repro.sim`.
+    """
 
     id: int
     source: NodeId
     destination: NodeId
     creation_time: float
+    size: float = 1.0
+    ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.source == self.destination:
             raise ValueError("source and destination must differ")
         if self.creation_time < 0:
             raise ValueError("creation_time must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("ttl must be positive (or None for no expiry)")
 
     @property
     def endpoints(self) -> Tuple[NodeId, NodeId]:
         return (self.source, self.destination)
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute time at which the message expires, or None."""
+        if self.ttl is None:
+            return None
+        return self.creation_time + self.ttl
 
 
 def messages_from_tuples(
@@ -83,10 +102,15 @@ class PoissonMessageWorkload:
         ``(start, end)`` of the interval in which messages are created.  If
         None, the first two-thirds of the trace window is used, matching the
         paper's "first two hours of each three-hour period".
+    message_size, ttl:
+        Stamped onto every generated message; only the resource-constrained
+        engine (:mod:`repro.sim`) interprets them.
     """
 
     rate: float = 0.25
     generation_window: Optional[Tuple[float, float]] = None
+    message_size: float = 1.0
+    ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -115,7 +139,8 @@ class PoissonMessageWorkload:
                 break
             source, destination = _draw_endpoints(rng, nodes)
             messages.append(Message(id=next(counter), source=source,
-                                    destination=destination, creation_time=t))
+                                    destination=destination, creation_time=t,
+                                    size=self.message_size, ttl=self.ttl))
         return messages
 
 
@@ -125,6 +150,8 @@ class UniformMessageWorkload:
 
     num_messages: int
     generation_window: Optional[Tuple[float, float]] = None
+    message_size: float = 1.0
+    ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_messages < 0:
@@ -147,6 +174,7 @@ class UniformMessageWorkload:
         for index in range(self.num_messages):
             source, destination = _draw_endpoints(rng, nodes)
             messages.append(Message(id=index, source=source, destination=destination,
-                                    creation_time=float(rng.uniform(lo, hi))))
+                                    creation_time=float(rng.uniform(lo, hi)),
+                                    size=self.message_size, ttl=self.ttl))
         messages.sort(key=lambda m: m.creation_time)
         return messages

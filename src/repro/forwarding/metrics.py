@@ -135,18 +135,20 @@ class ComparisonResult:
 
     def summaries(self) -> Dict[str, PerformanceSummary]:
         """Per-algorithm summary pooled over all runs."""
-        pooled: Dict[str, PerformanceSummary] = {}
-        for name, runs in self.results.items():
-            merged = SimulationResult(algorithm=name, trace_name=self.trace_name)
-            for run in runs:
-                merged.outcomes.extend(run.outcomes)
-            pooled[name] = summarize(merged)
-        return pooled
+        return {name: summarize(self.pooled_result(name)) for name in self.results}
 
     def pooled_result(self, algorithm: str) -> SimulationResult:
+        """All runs of one algorithm merged into a single result.
+
+        ``copies_sent`` is the sum over runs, or ``None`` if any run lacks
+        the counter.
+        """
         merged = SimulationResult(algorithm=algorithm, trace_name=self.trace_name)
-        for run in self.results[algorithm]:
+        runs = self.results[algorithm]
+        for run in runs:
             merged.outcomes.extend(run.outcomes)
+        if runs and all(run.copies_sent is not None for run in runs):
+            merged.copies_sent = sum(run.copies_sent for run in runs)
         return merged
 
     def pair_type_summaries(self) -> Dict[str, Dict[PairType, PerformanceSummary]]:

@@ -35,6 +35,7 @@ uses), which buys two structural speedups over a naive replay:
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
@@ -66,11 +67,18 @@ class DeliveryOutcome:
 
 @dataclass
 class SimulationResult:
-    """All outcomes of one simulation run."""
+    """All outcomes of one simulation run.
+
+    ``copies_sent`` counts every successful transfer of a message copy
+    between two nodes, delivery hops included (one message creation is not a
+    copy).  It is ``None`` on results that predate the counter or that were
+    merged from runs without it.
+    """
 
     algorithm: str
     trace_name: str
     outcomes: List[DeliveryOutcome] = field(default_factory=list)
+    copies_sent: Optional[int] = None
     # (number of outcomes indexed, id -> outcome); see outcome_for
     _outcome_index: Optional[Tuple[int, Dict[int, DeliveryOutcome]]] = field(
         default=None, init=False, repr=False, compare=False)
@@ -99,6 +107,32 @@ class SimulationResult:
         if not delays:
             return None
         return sum(delays) / len(delays)
+
+    def summary(self) -> Dict[str, object]:
+        """Headline metrics as one flat dict (for tables, examples, the CLI).
+
+        Keys: ``algorithm``, ``trace``, ``num_messages``, ``num_delivered``,
+        ``success_rate``, ``mean_delay_s``, ``median_delay_s``,
+        ``copies_sent`` and ``copies_per_delivery``; delay and copy entries
+        are ``None`` when nothing was delivered / no counter is available.
+        """
+        delays = self.delays()
+        delivered = self.num_delivered
+        mean_delay = self.average_delay()
+        median_delay = statistics.median(delays) if delays else None
+        copies = self.copies_sent
+        return {
+            "algorithm": self.algorithm,
+            "trace": self.trace_name,
+            "num_messages": self.num_messages,
+            "num_delivered": delivered,
+            "success_rate": self.success_rate(),
+            "mean_delay_s": mean_delay,
+            "median_delay_s": median_delay,
+            "copies_sent": copies,
+            "copies_per_delivery": (copies / delivered
+                                    if copies is not None and delivered else None),
+        }
 
     def outcome_for(self, message_id: int) -> Optional[DeliveryOutcome]:
         """The outcome of one message, by id (O(1) after the first call).
@@ -133,7 +167,8 @@ class _RunState:
     """Mutable per-run simulation state over interned node indices."""
 
     __slots__ = ("interner", "node_of", "active_counts", "active_peers",
-                 "holdings", "carried", "ever_held", "delivered", "dest_index")
+                 "holdings", "carried", "ever_held", "delivered", "dest_index",
+                 "copies_sent")
 
     def __init__(self, interner: NodeInterner, messages: Sequence[Message]) -> None:
         self.interner = interner
@@ -151,6 +186,7 @@ class _RunState:
         # hand-off mode this is what prevents ping-ponging within a contact).
         self.ever_held: Dict[int, int] = {}
         self.delivered: Dict[int, Tuple[float, int]] = {}
+        self.copies_sent = 0
         index_of = interner.index_of
         self.dest_index: Dict[int, int] = {
             m.id: index_of(m.destination) for m in messages
@@ -251,7 +287,8 @@ class ForwardingSimulator:
                 outcomes.append(DeliveryOutcome(message=message, delivered=False,
                                                 delivery_time=None, hop_count=None))
         return SimulationResult(algorithm=self._algorithm.name,
-                                trace_name=self._trace.name, outcomes=outcomes)
+                                trace_name=self._trace.name, outcomes=outcomes,
+                                copies_sent=state.copies_sent)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -335,6 +372,7 @@ class ForwardingSimulator:
             holders[peer] = (time, hops + 1)
             state.carried[peer].add(message.id)
             state.ever_held[message.id] |= 1 << peer
+            state.copies_sent += 1
             if message.id not in state.delivered:
                 state.delivered[message.id] = (time, hops + 1)
             return True
@@ -345,6 +383,7 @@ class ForwardingSimulator:
         holders[peer] = (time, hops + 1)
         state.carried[peer].add(message.id)
         state.ever_held[message.id] |= 1 << peer
+        state.copies_sent += 1
         if not self._copy:
             holders.pop(carrier, None)
             state.carried[carrier].discard(message.id)

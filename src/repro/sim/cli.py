@@ -1,0 +1,236 @@
+"""The ``python -m repro`` command line.
+
+Commands::
+
+    python -m repro sim list                      # scenario catalogue
+    python -m repro sim run <scenario> [...]      # one scenario end to end
+    python -m repro sim sweep <scenario> --param buffer_capacity \\
+        --values 2,4,8,inf [...]                  # grid one constraint axis
+    python -m repro bench [...]                   # engine timing comparison
+
+Every command prints an aligned text table; ``--json PATH`` additionally
+writes the raw rows for scripting.  Scenarios are small by construction
+(tens of nodes) so each command finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..analysis.tables import format_table
+from .engine import DesSimulator, ResourceConstraints
+from .runner import SWEEPABLE_PARAMETERS, run_scenario, sweep_scenario
+from .scenarios import get_scenario, scenarios
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resource-constrained forwarding experiments "
+                    "(conf_imc_ErramilliCCD07 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sim = commands.add_parser("sim", help="discrete-event simulation scenarios")
+    sim_commands = sim.add_subparsers(dest="sim_command", required=True)
+
+    sim_commands.add_parser("list", help="list the registered scenarios")
+
+    run = sim_commands.add_parser("run", help="run one scenario end to end")
+    run.add_argument("scenario", help="a scenario name (see 'repro sim list')")
+    run.add_argument("--runs", type=int, default=None,
+                     help="override the scenario's number of workload runs")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the scenario's master seed")
+    run.add_argument("--parallel", action="store_true",
+                     help="fan (run x algorithm) simulations over a process pool")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: CPU count)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the result rows as JSON")
+
+    sweep = sim_commands.add_parser(
+        "sweep", help="grid one resource-constraint axis of a scenario")
+    sweep.add_argument("scenario", help="a scenario name")
+    sweep.add_argument("--param", required=True, choices=SWEEPABLE_PARAMETERS,
+                       help="the constraint axis to sweep")
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated grid, e.g. 2,4,8,inf "
+                            "('inf' or 'none' = unlimited)")
+    sweep.add_argument("--runs", type=int, default=None)
+    sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument("--parallel", action="store_true")
+    sweep.add_argument("--workers", type=int, default=None)
+    sweep.add_argument("--json", metavar="PATH", default=None)
+
+    bench = commands.add_parser(
+        "bench", help="time the DES engine against the trace-driven simulator")
+    bench.add_argument("--scenario", default="paper-ideal",
+                       help="scenario supplying trace and workload "
+                            "(default: paper-ideal)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repetitions per engine (default: 3)")
+    bench.add_argument("--json", metavar="PATH", default=None)
+
+    return parser
+
+
+def _parse_values(raw: str) -> List[Optional[float]]:
+    values: List[Optional[float]] = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token in ("inf", "none", "unlimited"):
+            values.append(None)
+        else:
+            values.append(float(token))
+    if not values:
+        raise SystemExit("--values produced an empty grid")
+    return values
+
+
+def _write_json(path: Optional[str], payload: object) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def _describe_constraints(constraints: ResourceConstraints) -> str:
+    if constraints.is_unconstrained:
+        return "idealized (no constraints)"
+    parts = []
+    if constraints.buffer_capacity is not None:
+        parts.append(f"buffer={constraints.buffer_capacity:g}B "
+                     f"({constraints.drop_policy})")
+    if constraints.bandwidth is not None:
+        parts.append(f"bandwidth={constraints.bandwidth:g}B/s")
+    if constraints.ttl is not None:
+        parts.append(f"ttl={constraints.ttl:g}s")
+    if constraints.message_size is not None:
+        parts.append(f"size={constraints.message_size:g}B")
+    return ", ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def _cmd_sim_list() -> int:
+    rows = []
+    for name, scenario in scenarios().items():
+        rows.append({
+            "scenario": name,
+            "constraints": _describe_constraints(scenario.constraints),
+            "algorithms": len(scenario.algorithms),
+            "runs": scenario.num_runs,
+            "description": scenario.description,
+        })
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_sim_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    started = time.perf_counter()
+    result = run_scenario(scenario, num_runs=args.runs, seed=args.seed,
+                          parallel=args.parallel, n_workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print(f"trace: {result.trace_name}  ({result.num_nodes} nodes, "
+          f"{result.num_contacts} contacts)")
+    print(f"constraints: {_describe_constraints(result.scenario.constraints)}")
+    print(f"workload: {result.num_messages} messages over "
+          f"{result.scenario.num_runs} run(s)\n")
+    rows = result.table_rows()
+    print(format_table(rows))
+    print(f"\ncompleted in {elapsed:.2f}s")
+    _write_json(args.json, {"scenario": scenario.name,
+                            "trace": result.trace_name, "rows": rows})
+    return 0
+
+
+def _cmd_sim_sweep(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    values = _parse_values(args.values)
+    started = time.perf_counter()
+    sweep = sweep_scenario(scenario, args.param, values, num_runs=args.runs,
+                           seed=args.seed, parallel=args.parallel,
+                           n_workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(f"scenario: {scenario.name} — sweeping {args.param} over "
+          f"{[('inf' if v is None else v) for v in values]}")
+    print(f"trace: {sweep.trace_name}\n")
+    rows = sweep.table_rows()
+    print(format_table(rows))
+    print(f"\ncompleted in {elapsed:.2f}s")
+    _write_json(args.json, {"scenario": scenario.name, "parameter": args.param,
+                            "rows": rows})
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from ..forwarding.simulator import ForwardingSimulator
+
+    scenario = get_scenario(args.scenario)
+    trace = scenario.build_trace()
+    messages = scenario.build_messages(trace, 0)
+    algorithms = scenario.build_algorithms()
+    repeats = max(1, args.repeats)
+    constrained = scenario.constraints if scenario.is_constrained else \
+        ResourceConstraints(buffer_capacity=4.0, ttl=trace.duration / 4.0)
+
+    def _time(factory) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            factory()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    rows = []
+    for algorithm in algorithms:
+        name = algorithm.name
+        trace_seconds = _time(
+            lambda: ForwardingSimulator(trace, algorithm).run(messages))
+        des_seconds = _time(
+            lambda: DesSimulator(trace, algorithm).run(messages))
+        des_constrained_seconds = _time(
+            lambda: DesSimulator(trace, algorithm,
+                                 constraints=constrained).run(messages))
+        rows.append({
+            "algorithm": name,
+            "trace_driven_ms": round(trace_seconds * 1e3, 2),
+            "des_ideal_ms": round(des_seconds * 1e3, 2),
+            "des_constrained_ms": round(des_constrained_seconds * 1e3, 2),
+            "des/trace": round(des_seconds / trace_seconds, 2)
+            if trace_seconds > 0 else None,
+        })
+    print(f"engine timing on scenario {scenario.name!r} "
+          f"({trace.num_nodes} nodes, {len(trace)} contacts, "
+          f"{len(messages)} messages; best of {repeats})\n")
+    print(format_table(rows))
+    _write_json(args.json, {"scenario": scenario.name, "rows": rows})
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.sim_command == "list":
+        return _cmd_sim_list()
+    if args.sim_command == "run":
+        return _cmd_sim_run(args)
+    return _cmd_sim_sweep(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

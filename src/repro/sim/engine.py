@@ -1,0 +1,628 @@
+"""Resource-constrained discrete-event forwarding engine.
+
+The trace-driven simulator of Section 6 (:class:`repro.forwarding.
+ForwardingSimulator`) replays contacts under the paper's idealized
+assumptions: infinite buffers, instantaneous bidirectional exchanges, no
+message expiry.  :class:`DesSimulator` is an event-driven engine (heap-based
+queue, no simpy dependency) that relaxes each assumption independently via
+:class:`ResourceConstraints`:
+
+* **finite per-node buffers** with a drop policy (:mod:`repro.sim.buffers`);
+* **bandwidth-limited contacts** — a transfer of ``size`` bytes over a link
+  with ``bandwidth`` bytes/s occupies the link for ``size / bandwidth``
+  seconds; transfers on one link serialize; a transfer that does not finish
+  before the contact closes carries its partial progress over and resumes
+  on the pair's next contact;
+* **message TTL** — copies of an expired message are freed everywhere and no
+  delivery can happen at or after the expiry instant.
+
+Equivalence guarantee
+---------------------
+With every constraint disabled (the default :data:`UNCONSTRAINED`), the
+engine reproduces the trace-driven simulator *exactly*: the same event
+encoding (contact starts < ends < creations at equal times, in trace/message
+order), the same exchange order on contact start (both endpoints offer their
+carried messages), the same zero-time relay cascade over active contacts,
+and the same per-message structures (including iteration over the same
+``set`` types), so delivery sets, first-delivery times, hop counts, tie
+order and copy counts all match.  ``tests/test_sim_equivalence.py`` enforces
+this on all four paper dataset stand-ins.
+
+Semantics choices under constraints (documented, deterministic):
+
+* A node that ever held a copy never receives it again — even if the copy
+  was evicted (mirrors the trace simulator's ``ever_held`` relation and
+  prevents buffer-drop ping-pong).  A node whose buffer *rejected* a copy
+  may receive it later.
+* Delivery is reception at the destination radio: it always succeeds, even
+  when the destination's buffer cannot store a relaying copy.
+* An in-flight (bandwidth-delayed) transfer completes even if the carrier
+  evicted its copy meanwhile, unless the message expired or was already
+  received by the peer — then the bytes were wasted (counted, dropped).
+* Forwarding decisions are made when a transfer is scheduled, at the
+  current contact history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..contacts import Contact, ContactTrace
+from ..core.fastpath import NodeInterner
+from ..forwarding.algorithms import ForwardingAlgorithm
+from ..forwarding.history import OnlineContactHistory
+from ..forwarding.messages import Message
+from ..forwarding.simulator import DeliveryOutcome, SimulationResult
+from .adapter import AlgorithmAdapter, ensure_adapter
+from .buffers import DROP_OLDEST, DROP_POLICIES, BufferEntry, NodeBuffer
+from .events import (
+    CONTACT_END,
+    CONTACT_START,
+    CREATE,
+    EXPIRE,
+    TRANSFER_DONE,
+    EventQueue,
+)
+
+__all__ = [
+    "ResourceConstraints",
+    "UNCONSTRAINED",
+    "ResourceStats",
+    "ConstrainedSimulationResult",
+    "DesSimulator",
+    "simulate_des",
+]
+
+
+@dataclass(frozen=True)
+class ResourceConstraints:
+    """Resource limits applied by :class:`DesSimulator`.
+
+    Every field defaults to "unlimited"; enable constraints independently.
+
+    Parameters
+    ----------
+    buffer_capacity:
+        Per-node buffer capacity in bytes (``None`` = infinite).
+    bandwidth:
+        Link bandwidth in bytes/second (``None`` = instantaneous transfers).
+        Bytes transferable during one contact = bandwidth × contact duration.
+    ttl:
+        Default time-to-live in seconds applied to messages whose own
+        ``ttl`` is ``None`` (``None`` = no expiry).  A message's explicit
+        ``ttl`` always wins.
+    message_size:
+        When set, overrides every message's ``size`` (bytes) — convenient
+        for sweeping load without regenerating workloads.
+    drop_policy:
+        Buffer eviction policy: ``"drop-oldest"`` (default),
+        ``"drop-youngest"`` or ``"drop-largest"``.
+    """
+
+    buffer_capacity: Optional[float] = None
+    bandwidth: Optional[float] = None
+    ttl: Optional[float] = None
+    message_size: Optional[float] = None
+    drop_policy: str = DROP_OLDEST
+
+    def __post_init__(self) -> None:
+        if self.buffer_capacity is not None and self.buffer_capacity <= 0:
+            raise ValueError("buffer_capacity must be positive or None")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive or None")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError("ttl must be positive or None")
+        if self.message_size is not None and self.message_size <= 0:
+            raise ValueError("message_size must be positive or None")
+        if self.drop_policy not in DROP_POLICIES:
+            raise ValueError(f"unknown drop policy {self.drop_policy!r}; "
+                             f"known: {', '.join(DROP_POLICIES)}")
+
+    @property
+    def is_unconstrained(self) -> bool:
+        """True when the engine degenerates to the idealized simulator."""
+        return (self.buffer_capacity is None and self.bandwidth is None
+                and self.ttl is None)
+
+    def effective_size(self, message: Message) -> float:
+        return self.message_size if self.message_size is not None else message.size
+
+    def effective_expiry(self, message: Message) -> Optional[float]:
+        if message.ttl is not None:
+            return message.creation_time + message.ttl
+        if self.ttl is not None:
+            return message.creation_time + self.ttl
+        return None
+
+    def with_overrides(self, **changes) -> "ResourceConstraints":
+        """A copy with the given fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+
+#: The idealized configuration: the DES engine equals the trace simulator.
+UNCONSTRAINED = ResourceConstraints()
+
+
+@dataclass
+class ResourceStats:
+    """Resource-related counters of one :class:`DesSimulator` run."""
+
+    copies_sent: int = 0
+    bytes_sent: float = 0.0
+    buffer_evictions: int = 0
+    buffer_rejections: int = 0
+    source_rejections: int = 0
+    expired_messages: int = 0
+    expired_copies: int = 0
+    partial_transfers: int = 0
+    resumed_transfers: int = 0
+    cancelled_transfers: int = 0
+    peak_buffer_occupancy: float = 0.0
+    forwarding_decisions: int = 0
+    forwarding_approvals: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "copies_sent": self.copies_sent,
+            "bytes_sent": self.bytes_sent,
+            "buffer_evictions": self.buffer_evictions,
+            "buffer_rejections": self.buffer_rejections,
+            "source_rejections": self.source_rejections,
+            "expired_messages": self.expired_messages,
+            "expired_copies": self.expired_copies,
+            "partial_transfers": self.partial_transfers,
+            "resumed_transfers": self.resumed_transfers,
+            "cancelled_transfers": self.cancelled_transfers,
+            "peak_buffer_occupancy": self.peak_buffer_occupancy,
+            "forwarding_decisions": self.forwarding_decisions,
+            "forwarding_approvals": self.forwarding_approvals,
+        }
+
+
+@dataclass
+class ConstrainedSimulationResult(SimulationResult):
+    """A :class:`SimulationResult` plus resource accounting."""
+
+    constraints: ResourceConstraints = UNCONSTRAINED
+    stats: ResourceStats = field(default_factory=ResourceStats)
+
+    def summary(self) -> Dict[str, object]:
+        """The base summary extended with the resource counters."""
+        merged = super().summary()
+        merged.update(self.stats.as_dict())
+        return merged
+
+
+_Pair = Tuple[int, int]
+
+
+class _DesState:
+    """Mutable per-run DES state over interned node indices.
+
+    The contact/holding structures are deliberately the *same types* the
+    trace-driven simulator uses (lists of ``set``), so that in unconstrained
+    mode every iteration order — and therefore the delivery stream — is
+    identical.
+    """
+
+    __slots__ = ("interner", "node_of", "active_counts", "active_peers",
+                 "active_until", "holdings", "carried", "ever_held",
+                 "delivered", "dest_index", "buffers", "link_busy",
+                 "progress", "in_flight", "expired", "admission_sequence")
+
+    def __init__(self, interner: NodeInterner, messages: Sequence[Message],
+                 constraints: ResourceConstraints) -> None:
+        self.interner = interner
+        self.node_of = interner.nodes
+        num_nodes = len(interner)
+        self.active_counts: Dict[_Pair, int] = {}
+        self.active_peers: List[Set[int]] = [set() for _ in range(num_nodes)]
+        # active_until[pair] = end of the latest currently open contact
+        self.active_until: Dict[_Pair, float] = {}
+        self.holdings: Dict[int, Dict[int, Tuple[float, int]]] = {}
+        self.carried: List[Set[int]] = [set() for _ in range(num_nodes)]
+        self.ever_held: Dict[int, int] = {}
+        self.delivered: Dict[int, Tuple[float, int]] = {}
+        self.buffers: List[NodeBuffer] = [
+            NodeBuffer(capacity=constraints.buffer_capacity,
+                       policy=constraints.drop_policy)
+            for _ in range(num_nodes)
+        ]
+        # link_busy[pair] = time until which the pair's link is transferring
+        self.link_busy: Dict[_Pair, float] = {}
+        # progress[(message_id, carrier, peer)] = bytes sent in past contacts
+        self.progress: Dict[Tuple[int, int, int], float] = {}
+        self.in_flight: Set[Tuple[int, int, int]] = set()
+        self.expired: Set[int] = set()
+        self.admission_sequence = 0
+        index_of = interner.index_of
+        self.dest_index: Dict[int, int] = {
+            m.id: index_of(m.destination) for m in messages
+        }
+
+    def next_admission(self) -> int:
+        sequence = self.admission_sequence
+        self.admission_sequence += 1
+        return sequence
+
+
+class DesSimulator:
+    """Event-driven replay of a trace under resource constraints.
+
+    Parameters
+    ----------
+    trace:
+        The contact trace to replay.
+    algorithm:
+        A :class:`~repro.forwarding.ForwardingAlgorithm` (adapted
+        automatically) or an :class:`AlgorithmAdapter`.
+    constraints:
+        The resource limits; defaults to :data:`UNCONSTRAINED`, in which
+        case the run is delivery-stream-equivalent to
+        :class:`~repro.forwarding.ForwardingSimulator`.
+    copy_semantics, stop_on_delivery:
+        As in the trace-driven simulator.
+    """
+
+    def __init__(
+        self,
+        trace: ContactTrace,
+        algorithm: Union[ForwardingAlgorithm, AlgorithmAdapter],
+        constraints: ResourceConstraints = UNCONSTRAINED,
+        copy_semantics: str = "copy",
+        stop_on_delivery: bool = True,
+    ) -> None:
+        if copy_semantics not in ("copy", "handoff"):
+            raise ValueError("copy_semantics must be 'copy' or 'handoff'")
+        self._trace = trace
+        self._adapter = ensure_adapter(algorithm)
+        self._constraints = constraints
+        self._copy = copy_semantics == "copy"
+        self._stop_on_delivery = stop_on_delivery
+        # run-scoped fields, rebound by run()
+        self._state: Optional[_DesState] = None
+        self._history = OnlineContactHistory()
+        self._queue = EventQueue()
+        self._stats = ResourceStats()
+        self._messages_by_id: Dict[int, Message] = {}
+
+    @property
+    def constraints(self) -> ResourceConstraints:
+        return self._constraints
+
+    # ------------------------------------------------------------------
+    def run(self, messages: Sequence[Message]) -> ConstrainedSimulationResult:
+        """Simulate the delivery of *messages* under the constraints."""
+        for message in messages:
+            if message.source not in self._trace.nodes:
+                raise ValueError(f"message {message.id}: unknown source {message.source}")
+            if message.destination not in self._trace.nodes:
+                raise ValueError(
+                    f"message {message.id}: unknown destination {message.destination}"
+                )
+        self._adapter.reset_counters()
+        self._adapter.prepare(self._trace)
+
+        interner = NodeInterner(self._trace.nodes)
+        index_of = interner.index_of
+        state = self._state = _DesState(interner, messages, self._constraints)
+        self._messages_by_id = {m.id: m for m in messages}
+        self._history = OnlineContactHistory()
+        self._stats = ResourceStats()
+        queue = self._queue = EventQueue()
+
+        # Initial events, encoded exactly as the trace-driven simulator
+        # encodes them (same kinds-relative order, same sequence assignment)
+        # so unconstrained runs sort — and therefore replay — identically.
+        initial = []
+        for contact in self._trace:
+            payload = (contact, index_of(contact.a), index_of(contact.b))
+            initial.append((contact.start, CONTACT_START,
+                            queue.next_sequence(), payload))
+            initial.append((max(contact.end, contact.start), CONTACT_END,
+                            queue.next_sequence(), payload))
+        for message in messages:
+            initial.append((message.creation_time, CREATE,
+                            queue.next_sequence(), message))
+        for message in messages:
+            expiry = self._constraints.effective_expiry(message)
+            if expiry is not None:
+                initial.append((expiry, EXPIRE, queue.next_sequence(), message))
+        queue.extend_sorted(initial)
+
+        while queue:
+            time, kind, _, payload = queue.pop()
+            if kind == CONTACT_START:
+                self._on_contact_start(time, payload)
+            elif kind == CONTACT_END:
+                self._on_contact_end(payload)
+            elif kind == CREATE:
+                self._on_create(time, payload)
+            elif kind == TRANSFER_DONE:
+                self._on_transfer_done(time, payload)
+            else:  # EXPIRE
+                self._on_expire(payload)
+
+        outcomes = []
+        for message in messages:
+            if message.id in state.delivered:
+                delivery_time, hops = state.delivered[message.id]
+                outcomes.append(DeliveryOutcome(message=message, delivered=True,
+                                                delivery_time=delivery_time,
+                                                hop_count=hops))
+            else:
+                outcomes.append(DeliveryOutcome(message=message, delivered=False,
+                                                delivery_time=None, hop_count=None))
+        stats = self._stats
+        stats.peak_buffer_occupancy = max(
+            (buffer.peak_used for buffer in state.buffers), default=0.0)
+        stats.forwarding_decisions = self._adapter.decisions
+        stats.forwarding_approvals = self._adapter.approvals
+        self._state = None
+        return ConstrainedSimulationResult(
+            algorithm=self._adapter.name, trace_name=self._trace.name,
+            outcomes=outcomes, copies_sent=stats.copies_sent,
+            constraints=self._constraints, stats=stats)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_contact_start(self, time: float,
+                          payload: Tuple[Contact, int, int]) -> None:
+        state = self._state
+        contact, a, b = payload
+        self._history.record(contact.a, contact.b, time)
+        pair = (a, b) if a <= b else (b, a)
+        state.active_counts[pair] = state.active_counts.get(pair, 0) + 1
+        state.active_peers[a].add(b)
+        state.active_peers[b].add(a)
+        until = max(contact.end, contact.start)
+        existing = state.active_until.get(pair)
+        if existing is None or until > existing:
+            state.active_until[pair] = until
+        # both endpoints offer each other their carried messages
+        by_id = self._messages_by_id
+        for carrier, peer in ((a, b), (b, a)):
+            for message_id in list(state.carried[carrier]):
+                self._attempt(by_id[message_id], carrier, peer, time)
+
+    def _on_contact_end(self, payload: Tuple[Contact, int, int]) -> None:
+        state = self._state
+        contact, a, b = payload
+        pair = (a, b) if a <= b else (b, a)
+        remaining = state.active_counts.get(pair, 0) - 1
+        if remaining <= 0:
+            state.active_counts.pop(pair, None)
+            state.active_peers[a].discard(b)
+            state.active_peers[b].discard(a)
+            state.active_until.pop(pair, None)
+        else:
+            state.active_counts[pair] = remaining
+
+    def _on_create(self, time: float, message: Message) -> None:
+        state = self._state
+        source = state.interner.index_of(message.source)
+        entry = BufferEntry(message_id=message.id,
+                            size=self._constraints.effective_size(message),
+                            receive_time=time, sequence=state.next_admission())
+        admitted, evicted = state.buffers[source].admit(entry)
+        if not admitted:
+            self._stats.source_rejections += 1
+            return
+        state.holdings[message.id] = {source: (time, 0)}
+        state.carried[source].add(message.id)
+        state.ever_held[message.id] = 1 << source
+        self._drop_evicted(source, evicted)
+        self._cascade(message, source, time)
+
+    def _on_expire(self, message: Message) -> None:
+        state = self._state
+        message_id = message.id
+        state.expired.add(message_id)
+        holders = state.holdings.pop(message_id, None)
+        if holders:
+            for node in holders:
+                state.carried[node].discard(message_id)
+                state.buffers[node].remove(message_id)
+            self._stats.expired_copies += len(holders)
+        # a message rejected at its source buffer never existed — it counts
+        # as a source rejection, not additionally as an expiry
+        if message_id not in state.delivered and message_id in state.ever_held:
+            self._stats.expired_messages += 1
+
+    def _on_transfer_done(
+        self, time: float,
+        payload: Tuple[Message, int, int, int],
+    ) -> None:
+        """A bandwidth-delayed transfer finished moving its last byte."""
+        state = self._state
+        message, carrier, peer, hops = payload
+        key = (message.id, carrier, peer)
+        state.in_flight.discard(key)
+        state.progress.pop(key, None)
+        # The bytes are already on the air when the carrier evicts its copy,
+        # so eviction does not cancel the transfer; expiry, a completed
+        # delivery (in stop mode) and a duplicate reception do.
+        if (message.id in state.expired
+                or (message.id in state.delivered and self._stop_on_delivery)
+                or state.ever_held.get(message.id, 0) >> peer & 1):
+            self._stats.cancelled_transfers += 1
+            return
+        received = self._receive(message, peer, time, hops)
+        if not received:
+            return
+        if peer != state.dest_index[message.id]:
+            # mirror the instantaneous path: delivery at the destination
+            # neither costs the carrier its copy (hand-off) nor cascades
+            if not self._copy:
+                self._drop_copy(carrier, message.id)
+            self._cascade(message, peer, time)
+
+    # ------------------------------------------------------------------
+    # transfer machinery
+    # ------------------------------------------------------------------
+    def _cascade(self, message: Message, start_node: int, time: float) -> None:
+        """Zero-time relay over currently active contacts (mirrors the
+        trace-driven simulator's cascade exactly)."""
+        state = self._state
+        frontier = [start_node]
+        while frontier:
+            node = frontier.pop()
+            for peer in list(state.active_peers[node]):
+                if self._attempt(message, node, peer, time, cascade=False):
+                    frontier.append(peer)
+
+    def _attempt(self, message: Message, carrier: int, peer: int, time: float,
+                 cascade: bool = True) -> bool:
+        """Attempt to move *message* from *carrier* to *peer* at *time*.
+
+        Returns True if the peer received a copy instantly (delivery
+        included) — a scheduled, bandwidth-delayed transfer returns False
+        because the peer holds nothing yet.  Guard order mirrors the
+        trace-driven simulator's ``_try_transfer``.
+        """
+        state = self._state
+        message_id = message.id
+        holders = state.holdings.get(message_id)
+        if holders is None or carrier not in holders:
+            return False
+        if message_id in state.delivered and self._stop_on_delivery:
+            return False
+        if state.ever_held[message_id] >> peer & 1:
+            return False
+        receive_time, hops = holders[carrier]
+        if time < receive_time:
+            return False
+        is_destination = peer == state.dest_index[message_id]
+        if not is_destination:
+            if not self._adapter.should_forward(
+                    state.node_of[carrier], state.node_of[peer],
+                    message.destination, time, self._history):
+                return False
+        if self._constraints.bandwidth is not None:
+            self._schedule_transfer(message, carrier, peer, time, hops + 1)
+            return False
+        # instantaneous transfer
+        received = self._receive(message, peer, time, hops + 1)
+        if not received:
+            return False
+        if is_destination:
+            # mirror the trace simulator: delivery neither triggers a
+            # cascade from the destination nor a hand-off removal
+            return True
+        if not self._copy:
+            self._drop_copy(carrier, message_id)
+        if cascade:
+            self._cascade(message, peer, time)
+        return True
+
+    def _schedule_transfer(self, message: Message, carrier: int, peer: int,
+                           time: float, hops: int) -> None:
+        """Queue the transfer on the pair's bandwidth-limited link."""
+        state = self._state
+        stats = self._stats
+        key = (message.id, carrier, peer)
+        if key in state.in_flight:
+            return
+        if not self._copy and any(
+                flight[0] == message.id and flight[1] == carrier
+                for flight in state.in_flight):
+            # hand-off: the carrier's single copy is already committed to an
+            # in-flight transfer; offering it to a second peer would fork it
+            return
+        pair = (carrier, peer) if carrier <= peer else (peer, carrier)
+        contact_end = state.active_until.get(pair)
+        if contact_end is None:
+            return
+        rate = self._constraints.bandwidth
+        start = max(time, state.link_busy.get(pair, time))
+        if start >= contact_end:
+            return  # no link capacity left in this contact
+        already_sent = state.progress.get(key, 0.0)
+        if already_sent > 0.0:
+            stats.resumed_transfers += 1
+        remaining = max(self._constraints.effective_size(message) - already_sent,
+                        0.0)
+        completion = start + remaining / rate
+        if completion <= contact_end:
+            state.link_busy[pair] = completion
+            state.in_flight.add(key)
+            stats.bytes_sent += remaining
+            self._queue.push(completion, TRANSFER_DONE,
+                             (message, carrier, peer, hops))
+        else:
+            sent_now = rate * (contact_end - start)
+            state.progress[key] = already_sent + sent_now
+            state.link_busy[pair] = contact_end
+            stats.bytes_sent += sent_now
+            stats.partial_transfers += 1
+
+    def _receive(self, message: Message, peer: int, time: float,
+                 hops: int) -> bool:
+        """Hand a copy to *peer*; returns True if the copy was received.
+
+        Delivery at the destination always succeeds; a relaying copy is
+        stored only if the buffer admits it.
+        """
+        state = self._state
+        stats = self._stats
+        message_id = message.id
+        is_destination = peer == state.dest_index[message_id]
+        entry = BufferEntry(message_id=message_id,
+                            size=self._constraints.effective_size(message),
+                            receive_time=time, sequence=state.next_admission())
+        admitted, evicted = state.buffers[peer].admit(entry)
+        if not admitted and not is_destination:
+            stats.buffer_rejections += 1
+            return False
+        state.ever_held[message_id] |= 1 << peer
+        stats.copies_sent += 1
+        if is_destination and message_id not in state.delivered:
+            state.delivered[message_id] = (time, hops)
+        if admitted:
+            holders = state.holdings.get(message_id)
+            if holders is not None:
+                holders[peer] = (time, hops)
+            else:  # defensive: holdings exist whenever copies circulate
+                state.holdings[message_id] = {peer: (time, hops)}
+            state.carried[peer].add(message_id)
+            self._drop_evicted(peer, evicted)
+        return True
+
+    # ------------------------------------------------------------------
+    def _drop_copy(self, node: int, message_id: int) -> None:
+        """Remove one node's copy (hand-off semantics or eviction)."""
+        state = self._state
+        holders = state.holdings.get(message_id)
+        if holders is not None:
+            holders.pop(node, None)
+        state.carried[node].discard(message_id)
+        state.buffers[node].remove(message_id)
+
+    def _drop_evicted(self, node: int, evicted: List[BufferEntry]) -> None:
+        """Unregister copies the node's buffer just evicted."""
+        if not evicted:
+            return
+        state = self._state
+        for entry in evicted:
+            holders = state.holdings.get(entry.message_id)
+            if holders is not None:
+                holders.pop(node, None)
+            state.carried[node].discard(entry.message_id)
+        self._stats.buffer_evictions += len(evicted)
+
+
+def simulate_des(
+    trace: ContactTrace,
+    algorithm: Union[ForwardingAlgorithm, AlgorithmAdapter],
+    messages: Sequence[Message],
+    constraints: ResourceConstraints = UNCONSTRAINED,
+    copy_semantics: str = "copy",
+    stop_on_delivery: bool = True,
+) -> ConstrainedSimulationResult:
+    """One-shot convenience wrapper around :class:`DesSimulator`."""
+    simulator = DesSimulator(trace, algorithm, constraints=constraints,
+                             copy_semantics=copy_semantics,
+                             stop_on_delivery=stop_on_delivery)
+    return simulator.run(messages)

@@ -1,0 +1,86 @@
+"""Event encoding and heap-based event queue for the DES engine.
+
+An event is the tuple ``(time, kind, sequence, payload)``.  The kind encodes
+the priority of simultaneous events; the relative order of contact starts,
+contact ends and message creations is exactly the one the idealized
+trace-driven simulator uses (starts < ends < creations), which is one of the
+ingredients of the engine-equivalence guarantee:
+
+``EXPIRE``
+    TTL expiries fire before anything else at the same instant — a message
+    is live during ``[creation, creation + ttl)``, so a contact starting
+    exactly at the expiry time cannot deliver it.
+``CONTACT_START``
+    Starts precede ends so zero-duration contacts are opened, exchanged
+    over, and then closed.
+``TRANSFER_DONE``
+    Bandwidth-limited transfers completing exactly at a contact's end
+    succeed (the bytes fit the contact), hence before ``CONTACT_END``.
+``CONTACT_END``
+    Precedes creations: a message created the instant a contact ends does
+    not see it as active (half-open ``[start, end)`` contact semantics).
+``CREATE``
+    Message creations come last at any instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Tuple
+
+__all__ = [
+    "EXPIRE",
+    "CONTACT_START",
+    "TRANSFER_DONE",
+    "CONTACT_END",
+    "CREATE",
+    "Event",
+    "EventQueue",
+]
+
+EXPIRE = 0
+CONTACT_START = 1
+TRANSFER_DONE = 2
+CONTACT_END = 3
+CREATE = 4
+
+Event = Tuple[float, int, int, Any]
+
+
+class EventQueue:
+    """A min-heap of events ordered by ``(time, kind, sequence)``.
+
+    The sequence number breaks remaining ties deterministically in push
+    order, so two runs that push the same events always pop them in the
+    same order.
+    """
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def next_sequence(self) -> int:
+        """Reserve and return the next sequence number."""
+        sequence = self._sequence
+        self._sequence += 1
+        return sequence
+
+    def push(self, time: float, kind: int, payload: Any) -> None:
+        """Schedule *payload* at *time* with the given *kind* priority."""
+        heapq.heappush(self._heap, (time, kind, self.next_sequence(), payload))
+
+    def extend_sorted(self, events: List[Event]) -> None:
+        """Bulk-load events (heapified in place; cheaper than n pushes)."""
+        self._heap.extend(events)
+        heapq.heapify(self._heap)
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)

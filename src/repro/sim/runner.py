@@ -1,0 +1,296 @@
+"""Scenario and sweep runners for the DES engine.
+
+``run_scenario`` executes one scenario (every algorithm × every run);
+``sweep_scenario`` additionally grids one resource-constraint axis.  Both
+reuse :func:`repro.analysis.parallel.process_map` for ``parallel=True``:
+the trace is shipped to each worker once via the pool initializer, jobs
+carry only the algorithm *name* (instances and their oracle state are built
+in the worker), and workloads are drawn in the parent so serial and
+parallel runs produce identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.parallel import process_map
+from ..contacts import ContactTrace
+from ..forwarding.algorithms import algorithm_by_name
+from ..forwarding.messages import Message
+from .engine import ConstrainedSimulationResult, DesSimulator, ResourceConstraints, ResourceStats
+from .scenarios import Scenario, get_scenario
+
+__all__ = [
+    "SWEEPABLE_PARAMETERS",
+    "ScenarioRunResult",
+    "SweepResult",
+    "merge_constrained_results",
+    "run_scenario",
+    "sweep_scenario",
+]
+
+#: Constraint axes ``sweep_scenario`` can grid over.
+SWEEPABLE_PARAMETERS = ("buffer_capacity", "bandwidth", "ttl", "message_size")
+
+
+def merge_constrained_results(
+    runs: Sequence[ConstrainedSimulationResult],
+) -> ConstrainedSimulationResult:
+    """Pool several runs of one algorithm into a single result.
+
+    Outcomes concatenate, counters sum, and ``peak_buffer_occupancy`` takes
+    the maximum over runs.
+    """
+    if not runs:
+        raise ValueError("need at least one run to merge")
+    merged_stats = ResourceStats()
+    for run in runs:
+        for stat_field in fields(ResourceStats):
+            current = getattr(merged_stats, stat_field.name)
+            value = getattr(run.stats, stat_field.name)
+            if stat_field.name == "peak_buffer_occupancy":
+                setattr(merged_stats, stat_field.name, max(current, value))
+            else:
+                setattr(merged_stats, stat_field.name, current + value)
+    merged = ConstrainedSimulationResult(
+        algorithm=runs[0].algorithm, trace_name=runs[0].trace_name,
+        constraints=runs[0].constraints, stats=merged_stats,
+        copies_sent=merged_stats.copies_sent)
+    for run in runs:
+        merged.outcomes.extend(run.outcomes)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# parallel plumbing: the trace is built once per worker process
+# ----------------------------------------------------------------------
+_SIM_WORKER: Dict[str, ContactTrace] = {}
+
+_Job = Tuple[str, Sequence[Message], ResourceConstraints, str]
+
+
+def _init_sim_worker(trace: ContactTrace) -> None:
+    _SIM_WORKER["trace"] = trace
+
+
+def _run_sim_job(job: _Job) -> ConstrainedSimulationResult:
+    algorithm_name, messages, constraints, copy_semantics = job
+    simulator = DesSimulator(_SIM_WORKER["trace"],
+                             algorithm_by_name(algorithm_name),
+                             constraints=constraints,
+                             copy_semantics=copy_semantics)
+    return simulator.run(messages)
+
+
+def _execute_jobs(trace: ContactTrace, jobs: List[_Job], parallel: bool,
+                  n_workers: Optional[int]) -> List[ConstrainedSimulationResult]:
+    if parallel and len(jobs) > 1:
+        return process_map(_run_sim_job, jobs, n_workers=n_workers,
+                           initializer=_init_sim_worker, initargs=(trace,))
+    _init_sim_worker(trace)
+    return [_run_sim_job(job) for job in jobs]
+
+
+def _resolve(scenario: Union[str, Scenario]) -> Scenario:
+    if isinstance(scenario, Scenario):
+        return scenario
+    return get_scenario(scenario)
+
+
+# ----------------------------------------------------------------------
+# scenario runner
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioRunResult:
+    """Everything produced by :func:`run_scenario`."""
+
+    scenario: Scenario
+    trace_name: str
+    num_nodes: int
+    num_contacts: int
+    num_messages: int
+    results: Dict[str, List[ConstrainedSimulationResult]] = field(default_factory=dict)
+
+    def pooled(self, algorithm: str) -> ConstrainedSimulationResult:
+        """All runs of one algorithm merged."""
+        return merge_constrained_results(self.results[algorithm])
+
+    def summaries(self) -> Dict[str, Dict[str, object]]:
+        """Per-algorithm pooled summary dicts, in scenario algorithm order."""
+        return {name: self.pooled(name).summary() for name in self.results}
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """Flat rows for :func:`repro.analysis.tables.format_table`."""
+        rows = []
+        for name, summary in self.summaries().items():
+            rows.append({
+                "algorithm": name,
+                "messages": summary["num_messages"],
+                "delivered": summary["num_delivered"],
+                "success_rate": round(float(summary["success_rate"]), 3),
+                "mean_delay_s": _round(summary["mean_delay_s"]),
+                "median_delay_s": _round(summary["median_delay_s"]),
+                "copies": summary["copies_sent"],
+                "copies/delivery": _round(summary["copies_per_delivery"], 2),
+                "evictions": summary["buffer_evictions"],
+                "expired": summary["expired_messages"],
+                "partial_xfers": summary["partial_transfers"],
+            })
+        return rows
+
+
+def _round(value, digits: int = 1):
+    return None if value is None else round(float(value), digits)
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    num_runs: Optional[int] = None,
+    seed: Optional[int] = None,
+    constraints: Optional[ResourceConstraints] = None,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
+) -> ScenarioRunResult:
+    """Run one scenario end to end.
+
+    *num_runs*, *seed* and *constraints* override the scenario's own values
+    when given (the CLI exposes them).  With ``parallel=True`` the
+    (run × algorithm) simulations are distributed over a process pool;
+    results are identical to a serial run.
+    """
+    spec = _resolve(scenario)
+    overrides = {}
+    if num_runs is not None:
+        overrides["num_runs"] = num_runs
+    if seed is not None:
+        overrides["seed"] = seed
+    if constraints is not None:
+        overrides["constraints"] = constraints
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+
+    trace = spec.build_trace()
+    messages_per_run = [spec.build_messages(trace, run_index)
+                        for run_index in range(spec.num_runs)]
+    jobs: List[_Job] = [
+        (algorithm, messages, spec.constraints, spec.copy_semantics)
+        for messages in messages_per_run
+        for algorithm in spec.algorithms
+    ]
+    flat = _execute_jobs(trace, jobs, parallel, n_workers)
+
+    outcome = ScenarioRunResult(
+        scenario=spec, trace_name=trace.name, num_nodes=trace.num_nodes,
+        num_contacts=len(trace),
+        num_messages=sum(len(m) for m in messages_per_run))
+    for name in spec.algorithms:
+        outcome.results[name] = []
+    job_index = 0
+    for _ in range(spec.num_runs):
+        for name in spec.algorithms:
+            outcome.results[name].append(flat[job_index])
+            job_index += 1
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# constraint sweeps
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """Everything produced by :func:`sweep_scenario`."""
+
+    scenario: Scenario
+    parameter: str
+    values: List[Optional[float]]
+    trace_name: str
+    #: per grid value: {algorithm: pooled result}
+    by_value: Dict[Optional[float], Dict[str, ConstrainedSimulationResult]] = \
+        field(default_factory=dict)
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """One row per (grid value, algorithm)."""
+        rows = []
+        for value in self.values:
+            for name, pooled in self.by_value[value].items():
+                summary = pooled.summary()
+                rows.append({
+                    self.parameter: "inf" if value is None else value,
+                    "algorithm": name,
+                    "success_rate": round(float(summary["success_rate"]), 3),
+                    "mean_delay_s": _round(summary["mean_delay_s"]),
+                    "copies": summary["copies_sent"],
+                    "evictions": summary["buffer_evictions"],
+                    "expired": summary["expired_messages"],
+                    "partial_xfers": summary["partial_transfers"],
+                })
+        return rows
+
+
+def sweep_scenario(
+    scenario: Union[str, Scenario],
+    parameter: str,
+    values: Sequence[Optional[float]],
+    num_runs: Optional[int] = None,
+    seed: Optional[int] = None,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
+) -> SweepResult:
+    """Grid one constraint axis of a scenario.
+
+    *parameter* is one of :data:`SWEEPABLE_PARAMETERS`; a value of ``None``
+    means "unlimited" for that point.  Every grid point sees exactly the
+    same trace and workloads, so the comparison is paired along the axis.
+    """
+    if parameter not in SWEEPABLE_PARAMETERS:
+        raise ValueError(f"cannot sweep {parameter!r}; "
+                         f"choose one of {', '.join(SWEEPABLE_PARAMETERS)}")
+    if not values:
+        raise ValueError("need at least one sweep value")
+    spec = _resolve(scenario)
+    overrides = {}
+    if num_runs is not None:
+        overrides["num_runs"] = num_runs
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+
+    trace = spec.build_trace()
+    messages_per_run = [spec.build_messages(trace, run_index)
+                        for run_index in range(spec.num_runs)]
+    if parameter == "ttl" and any(message.ttl is not None
+                                  for messages in messages_per_run
+                                  for message in messages):
+        # a message's own ttl takes precedence over the constraints-level
+        # default, so the sweep would silently produce a flat table
+        raise ValueError(
+            "cannot sweep ttl: the scenario's workload stamps a per-message "
+            "ttl, which overrides the swept constraints-level default; "
+            "remove the workload ttl to sweep this axis")
+    grid = [spec.constraints.with_overrides(**{parameter: value})
+            for value in values]
+    jobs: List[_Job] = [
+        (algorithm, messages, constraints, spec.copy_semantics)
+        for constraints in grid
+        for messages in messages_per_run
+        for algorithm in spec.algorithms
+    ]
+    flat = _execute_jobs(trace, jobs, parallel, n_workers)
+
+    sweep = SweepResult(scenario=spec, parameter=parameter,
+                        values=list(values), trace_name=trace.name)
+    job_index = 0
+    for value in values:
+        per_algorithm: Dict[str, List[ConstrainedSimulationResult]] = {
+            name: [] for name in spec.algorithms}
+        for _ in range(spec.num_runs):
+            for name in spec.algorithms:
+                per_algorithm[name].append(flat[job_index])
+                job_index += 1
+        sweep.by_value[value] = {
+            name: merge_constrained_results(runs)
+            for name, runs in per_algorithm.items()
+        }
+    return sweep

@@ -1,0 +1,310 @@
+"""Named, parameterized simulation scenarios.
+
+A :class:`Scenario` bundles everything one reproducible experiment needs —
+a trace source (paper dataset stand-in, random-waypoint mobility, or a
+two-class population), a message workload, resource constraints, the
+forwarding algorithms to compare, and a master seed.  The registry maps
+scenario names to specs so experiments can be launched by name from the
+command line (``python -m repro sim run <name>``) or from code
+(:func:`repro.sim.run_scenario`).
+
+Seeding follows the contract of :mod:`repro.synth.seeding`: one master seed
+per scenario; the trace and each run's workload draw from independently
+derived child streams, so the whole experiment is bit-reproducible and
+inserting a draw in one component cannot shift another.  Paper dataset
+stand-ins keep their registry seeds (they *are* the named datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Protocol, Tuple, Union
+
+from ..contacts import ContactTrace
+from ..datasets import load_dataset
+from ..forwarding.algorithms import ForwardingAlgorithm, algorithm_by_name
+from ..forwarding.messages import Message, PoissonMessageWorkload
+from ..synth import ConferenceTraceGenerator, RandomWaypointModel
+from ..synth.seeding import derive_rng
+from ..synth.workloads import AllPairsBurstWorkload, HotspotMessageWorkload
+from .engine import UNCONSTRAINED, ResourceConstraints
+
+__all__ = [
+    "DatasetTraceSpec",
+    "RandomWaypointTraceSpec",
+    "TwoClassTraceSpec",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "scenarios",
+]
+
+
+# ----------------------------------------------------------------------
+# trace sources
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DatasetTraceSpec:
+    """One of the paper's seeded dataset stand-ins (see ``repro.datasets``).
+
+    The dataset registry's own seed is used, so the trace is exactly the
+    named stand-in regardless of the scenario's master seed.
+    """
+
+    key: str
+    scale: float = 1.0
+    contact_scale: float = 1.0
+
+    def build(self, seed: Optional[int] = None) -> ContactTrace:
+        return load_dataset(self.key, scale=self.scale, seed=seed,
+                            contact_scale=self.contact_scale)
+
+    #: Dataset stand-ins are pinned to the registry seed.
+    uses_scenario_seed = False
+
+
+@dataclass(frozen=True)
+class RandomWaypointTraceSpec:
+    """A random-waypoint mobility trace (homogeneous baseline)."""
+
+    num_nodes: int = 25
+    duration: float = 1800.0
+    step: float = 10.0
+    width: float = 120.0
+    height: float = 120.0
+    min_speed: float = 0.5
+    max_speed: float = 2.0
+    max_pause: float = 30.0
+    radio_range: float = 10.0
+    name: str = ""
+
+    uses_scenario_seed = True
+
+    def build(self, seed=None) -> ContactTrace:
+        model = RandomWaypointModel(
+            num_nodes=self.num_nodes, width=self.width, height=self.height,
+            min_speed=self.min_speed, max_speed=self.max_speed,
+            max_pause=self.max_pause, radio_range=self.radio_range)
+        return model.generate_trace(self.duration, step=self.step, seed=seed,
+                                    name=self.name or f"rwp-N{self.num_nodes}")
+
+
+@dataclass(frozen=True)
+class TwoClassTraceSpec:
+    """A two-class (high/low contact rate) conference population."""
+
+    num_high: int = 8
+    num_low: int = 16
+    duration: float = 3600.0
+    mean_contacts_per_node: float = 60.0
+    high_weight: float = 1.0
+    low_weight: float = 0.1
+    name: str = ""
+
+    uses_scenario_seed = True
+
+    def build(self, seed=None) -> ContactTrace:
+        generator = ConferenceTraceGenerator.two_class(
+            num_high=self.num_high, num_low=self.num_low,
+            high_weight=self.high_weight, low_weight=self.low_weight,
+            duration=self.duration,
+            mean_contacts_per_node=self.mean_contacts_per_node)
+        return generator.generate(
+            seed=seed, name=self.name or f"two-class-{self.num_high}h{self.num_low}l")
+
+
+TraceSpec = Union[DatasetTraceSpec, RandomWaypointTraceSpec, TwoClassTraceSpec]
+
+
+class WorkloadSpec(Protocol):
+    """Anything with a seeded ``generate(trace, seed)`` returning messages."""
+
+    def generate(self, trace: ContactTrace, seed=None) -> List[Message]:
+        ...  # pragma: no cover - protocol
+
+
+# ----------------------------------------------------------------------
+# scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully parameterized, reproducible experiment."""
+
+    name: str
+    description: str
+    trace: TraceSpec
+    workload: WorkloadSpec
+    constraints: ResourceConstraints = UNCONSTRAINED
+    algorithms: Tuple[str, ...] = ("Epidemic", "FRESH", "Greedy",
+                                   "Dynamic Programming")
+    num_runs: int = 1
+    seed: int = 0
+    copy_semantics: str = "copy"
+
+    def __post_init__(self) -> None:
+        if not self.algorithms:
+            raise ValueError("a scenario needs at least one algorithm")
+        if self.num_runs < 1:
+            raise ValueError("num_runs must be positive")
+        for name in self.algorithms:
+            algorithm_by_name(name)  # raises on unknown names
+
+    @property
+    def is_constrained(self) -> bool:
+        return not self.constraints.is_unconstrained
+
+    # ------------------------------------------------------------------
+    def build_trace(self) -> ContactTrace:
+        """The scenario's contact trace (deterministic)."""
+        if self.trace.uses_scenario_seed:
+            return self.trace.build(seed=derive_rng(self.seed, "trace"))
+        return self.trace.build()
+
+    def build_messages(self, trace: ContactTrace, run_index: int = 0) -> List[Message]:
+        """The workload of one run (deterministic per ``(seed, run_index)``)."""
+        rng = derive_rng(self.seed, "workload", f"run-{run_index}")
+        return list(self.workload.generate(trace, seed=rng))
+
+    def build_algorithms(self) -> List[ForwardingAlgorithm]:
+        """Fresh, unprepared instances of the scenario's algorithms."""
+        return [algorithm_by_name(name) for name in self.algorithms]
+
+    def with_overrides(self, **changes) -> "Scenario":
+        """A copy with the given fields replaced (CLI convenience)."""
+        return replace(self, **changes)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add *scenario* to the registry (used by plugins and tests too)."""
+    if not overwrite and scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, in registration order."""
+    return list(_SCENARIOS)
+
+
+def scenarios() -> Dict[str, Scenario]:
+    """A copy of the registry."""
+    return dict(_SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# the catalogue
+# ----------------------------------------------------------------------
+# Populations are scaled down (~15-25 nodes) so every scenario runs in
+# seconds from the CLI; scale up via Scenario.with_overrides on the trace
+# spec for paper-size experiments.
+
+register_scenario(Scenario(
+    name="paper-ideal",
+    description="Section 6 comparison on the CoNExT'06 9-12 stand-in under "
+                "the paper's idealized assumptions (the DES engine equals "
+                "the trace-driven simulator here)",
+    trace=DatasetTraceSpec(key="conext06-9-12", scale=0.15, contact_scale=0.15),
+    workload=PoissonMessageWorkload(rate=0.01),
+    constraints=UNCONSTRAINED,
+    algorithms=("Epidemic", "FRESH", "Greedy", "Greedy Total",
+                "Greedy Online", "Dynamic Programming"),
+    seed=601,
+))
+
+register_scenario(Scenario(
+    name="paper-buffer-crunch",
+    description="Same stand-in with 4-message node buffers (drop-oldest): "
+                "epidemic copies now evict each other",
+    trace=DatasetTraceSpec(key="conext06-9-12", scale=0.15, contact_scale=0.15),
+    workload=PoissonMessageWorkload(rate=0.02),
+    constraints=ResourceConstraints(buffer_capacity=4.0),
+    seed=602,
+))
+
+register_scenario(Scenario(
+    name="paper-ttl-tight",
+    description="Same stand-in with a 15-minute message TTL: only fast "
+                "paths survive",
+    trace=DatasetTraceSpec(key="conext06-9-12", scale=0.15, contact_scale=0.15),
+    workload=PoissonMessageWorkload(rate=0.01),
+    constraints=ResourceConstraints(ttl=900.0),
+    seed=603,
+))
+
+register_scenario(Scenario(
+    name="paper-trickle-link",
+    description="Bandwidth-limited contacts (300-byte messages over a "
+                "2 B/s link): transfers take 150 s and resume across "
+                "contacts",
+    trace=DatasetTraceSpec(key="conext06-9-12", scale=0.15, contact_scale=0.15),
+    workload=PoissonMessageWorkload(rate=0.01),
+    constraints=ResourceConstraints(bandwidth=2.0, message_size=300.0),
+    seed=604,
+))
+
+register_scenario(Scenario(
+    name="rwp-courtyard",
+    description="Random-waypoint mobility in a 120 m courtyard "
+                "(homogeneous baseline the paper contrasts against), "
+                "idealized resources",
+    trace=RandomWaypointTraceSpec(num_nodes=25, duration=1800.0,
+                                  name="rwp-courtyard"),
+    workload=PoissonMessageWorkload(rate=0.03, generation_window=(0.0, 1200.0)),
+    constraints=UNCONSTRAINED,
+    seed=605,
+))
+
+register_scenario(Scenario(
+    name="rwp-courtyard-lossy",
+    description="The courtyard under pressure: 3-message buffers "
+                "(drop-youngest) and a 10-minute TTL",
+    trace=RandomWaypointTraceSpec(num_nodes=25, duration=1800.0,
+                                  name="rwp-courtyard"),
+    workload=PoissonMessageWorkload(rate=0.03, generation_window=(0.0, 1200.0)),
+    constraints=ResourceConstraints(buffer_capacity=3.0, ttl=600.0,
+                                    drop_policy="drop-youngest"),
+    seed=606,
+))
+
+register_scenario(Scenario(
+    name="hotspot-funnel",
+    description="Two-class population where 80% of traffic originates at "
+                "3 hotspot sources, 5-message buffers: the funnel around "
+                "the hotspots overflows",
+    trace=TwoClassTraceSpec(num_high=8, num_low=16, duration=3600.0,
+                            mean_contacts_per_node=60.0),
+    workload=HotspotMessageWorkload(num_messages=80, num_hotspots=3,
+                                    hotspot_share=0.8, mode="source"),
+    constraints=ResourceConstraints(buffer_capacity=5.0),
+    seed=607,
+))
+
+register_scenario(Scenario(
+    name="flash-crowd",
+    description="All-pairs message bursts on the Infocom'06 afternoon "
+                "stand-in over 1 B/s links with 8-message (240-byte) "
+                "buffers: worst-case contention",
+    trace=DatasetTraceSpec(key="infocom06-3-6", scale=0.15, contact_scale=0.15),
+    workload=AllPairsBurstWorkload(burst_times=(600.0, 3600.0),
+                                   max_pairs_per_burst=60, message_size=30.0),
+    constraints=ResourceConstraints(bandwidth=1.0, buffer_capacity=240.0,
+                                    drop_policy="drop-largest"),
+    seed=608,
+))

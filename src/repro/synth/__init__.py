@@ -3,6 +3,12 @@
 The paper's datasets are CRAWDAD iMote traces that cannot be redistributed;
 these generators produce traces with the same statistical structure (see
 DESIGN.md §2 for the substitution argument).
+
+All generators follow one seeding contract (:mod:`repro.synth.seeding`): an
+integer seed reproduces the same output bit-for-bit across runs and
+platforms, a ``numpy.random.Generator`` is threaded through unchanged, and
+composite experiments derive independent per-component streams from a single
+master seed with :func:`repro.synth.seeding.derive_rng`.
 """
 
 from .heterogeneous import ConferenceTraceGenerator
@@ -15,6 +21,8 @@ from .profiles import (
     SessionBreakProfile,
     TaperedProfile,
 )
+from .seeding import SeedLike, derive_rng, derive_seed_sequence, resolve_rng
+from .workloads import AllPairsBurstWorkload, HotspotMessageWorkload
 
 __all__ = [
     "ConferenceTraceGenerator",
@@ -26,4 +34,10 @@ __all__ = [
     "PiecewiseConstantProfile",
     "SessionBreakProfile",
     "TaperedProfile",
+    "SeedLike",
+    "derive_rng",
+    "derive_seed_sequence",
+    "resolve_rng",
+    "AllPairsBurstWorkload",
+    "HotspotMessageWorkload",
 ]

@@ -25,12 +25,13 @@ exactly the ones the paper's analysis relies on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..contacts import Contact, ContactTrace
 from .profiles import ActivityProfile, ConstantProfile
+from .seeding import SeedLike, resolve_rng
 
 __all__ = ["ConferenceTraceGenerator"]
 
@@ -128,10 +129,10 @@ class ConferenceTraceGenerator:
         return self.mean_contacts_per_node * self.num_nodes / (pair_weight_mass * effective)
 
     # ------------------------------------------------------------------
-    def generate(self, seed: Union[int, np.random.Generator, None] = None,
-                 name: str = "") -> ContactTrace:
-        """Generate one contact trace."""
-        rng = np.random.default_rng(seed)
+    def generate(self, seed: SeedLike = None, name: str = "") -> ContactTrace:
+        """Generate one contact trace (seeded per the contract in
+        :mod:`repro.synth.seeding`: same seed, same trace, bit-for-bit)."""
+        rng = resolve_rng(seed)
         profile = self.profile or ConstantProfile()
         weights = self._draw_weights(rng)
         profile_mean = self._profile_mean(profile)

@@ -14,12 +14,13 @@ conference generator is contrasted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional
 
 import numpy as np
 
 from ..contacts import Contact, ContactTrace
 from .profiles import ActivityProfile, ConstantProfile
+from .seeding import SeedLike, resolve_rng
 
 __all__ = ["HomogeneousPoissonGenerator"]
 
@@ -62,16 +63,15 @@ class HomogeneousPoissonGenerator:
         if self.contact_duration < 0:
             raise ValueError("contact_duration must be non-negative")
 
-    def generate(self, seed: Union[int, np.random.Generator, None] = None,
-                 name: str = "") -> ContactTrace:
-        """Generate one trace.
+    def generate(self, seed: SeedLike = None, name: str = "") -> ContactTrace:
+        """Generate one trace (seeded per :mod:`repro.synth.seeding`).
 
         The total number of contact initiations over the window is Poisson
         with mean ``N * λ * duration``; initiation times are uniform over the
         window (standard Poisson-process conditioning), initiators are chosen
         uniformly, and peers uniformly among the remaining nodes.
         """
-        rng = np.random.default_rng(seed)
+        rng = resolve_rng(seed)
         profile = self.profile or ConstantProfile()
         expected = self.num_nodes * self.contact_rate * self.duration
         total = rng.poisson(expected)

@@ -19,11 +19,12 @@ this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional
 
 import numpy as np
 
 from ..contacts import Contact, ContactTrace
+from .seeding import SeedLike, resolve_rng
 
 __all__ = ["RandomWaypointModel", "contacts_from_positions"]
 
@@ -64,18 +65,20 @@ class RandomWaypointModel:
         self,
         duration: float,
         step: float = 5.0,
-        seed: Union[int, np.random.Generator, None] = None,
+        seed: SeedLike = None,
     ) -> np.ndarray:
         """Sample node positions on a regular time grid.
 
         Returns an array of shape ``(num_steps, num_nodes, 2)`` where
-        ``num_steps = floor(duration / step) + 1``.
+        ``num_steps = floor(duration / step) + 1``.  Seeded per the contract
+        in :mod:`repro.synth.seeding`: an integer seed reproduces the same
+        trajectories bit-for-bit on every platform.
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
         if step <= 0:
             raise ValueError("step must be positive")
-        rng = np.random.default_rng(seed)
+        rng = resolve_rng(seed)
         num_steps = int(np.floor(duration / step)) + 1
         positions = np.zeros((num_steps, self.num_nodes, 2), dtype=float)
 
@@ -126,7 +129,7 @@ class RandomWaypointModel:
         self,
         duration: float,
         step: float = 5.0,
-        seed: Union[int, np.random.Generator, None] = None,
+        seed: SeedLike = None,
         name: str = "",
     ) -> ContactTrace:
         """Generate a contact trace from sampled positions."""

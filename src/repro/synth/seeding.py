@@ -1,0 +1,74 @@
+"""Deterministic seeding contract for synthetic scenarios.
+
+Every generator in :mod:`repro.synth` (and every workload builder in
+:mod:`repro.forwarding.messages` / :mod:`repro.synth.workloads`) accepts a
+``seed`` that is either
+
+* an ``int`` — a fresh ``numpy.random.Generator`` (PCG64) is created from it,
+  so the same integer always reproduces the same trace or workload
+  bit-for-bit, on every platform numpy supports;
+* an existing ``numpy.random.Generator`` — used as-is, which lets a caller
+  thread one generator through several components (draws then interleave in
+  call order); or
+* ``None`` — fresh OS entropy, i.e. deliberately irreproducible.
+
+A composite experiment (trace + workload + repeated runs) should *not* share
+one generator across its components: inserting a draw in one component would
+silently shift every stream after it.  Instead, derive an independent child
+stream per component from a single master seed with :func:`derive_rng`::
+
+    trace_rng    = derive_rng(master_seed, "trace")
+    workload_rng = derive_rng(master_seed, "workload", "run-0")
+
+Derivation hashes the string labels (SHA-256, platform independent) into a
+``numpy.random.SeedSequence`` together with the master seed, so every
+``(master seed, labels)`` pair names one fixed, statistically independent
+stream.  The scenario registry in :mod:`repro.sim.scenarios` uses exactly
+this scheme: one master seed per scenario reproduces the full experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "resolve_rng", "derive_seed_sequence", "derive_rng"]
+
+#: Anything the generators accept as a ``seed`` argument.
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for *seed* per the module contract.
+
+    Equivalent to ``numpy.random.default_rng(seed)``; exists so call sites
+    document that they follow the seeding contract above.
+    """
+    return np.random.default_rng(seed)
+
+
+def _label_entropy(label: str) -> int:
+    """A stable 64-bit integer derived from a string label."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_seed_sequence(master_seed: Optional[int],
+                         *labels: str) -> np.random.SeedSequence:
+    """A ``SeedSequence`` for the child stream named by *labels*.
+
+    The same ``(master_seed, labels)`` always produces the same sequence;
+    different labels produce statistically independent streams.  A ``None``
+    master seed produces a fresh, irreproducible sequence.
+    """
+    if master_seed is None:
+        return np.random.SeedSequence()
+    entropy = [int(master_seed)] + [_label_entropy(label) for label in labels]
+    return np.random.SeedSequence(entropy=entropy)
+
+
+def derive_rng(master_seed: Optional[int], *labels: str) -> np.random.Generator:
+    """A generator on the independent child stream named by *labels*."""
+    return np.random.default_rng(derive_seed_sequence(master_seed, *labels))

@@ -1,0 +1,166 @@
+"""Message workload generators beyond the paper's Poisson process.
+
+Section 6.1 of the paper only evaluates a uniform Poisson workload (provided
+by :class:`repro.forwarding.PoissonMessageWorkload`).  The scenario registry
+in :mod:`repro.sim.scenarios` additionally exercises two stressful workload
+shapes common in DTN evaluations:
+
+* :class:`AllPairsBurstWorkload` — at each burst instant every (sampled)
+  ordered node pair emits one message simultaneously, the worst case for
+  finite buffers and bandwidth-limited contacts;
+* :class:`HotspotMessageWorkload` — a small set of hotspot nodes originates
+  (or receives) a configurable share of the traffic, concentrating load on
+  the buffers around the hotspots.
+
+All generators follow the seeding contract of :mod:`repro.synth.seeding` and
+stamp ``size`` / ``ttl`` onto the generated messages for the
+resource-constrained engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..contacts import ContactTrace
+from ..forwarding.messages import Message
+from .seeding import SeedLike, resolve_rng
+
+__all__ = ["AllPairsBurstWorkload", "HotspotMessageWorkload"]
+
+
+@dataclass
+class AllPairsBurstWorkload:
+    """One message per ordered node pair at each burst instant.
+
+    Parameters
+    ----------
+    burst_times:
+        Instants (seconds) at which a burst fires.
+    max_pairs_per_burst:
+        If set, each burst uses a uniform random sample of this many ordered
+        pairs instead of all ``N (N - 1)`` of them (re-drawn per burst).
+    message_size, ttl:
+        Stamped onto every generated message.
+    """
+
+    burst_times: Sequence[float] = (0.0,)
+    max_pairs_per_burst: Optional[int] = None
+    message_size: float = 1.0
+    ttl: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.burst_times:
+            raise ValueError("need at least one burst time")
+        if any(t < 0 for t in self.burst_times):
+            raise ValueError("burst times must be non-negative")
+        if self.max_pairs_per_burst is not None and self.max_pairs_per_burst < 1:
+            raise ValueError("max_pairs_per_burst must be positive")
+
+    def generate(self, trace: ContactTrace, seed: SeedLike = None) -> List[Message]:
+        if trace.num_nodes < 2:
+            raise ValueError("need at least two nodes")
+        rng = resolve_rng(seed)
+        nodes = sorted(trace.nodes)
+        pairs: List[Tuple[int, int]] = [
+            (s, d) for s in nodes for d in nodes if s != d
+        ]
+        messages: List[Message] = []
+        for burst_time in sorted(float(t) for t in self.burst_times):
+            if burst_time > trace.duration:
+                raise ValueError(
+                    f"burst time {burst_time} exceeds trace duration {trace.duration}"
+                )
+            if self.max_pairs_per_burst is not None and \
+                    self.max_pairs_per_burst < len(pairs):
+                chosen = rng.choice(len(pairs), size=self.max_pairs_per_burst,
+                                    replace=False)
+                burst_pairs = [pairs[int(index)] for index in sorted(chosen)]
+            else:
+                burst_pairs = pairs
+            for source, destination in burst_pairs:
+                messages.append(Message(id=len(messages), source=source,
+                                        destination=destination,
+                                        creation_time=burst_time,
+                                        size=self.message_size, ttl=self.ttl))
+        return messages
+
+
+@dataclass
+class HotspotMessageWorkload:
+    """Traffic concentrated on a few hotspot nodes.
+
+    A fraction ``hotspot_share`` of the messages has its source (mode
+    ``"source"``), destination (``"sink"``) or both endpoints (``"both"``)
+    drawn from a randomly chosen hotspot set of ``num_hotspots`` nodes; the
+    rest of the endpoints are uniform over all nodes.  Creation times are
+    uniform over the generation window (default: the first two-thirds of the
+    trace, as in the paper's Poisson workload).
+    """
+
+    num_messages: int = 100
+    num_hotspots: int = 3
+    hotspot_share: float = 0.8
+    mode: str = "source"
+    generation_window: Optional[Tuple[float, float]] = None
+    message_size: float = 1.0
+    ttl: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_messages < 0:
+            raise ValueError("num_messages must be non-negative")
+        if self.num_hotspots < 1:
+            raise ValueError("num_hotspots must be positive")
+        if not 0 <= self.hotspot_share <= 1:
+            raise ValueError("hotspot_share must lie in [0, 1]")
+        if self.mode not in ("source", "sink", "both"):
+            raise ValueError("mode must be 'source', 'sink' or 'both'")
+        if self.mode == "both" and self.num_hotspots < 2:
+            raise ValueError("mode 'both' needs at least two hotspots")
+
+    def generate(self, trace: ContactTrace, seed: SeedLike = None) -> List[Message]:
+        if trace.num_nodes < 2:
+            raise ValueError("need at least two nodes")
+        if self.num_hotspots >= trace.num_nodes:
+            raise ValueError("need more nodes than hotspots")
+        rng = resolve_rng(seed)
+        nodes = sorted(trace.nodes)
+        window = self.generation_window or (0.0, trace.duration * 2.0 / 3.0)
+        lo, hi = window
+        if not 0 <= lo < hi <= trace.duration:
+            raise ValueError(f"invalid generation window {window}")
+        hotspot_indices = rng.choice(len(nodes), size=self.num_hotspots,
+                                     replace=False)
+        hotspots = [nodes[int(index)] for index in sorted(hotspot_indices)]
+
+        def draw(pool: Sequence[int], exclude: Optional[int] = None) -> int:
+            candidates = [n for n in pool if n != exclude]
+            return candidates[int(rng.integers(len(candidates)))]
+
+        messages: List[Message] = []
+        for index in range(self.num_messages):
+            hot = bool(rng.random() < self.hotspot_share)
+            if hot and self.mode == "sink":
+                # draw the constrained endpoint first so a single hotspot
+                # cannot leave the other endpoint without candidates
+                destination = draw(hotspots)
+                source = draw(nodes, exclude=destination)
+            else:
+                source_pool = hotspots if hot and self.mode in ("source", "both") else nodes
+                sink_pool = hotspots if hot and self.mode == "both" else nodes
+                source = draw(source_pool)
+                destination = draw(sink_pool, exclude=source)
+            messages.append(Message(id=index, source=source,
+                                    destination=destination,
+                                    creation_time=float(rng.uniform(lo, hi)),
+                                    size=self.message_size, ttl=self.ttl))
+        messages.sort(key=lambda m: m.creation_time)
+        return messages
+
+    def hotspot_nodes(self, trace: ContactTrace, seed: SeedLike = None) -> List[int]:
+        """The hotspot set the same *seed* would produce (for diagnostics)."""
+        rng = resolve_rng(seed)
+        nodes = sorted(trace.nodes)
+        hotspot_indices = rng.choice(len(nodes), size=self.num_hotspots,
+                                     replace=False)
+        return [nodes[int(index)] for index in sorted(hotspot_indices)]
