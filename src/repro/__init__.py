@@ -14,6 +14,9 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.model` — the analytic path-explosion model of Section 5;
 * :mod:`repro.forwarding` — the trace-driven simulator and the six
   forwarding algorithms of Section 6;
+* :mod:`repro.routing` — the stateful protocol zoo (spray-and-wait,
+  PRoPHET, hypergossip, …), the compatibility wrapper running the paper's
+  algorithms under the protocol API, and the cross-scenario tournament;
 * :mod:`repro.sim` — the resource-constrained discrete-event engine
   (finite buffers, bandwidth-limited contacts, TTL), scenario registry and
   the ``python -m repro`` CLI;
@@ -29,9 +32,9 @@ Quickstart
 True
 """
 
-from . import analysis, contacts, core, datasets, forwarding, model, sim, synth
+from . import analysis, contacts, core, datasets, forwarding, model, routing, sim, synth
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -40,6 +43,7 @@ __all__ = [
     "datasets",
     "forwarding",
     "model",
+    "routing",
     "sim",
     "synth",
     "__version__",

@@ -39,7 +39,14 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PerformanceSummary:
-    """Success rate and delay statistics of one algorithm on one dataset."""
+    """Success rate and delay statistics of one algorithm on one dataset.
+
+    ``copies_sent`` is the total number of copy transfers the simulator
+    counted (``None`` on results that predate the counter or breakdowns
+    that cannot attribute copies, e.g. per-pair-type); the derived
+    ``copies_per_delivery`` is the paper-era cost metric the replication
+    protocols trade against delay.
+    """
 
     algorithm: str
     num_messages: int
@@ -48,9 +55,18 @@ class PerformanceSummary:
     average_delay: Optional[float]
     median_delay: Optional[float]
     p90_delay: Optional[float]
+    copies_sent: Optional[int] = None
+
+    @property
+    def copies_per_delivery(self) -> Optional[float]:
+        """Copy transfers per delivered message (overhead), or None."""
+        if self.copies_sent is None or not self.num_delivered:
+            return None
+        return self.copies_sent / self.num_delivered
 
     def as_row(self) -> Dict[str, Union[str, float, int, None]]:
         """A flat dict suitable for printing as a results-table row."""
+        overhead = self.copies_per_delivery
         return {
             "algorithm": self.algorithm,
             "messages": self.num_messages,
@@ -59,6 +75,8 @@ class PerformanceSummary:
             "avg_delay_s": None if self.average_delay is None else round(self.average_delay, 1),
             "median_delay_s": None if self.median_delay is None else round(self.median_delay, 1),
             "p90_delay_s": None if self.p90_delay is None else round(self.p90_delay, 1),
+            "copies": self.copies_sent,
+            "copies/delivery": None if overhead is None else round(overhead, 2),
         }
 
 
@@ -73,6 +91,7 @@ def summarize(result: SimulationResult) -> PerformanceSummary:
         average_delay=float(delays.mean()) if delays.size else None,
         median_delay=float(np.median(delays)) if delays.size else None,
         p90_delay=float(np.percentile(delays, 90)) if delays.size else None,
+        copies_sent=result.copies_sent,
     )
 
 

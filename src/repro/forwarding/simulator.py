@@ -37,13 +37,16 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..contacts import Contact, ContactTrace, NodeId
 from ..core.fastpath import NodeInterner
 from .algorithms import ForwardingAlgorithm
 from .history import OnlineContactHistory
 from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..routing.base import RoutingProtocol
 
 __all__ = ["DeliveryOutcome", "SimulationResult", "ForwardingSimulator", "simulate"]
 
@@ -201,8 +204,13 @@ class ForwardingSimulator:
     trace:
         The contact trace to replay.
     algorithm:
-        The forwarding strategy.  Its ``prepare`` hook is called once with
-        the full trace (only the future-knowledge algorithms use it).
+        The forwarding strategy: a legacy
+        :class:`~repro.forwarding.ForwardingAlgorithm` (wrapped
+        transparently, behaviour byte-identical) or a stateful
+        :class:`~repro.routing.RoutingProtocol`.  ``prepare`` is called
+        once per run with the full trace; protocols additionally receive
+        the lifecycle hooks (message creation, contact start/end,
+        forwarded, delivered) in event order.
     copy_semantics:
         ``"copy"`` (default) — the carrier keeps its copy after forwarding,
         as assumed throughout the paper (infinite buffers, nodes hold
@@ -217,14 +225,16 @@ class ForwardingSimulator:
     def __init__(
         self,
         trace: ContactTrace,
-        algorithm: ForwardingAlgorithm,
+        algorithm: Union[ForwardingAlgorithm, "RoutingProtocol"],
         copy_semantics: str = "copy",
         stop_on_delivery: bool = True,
     ) -> None:
+        from ..routing.compat import ensure_protocol
+
         if copy_semantics not in ("copy", "handoff"):
             raise ValueError("copy_semantics must be 'copy' or 'handoff'")
         self._trace = trace
-        self._algorithm = algorithm
+        self._protocol = ensure_protocol(algorithm)
         self._copy = copy_semantics == "copy"
         self._stop_on_delivery = stop_on_delivery
 
@@ -238,7 +248,7 @@ class ForwardingSimulator:
                 raise ValueError(
                     f"message {message.id}: unknown destination {message.destination}"
                 )
-        self._algorithm.prepare(self._trace)
+        self._protocol.prepare(self._trace)
 
         interner = NodeInterner(self._trace.nodes)
         index_of = interner.index_of
@@ -259,17 +269,21 @@ class ForwardingSimulator:
             sequence += 1
         events.sort(key=lambda e: (e[0], e[1], e[2]))
 
+        protocol = self._protocol
         for time, kind, _, payload in events:
             if kind == _END:
                 contact, a, b = payload  # type: ignore[misc]
                 self._close_contact(state, a, b)
+                protocol.on_contact_end(contact.a, contact.b, time, history)
             elif kind == _START:
                 contact, a, b = payload  # type: ignore[misc]
                 history.record(contact.a, contact.b, time)
+                protocol.on_contact_start(contact.a, contact.b, time, history)
                 self._open_contact(state, a, b)
                 self._exchange_on_contact(state, a, b, time, history, by_id)
             else:  # _CREATE
                 message = payload  # type: ignore[assignment]
+                protocol.on_message_created(message, time)
                 source = index_of(message.source)
                 state.holdings[message.id] = {source: (time, 0)}
                 state.carried[source].add(message.id)
@@ -286,7 +300,7 @@ class ForwardingSimulator:
             else:
                 outcomes.append(DeliveryOutcome(message=message, delivered=False,
                                                 delivery_time=None, hop_count=None))
-        return SimulationResult(algorithm=self._algorithm.name,
+        return SimulationResult(algorithm=self._protocol.name,
                                 trace_name=self._trace.name, outcomes=outcomes,
                                 copies_sent=state.copies_sent)
 
@@ -375,15 +389,17 @@ class ForwardingSimulator:
             state.copies_sent += 1
             if message.id not in state.delivered:
                 state.delivered[message.id] = (time, hops + 1)
+                self._protocol.on_delivered(message, time)
             return True
         node_of = state.node_of
-        if not self._algorithm.should_forward(node_of[carrier], node_of[peer],
-                                              message.destination, time, history):
+        if not self._protocol.should_forward(node_of[carrier], node_of[peer],
+                                             message, time, history):
             return False
         holders[peer] = (time, hops + 1)
         state.carried[peer].add(message.id)
         state.ever_held[message.id] |= 1 << peer
         state.copies_sent += 1
+        self._protocol.on_forwarded(message, node_of[carrier], node_of[peer], time)
         if not self._copy:
             holders.pop(carrier, None)
             state.carried[carrier].discard(message.id)
@@ -394,7 +410,7 @@ class ForwardingSimulator:
 
 def simulate(
     trace: ContactTrace,
-    algorithm: ForwardingAlgorithm,
+    algorithm: Union[ForwardingAlgorithm, "RoutingProtocol"],
     messages: Sequence[Message],
     copy_semantics: str = "copy",
     stop_on_delivery: bool = True,

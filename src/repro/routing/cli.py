@@ -1,0 +1,160 @@
+"""The ``python -m repro routing`` subcommands.
+
+Wired into the main parser by :mod:`repro.sim.cli`::
+
+    python -m repro routing list                   # the protocol zoo
+    python -m repro routing run <scenario> \\
+        --protocols PRoPHET,Epidemic [...]         # one scenario, chosen protocols
+    python -m repro routing tournament \\
+        --scenarios paper-ideal,rwp-courtyard \\
+        --protocols all --seed 7 [...]             # the leaderboard
+
+Protocol names are case- and separator-insensitive (``prophet`` ==
+``PRoPHET``, ``binary-spray-and-wait`` == ``Binary Spray-and-Wait``), so
+none of them need shell quoting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List
+
+from ..analysis.tables import format_table
+from .registry import protocol_by_name, protocol_catalogue, protocol_names
+
+__all__ = ["add_routing_commands", "dispatch_routing_command"]
+
+
+def add_routing_commands(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``routing`` command tree to the main parser."""
+    routing = commands.add_parser(
+        "routing", help="stateful protocol zoo and cross-scenario tournament")
+    routing_commands = routing.add_subparsers(dest="routing_command",
+                                              required=True)
+
+    routing_commands.add_parser("list", help="list the registered protocols")
+
+    run = routing_commands.add_parser(
+        "run", help="run one scenario under chosen protocols")
+    run.add_argument("scenario", help="a scenario name (see 'repro sim list')")
+    run.add_argument("--protocols", default="all",
+                     help="comma-separated protocol names, or 'all' "
+                          "(default: all)")
+    run.add_argument("--runs", type=int, default=None,
+                     help="override the scenario's number of workload runs")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the scenario's master seed")
+    run.add_argument("--parallel", action="store_true",
+                     help="fan (run x protocol) simulations over a process pool")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: CPU count)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the result rows as JSON")
+
+    tournament = routing_commands.add_parser(
+        "tournament", help="rank protocols across scenarios and seeds")
+    tournament.add_argument("--scenarios", default="all",
+                            help="comma-separated scenario names, or 'all' "
+                                 "(default: all)")
+    tournament.add_argument("--protocols", default="all",
+                            help="comma-separated protocol names, or 'all' "
+                                 "(default: all)")
+    tournament.add_argument("--seeds", "--seed", dest="seeds", default="7",
+                            help="comma-separated master seeds (default: 7)")
+    tournament.add_argument("--runs", type=int, default=None,
+                            help="override each scenario's number of "
+                                 "workload runs")
+    tournament.add_argument("--parallel", action="store_true",
+                            help="fan each scenario cell over a process pool")
+    tournament.add_argument("--workers", type=int, default=None)
+    tournament.add_argument("--json", metavar="PATH", default=None,
+                            help="also write leaderboard + per-cell rows "
+                                 "as JSON")
+
+
+def _parse_names(raw: str) -> List[str]:
+    names = [token.strip() for token in raw.split(",") if token.strip()]
+    if not names:
+        raise SystemExit("expected a non-empty, comma-separated name list")
+    return names
+
+
+def _parse_protocols(raw: str):
+    if raw.strip().lower() == "all":
+        return "all"
+    # resolve through the registry so typos fail before any simulation
+    return [protocol_by_name(name).name for name in _parse_names(raw)]
+
+
+def _cmd_routing_list() -> int:
+    print(format_table(protocol_catalogue()))
+    print(f"\n{len(protocol_names())} protocols registered "
+          f"(paper six + stateful zoo)")
+    return 0
+
+
+def _cmd_routing_run(args: argparse.Namespace, write_json) -> int:
+    from ..sim.runner import run_scenario
+    from ..sim.scenarios import get_scenario
+
+    scenario = get_scenario(args.scenario)
+    selected = _parse_protocols(args.protocols)
+    if selected == "all":
+        selected = protocol_names()
+    spec = scenario.with_overrides(algorithms=tuple(selected))
+    started = time.perf_counter()
+    result = run_scenario(spec, num_runs=args.runs, seed=args.seed,
+                          parallel=args.parallel, n_workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print(f"trace: {result.trace_name}  ({result.num_nodes} nodes, "
+          f"{result.num_contacts} contacts)")
+    print(f"protocols: {', '.join(selected)}")
+    print(f"workload: {result.num_messages} messages over "
+          f"{result.scenario.num_runs} run(s)\n")
+    rows = result.table_rows()
+    print(format_table(rows))
+    print(f"\ncompleted in {elapsed:.2f}s")
+    write_json(args.json, {"scenario": scenario.name,
+                           "trace": result.trace_name, "rows": rows})
+    return 0
+
+
+def _cmd_routing_tournament(args: argparse.Namespace, write_json) -> int:
+    from .tournament import run_tournament
+
+    protocols = _parse_protocols(args.protocols)
+    scenarios = ("all" if args.scenarios.strip().lower() == "all"
+                 else _parse_names(args.scenarios))
+    try:
+        seeds = [int(token) for token in _parse_names(args.seeds)]
+    except ValueError:
+        raise SystemExit(f"--seeds must be integers, got {args.seeds!r}")
+    started = time.perf_counter()
+    result = run_tournament(protocols=protocols, scenarios=scenarios,
+                            seeds=seeds, num_runs=args.runs,
+                            parallel=args.parallel, n_workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(f"tournament: {len(result.protocols)} protocols × "
+          f"{len(result.scenarios)} scenarios × {len(result.seeds)} seed(s)")
+    print(f"scenarios: {', '.join(result.scenarios)}\n")
+    print(result.leaderboard_table())
+    print(f"\ncompleted in {elapsed:.2f}s")
+    write_json(args.json, {
+        "protocols": result.protocols,
+        "scenarios": result.scenarios,
+        "seeds": result.seeds,
+        "leaderboard": result.leaderboard_rows(),
+        "cells": result.cell_rows(),
+    })
+    return 0
+
+
+def dispatch_routing_command(args: argparse.Namespace, write_json) -> int:
+    """Route a parsed ``routing`` command to its handler."""
+    if args.routing_command == "list":
+        return _cmd_routing_list()
+    if args.routing_command == "run":
+        return _cmd_routing_run(args, write_json)
+    return _cmd_routing_tournament(args, write_json)

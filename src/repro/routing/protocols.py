@@ -1,0 +1,300 @@
+"""The stateful protocol zoo.
+
+Six protocols from the DTN literature the paper predates, all expressed
+against the :class:`~repro.routing.base.RoutingProtocol` lifecycle:
+
+====================== =========== ============= ==========================
+protocol               state       replication   reference
+====================== =========== ============= ==========================
+Direct Delivery        none        single-copy   Grossglauser & Tse
+First Contact          token owner single-copy   Jain, Fall & Patra
+Binary Spray-and-Wait  copy budget L copies      Spyropoulos et al.
+Source Spray-and-Wait  copy budget L copies      Spyropoulos et al.
+PRoPHET                P(a,b)      utility       Lindgren, Doria & Schelén
+Hypergossip            hash gate   probabilistic Drabkin et al. / PONS
+====================== =========== ============= ==========================
+
+Every protocol is deterministic given the event order (Hypergossip draws
+its coin from a keyed hash, not a live RNG), so runs are reproducible,
+parallel-safe and identical across both engines.
+
+Delivery to the destination is the engines' minimal-progress rule: a
+protocol is never asked whether to deliver, and delivery spends no
+replication budget.  The single-copy and spray protocols track logical
+copy *ownership* themselves, which keeps them correct under the engines'
+default keep-a-copy semantics: stale holders simply refuse to forward.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Optional, Tuple
+
+from ..contacts import ContactTrace, NodeId
+from ..forwarding.history import OnlineContactHistory
+from ..forwarding.messages import Message
+from .base import RoutingProtocol
+
+__all__ = [
+    "DirectDeliveryProtocol",
+    "FirstContactProtocol",
+    "BinarySprayAndWaitProtocol",
+    "SourceSprayAndWaitProtocol",
+    "ProphetProtocol",
+    "HypergossipProtocol",
+]
+
+
+class DirectDeliveryProtocol(RoutingProtocol):
+    """Hold the message until the source meets the destination itself.
+
+    The cheapest possible protocol (exactly one copy, zero transfers) and
+    the delay/success lower bound every replication scheme is measured
+    against.
+    """
+
+    name = "Direct Delivery"
+    stateful = False
+    replication = "single-copy"
+    knowledge = "none"
+
+    def should_forward(self, carrier, peer, message, now, history) -> bool:
+        return False  # minimal progress already covers the destination
+
+
+class FirstContactProtocol(RoutingProtocol):
+    """Single-copy relay: the token moves to the first *new* peer met.
+
+    The current owner hands the (logical) single copy to the first
+    encountered node that has not already carried the message; previous
+    carriers keep a dead copy they will never offer again.  This is the
+    classic first-contact random-walk forwarding of DTN routing.
+    """
+
+    name = "First Contact"
+    replication = "single-copy"
+    knowledge = "none"
+
+    def __init__(self) -> None:
+        self._owner: Dict[int, NodeId] = {}
+
+    def prepare(self, trace: ContactTrace) -> None:
+        self._owner = {}
+
+    def on_message_created(self, message: Message, now: float) -> None:
+        self._owner[message.id] = message.source
+
+    def should_forward(self, carrier, peer, message, now, history) -> bool:
+        return self._owner.get(message.id) == carrier
+
+    def on_forwarded(self, message, carrier, peer, now) -> None:
+        if self._owner.get(message.id) == carrier:
+            self._owner[message.id] = peer
+
+
+class _SprayAndWaitBase(RoutingProtocol):
+    """Shared copy-budget bookkeeping of the two spray-and-wait variants.
+
+    ``copies`` maps message id -> {node: logical copies held}.  The budget
+    is allocated at creation (L copies at the source), *spent* in
+    ``on_forwarded`` (so rejected transfers cost nothing) and conserved:
+    the per-message sum never exceeds L (property-tested in
+    ``tests/test_routing_properties.py``).
+    """
+
+    replication = "L copies"
+    knowledge = "none"
+
+    def __init__(self, copies: int = 8) -> None:
+        if copies < 1:
+            raise ValueError("the copy budget L must be at least 1")
+        self.budget = copies
+        self._copies: Dict[int, Dict[NodeId, int]] = {}
+
+    def prepare(self, trace: ContactTrace) -> None:
+        self._copies = {}
+
+    def on_message_created(self, message: Message, now: float) -> None:
+        self._copies[message.id] = {message.source: self.budget}
+
+    def copies_held(self, message_id: int, node: NodeId) -> int:
+        """Logical copies *node* currently owns (test/diagnostic hook)."""
+        return self._copies.get(message_id, {}).get(node, 0)
+
+    def total_copies(self, message_id: int) -> int:
+        """Total logical copies of the message in the network."""
+        return sum(self._copies.get(message_id, {}).values())
+
+    def should_forward(self, carrier, peer, message, now, history) -> bool:
+        return self.copies_held(message.id, carrier) > 1
+
+
+class BinarySprayAndWaitProtocol(_SprayAndWaitBase):
+    """Binary spray-and-wait [Spyropoulos, Psounis & Raghavendra 2005].
+
+    A node holding ``n > 1`` copies hands ``floor(n / 2)`` to the next new
+    node it meets and keeps the rest; a node down to one copy waits for the
+    destination.  Spraying fans out exponentially, so the budget is spread
+    in O(log L) hops.
+    """
+
+    name = "Binary Spray-and-Wait"
+
+    def on_forwarded(self, message, carrier, peer, now) -> None:
+        holders = self._copies.get(message.id)
+        if holders is None:
+            return
+        held = holders.get(carrier, 0)
+        if held <= 1:
+            return
+        give = held // 2
+        holders[carrier] = held - give
+        holders[peer] = holders.get(peer, 0) + give
+
+
+class SourceSprayAndWaitProtocol(_SprayAndWaitBase):
+    """Source spray-and-wait: only the source sprays, one copy at a time.
+
+    The source hands single copies to the first ``L - 1`` distinct nodes it
+    meets; every relay immediately enters the wait phase.  Slower to spread
+    than binary spraying but concentrates knowledge (and blame) at the
+    source.
+    """
+
+    name = "Source Spray-and-Wait"
+
+    def should_forward(self, carrier, peer, message, now, history) -> bool:
+        return (carrier == message.source
+                and self.copies_held(message.id, carrier) > 1)
+
+    def on_forwarded(self, message, carrier, peer, now) -> None:
+        holders = self._copies.get(message.id)
+        if holders is None or carrier != message.source:
+            return
+        held = holders.get(carrier, 0)
+        if held <= 1:
+            return
+        holders[carrier] = held - 1
+        holders[peer] = holders.get(peer, 0) + 1
+
+
+class ProphetProtocol(RoutingProtocol):
+    """PRoPHET [Lindgren, Doria & Schelén]: probabilistic routing using a
+    history of encounters and transitivity.
+
+    Every node maintains delivery predictabilities ``P(node, other)`` in
+    ``[0, 1]``:
+
+    * **encounter**: on contact, ``P += (1 - P) * p_encounter``;
+    * **aging**: ``P *= gamma ** (elapsed / aging_interval)`` before every
+      read or update;
+    * **transitivity**: meeting *b* lifts ``P(a, c)`` to at least
+      ``P(a, b) * P(b, c) * beta`` for every *c* that *b* knows.
+
+    A copy is forwarded when the peer's predictability for the destination
+    is strictly higher than the carrier's (the paper's tie-refusing
+    utility-gradient rule, which also prevents ping-ponging).
+    """
+
+    name = "PRoPHET"
+    replication = "utility"
+    knowledge = "learned"
+
+    def __init__(self, p_encounter: float = 0.75, beta: float = 0.25,
+                 gamma: float = 0.98, aging_interval: float = 60.0) -> None:
+        if not 0.0 < p_encounter <= 1.0:
+            raise ValueError("p_encounter must be in (0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if aging_interval <= 0.0:
+            raise ValueError("aging_interval must be positive")
+        self.p_encounter = p_encounter
+        self.beta = beta
+        self.gamma = gamma
+        self.aging_interval = aging_interval
+        self._tables: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._last_update: Dict[NodeId, float] = {}
+
+    def prepare(self, trace: ContactTrace) -> None:
+        self._tables = {}
+        self._last_update = {}
+
+    # ------------------------------------------------------------------
+    def _age(self, node: NodeId, now: float) -> Dict[NodeId, float]:
+        """Age *node*'s table to *now* and return it."""
+        table = self._tables.setdefault(node, {})
+        last = self._last_update.get(node)
+        if last is not None and now > last:
+            factor = self.gamma ** ((now - last) / self.aging_interval)
+            for other in table:
+                table[other] *= factor
+        self._last_update[node] = max(now, last if last is not None else now)
+        return table
+
+    def predictability(self, node: NodeId, other: NodeId,
+                       now: Optional[float] = None) -> float:
+        """``P(node, other)``, aged to *now* when given."""
+        if node == other:
+            return 1.0
+        if now is not None:
+            return self._age(node, now).get(other, 0.0)
+        return self._tables.get(node, {}).get(other, 0.0)
+
+    def on_contact_start(self, a, b, now, history) -> None:
+        table_a = self._age(a, now)
+        table_b = self._age(b, now)
+        table_a[b] = table_a.get(b, 0.0) + (1.0 - table_a.get(b, 0.0)) * self.p_encounter
+        table_b[a] = table_b.get(a, 0.0) + (1.0 - table_b.get(a, 0.0)) * self.p_encounter
+        # transitivity: each endpoint learns through the other
+        for mine, theirs, self_node, other_node in (
+                (table_a, table_b, a, b), (table_b, table_a, b, a)):
+            via = mine[other_node]
+            for c, p_theirs in list(theirs.items()):
+                if c == self_node or c == other_node:
+                    continue
+                lifted = via * p_theirs * self.beta
+                if lifted > mine.get(c, 0.0):
+                    mine[c] = lifted
+
+    def should_forward(self, carrier, peer, message, now, history) -> bool:
+        destination = message.destination
+        return (self.predictability(peer, destination, now)
+                > self.predictability(carrier, destination, now))
+
+
+class HypergossipProtocol(RoutingProtocol):
+    """Hypergossip-style probabilistic flooding.
+
+    Epidemic forwarding where every (message, carrier, peer) offer passes a
+    Bernoulli gate with probability *p*.  The coin is drawn from a keyed
+    BLAKE2 hash of ``(seed, message id, carrier, peer)`` rather than a live
+    RNG, so the decision is a pure function of its arguments: re-asking
+    gives the same answer, parallel workers agree, and both engines produce
+    identical streams.  With ``p = 1`` this *is* Epidemic; lowering *p*
+    trades delivery odds for copies, which is the knob the gossip
+    literature (hypergossip in PONS among others) tunes adaptively.
+    """
+
+    name = "Hypergossip"
+    stateful = False
+    replication = "probabilistic"
+    knowledge = "none"
+
+    def __init__(self, p: float = 0.7, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("forwarding probability p must be in [0, 1]")
+        self.p = p
+        self.seed = seed
+
+    def _coin(self, message_id: int, carrier: NodeId, peer: NodeId) -> float:
+        key = f"{self.seed}|{message_id}|{carrier!r}|{peer!r}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 64
+
+    def should_forward(self, carrier, peer, message, now, history) -> bool:
+        if self.p >= 1.0:
+            return True
+        return self._coin(message.id, carrier, peer) < self.p

@@ -1,11 +1,19 @@
-"""Thin adapter running the paper's forwarding algorithms in the DES engine.
+"""Adapter running forwarding strategies in the DES engine.
 
-The six :class:`~repro.forwarding.ForwardingAlgorithm` implementations are
-used *unchanged*: the DES engine asks exactly the same question the
-trace-driven simulator asks (``should_forward(carrier, peer, destination,
-now, history)`` over an :class:`~repro.forwarding.OnlineContactHistory`),
-so every algorithm runs in both engines.  The adapter only adds decision
-accounting, which the resource-constrained result reports.
+The DES engine talks to one :class:`AlgorithmAdapter`, which normalises
+whatever it is given — one of the paper's six
+:class:`~repro.forwarding.ForwardingAlgorithm` implementations (used
+*unchanged*) or a stateful :class:`~repro.routing.RoutingProtocol` — into
+the protocol lifecycle via :func:`repro.routing.ensure_protocol`, and adds
+decision accounting, which the resource-constrained result reports.
+
+The engine invokes the lifecycle hooks (message created, contact
+start/end, forwarded, delivered) at the same points and in the same event
+order as the trace-driven simulator, so protocols behave identically in
+both engines when constraints are disabled.  One deliberate difference
+under constraints: ``on_forwarded`` — where replication budgets are spent —
+fires only when a copy is actually received, so a transfer rejected by a
+full buffer costs no budget.
 """
 
 from __future__ import annotations
@@ -15,23 +23,34 @@ from typing import Union
 from ..contacts import ContactTrace, NodeId
 from ..forwarding.algorithms import ForwardingAlgorithm
 from ..forwarding.history import OnlineContactHistory
+from ..forwarding.messages import Message
+from ..routing.base import RoutingProtocol
+from ..routing.compat import ensure_protocol
 
 __all__ = ["AlgorithmAdapter", "ensure_adapter"]
 
 
 class AlgorithmAdapter:
-    """Wraps a :class:`ForwardingAlgorithm` for the DES engine."""
+    """Wraps a forwarding strategy for the DES engine."""
 
-    __slots__ = ("algorithm", "decisions", "approvals")
+    __slots__ = ("protocol", "decisions", "approvals")
 
-    def __init__(self, algorithm: ForwardingAlgorithm) -> None:
-        self.algorithm = algorithm
+    def __init__(
+        self, algorithm: Union[ForwardingAlgorithm, RoutingProtocol],
+    ) -> None:
+        self.protocol = ensure_protocol(algorithm)
         self.decisions = 0
         self.approvals = 0
 
     @property
     def name(self) -> str:
-        return self.algorithm.name
+        return self.protocol.name
+
+    @property
+    def algorithm(self):
+        """The wrapped strategy (unwrapped to the legacy algorithm when
+        the protocol is a compatibility wrapper)."""
+        return getattr(self.protocol, "algorithm", self.protocol)
 
     def reset_counters(self) -> None:
         """Zero the decision counters (called at the start of every run)."""
@@ -39,20 +58,42 @@ class AlgorithmAdapter:
         self.approvals = 0
 
     def prepare(self, trace: ContactTrace) -> None:
-        """Precompute any oracle state (delegates to the algorithm)."""
-        self.algorithm.prepare(trace)
+        """Reset per-run protocol state and precompute any oracle state."""
+        self.protocol.prepare(trace)
 
+    # ------------------------------------------------------------------
+    # lifecycle pass-throughs
+    # ------------------------------------------------------------------
+    def on_message_created(self, message: Message, now: float) -> None:
+        self.protocol.on_message_created(message, now)
+
+    def on_contact_start(self, a: NodeId, b: NodeId, now: float,
+                         history: OnlineContactHistory) -> None:
+        self.protocol.on_contact_start(a, b, now, history)
+
+    def on_contact_end(self, a: NodeId, b: NodeId, now: float,
+                       history: OnlineContactHistory) -> None:
+        self.protocol.on_contact_end(a, b, now, history)
+
+    def on_forwarded(self, message: Message, carrier: NodeId, peer: NodeId,
+                     now: float) -> None:
+        self.protocol.on_forwarded(message, carrier, peer, now)
+
+    def on_delivered(self, message: Message, now: float) -> None:
+        self.protocol.on_delivered(message, now)
+
+    # ------------------------------------------------------------------
     def should_forward(
         self,
         carrier: NodeId,
         peer: NodeId,
-        destination: NodeId,
+        message: Message,
         now: float,
         history: OnlineContactHistory,
     ) -> bool:
         self.decisions += 1
-        verdict = self.algorithm.should_forward(carrier, peer, destination,
-                                                now, history)
+        verdict = self.protocol.should_forward(carrier, peer, message,
+                                               now, history)
         if verdict:
             self.approvals += 1
         return verdict
@@ -62,7 +103,7 @@ class AlgorithmAdapter:
 
 
 def ensure_adapter(
-    algorithm: Union[ForwardingAlgorithm, AlgorithmAdapter],
+    algorithm: Union[ForwardingAlgorithm, RoutingProtocol, AlgorithmAdapter],
 ) -> AlgorithmAdapter:
     """Wrap *algorithm* unless it is already adapted."""
     if isinstance(algorithm, AlgorithmAdapter):

@@ -6,6 +6,9 @@ Commands::
     python -m repro sim run <scenario> [...]      # one scenario end to end
     python -m repro sim sweep <scenario> --param buffer_capacity \\
         --values 2,4,8,inf [...]                  # grid one constraint axis
+    python -m repro routing list                  # protocol zoo
+    python -m repro routing run <scenario> [...]  # scenario x chosen protocols
+    python -m repro routing tournament [...]      # cross-scenario leaderboard
     python -m repro bench [...]                   # engine timing comparison
 
 Every command prints an aligned text table; ``--json PATH`` additionally
@@ -22,6 +25,7 @@ import time
 from typing import List, Optional, Sequence
 
 from ..analysis.tables import format_table
+from ..routing.cli import add_routing_commands, dispatch_routing_command
 from .engine import DesSimulator, ResourceConstraints
 from .runner import SWEEPABLE_PARAMETERS, run_scenario, sweep_scenario
 from .scenarios import get_scenario, scenarios
@@ -67,6 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parallel", action="store_true")
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--json", metavar="PATH", default=None)
+
+    add_routing_commands(commands)
 
     bench = commands.add_parser(
         "bench", help="time the DES engine against the trace-driven simulator")
@@ -225,6 +231,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "routing":
+        return dispatch_routing_command(args, _write_json)
     if args.sim_command == "list":
         return _cmd_sim_list()
     if args.sim_command == "run":

@@ -54,6 +54,7 @@ from ..forwarding.algorithms import ForwardingAlgorithm
 from ..forwarding.history import OnlineContactHistory
 from ..forwarding.messages import Message
 from ..forwarding.simulator import DeliveryOutcome, SimulationResult
+from ..routing.base import RoutingProtocol
 from .adapter import AlgorithmAdapter, ensure_adapter
 from .buffers import DROP_OLDEST, DROP_POLICIES, BufferEntry, NodeBuffer
 from .events import (
@@ -255,8 +256,9 @@ class DesSimulator:
     trace:
         The contact trace to replay.
     algorithm:
-        A :class:`~repro.forwarding.ForwardingAlgorithm` (adapted
-        automatically) or an :class:`AlgorithmAdapter`.
+        A :class:`~repro.forwarding.ForwardingAlgorithm` or stateful
+        :class:`~repro.routing.RoutingProtocol` (both adapted
+        automatically), or an :class:`AlgorithmAdapter`.
     constraints:
         The resource limits; defaults to :data:`UNCONSTRAINED`, in which
         case the run is delivery-stream-equivalent to
@@ -268,7 +270,7 @@ class DesSimulator:
     def __init__(
         self,
         trace: ContactTrace,
-        algorithm: Union[ForwardingAlgorithm, AlgorithmAdapter],
+        algorithm: Union[ForwardingAlgorithm, RoutingProtocol, AlgorithmAdapter],
         constraints: ResourceConstraints = UNCONSTRAINED,
         copy_semantics: str = "copy",
         stop_on_delivery: bool = True,
@@ -336,7 +338,7 @@ class DesSimulator:
             if kind == CONTACT_START:
                 self._on_contact_start(time, payload)
             elif kind == CONTACT_END:
-                self._on_contact_end(payload)
+                self._on_contact_end(time, payload)
             elif kind == CREATE:
                 self._on_create(time, payload)
             elif kind == TRANSFER_DONE:
@@ -373,6 +375,7 @@ class DesSimulator:
         state = self._state
         contact, a, b = payload
         self._history.record(contact.a, contact.b, time)
+        self._adapter.on_contact_start(contact.a, contact.b, time, self._history)
         pair = (a, b) if a <= b else (b, a)
         state.active_counts[pair] = state.active_counts.get(pair, 0) + 1
         state.active_peers[a].add(b)
@@ -387,7 +390,8 @@ class DesSimulator:
             for message_id in list(state.carried[carrier]):
                 self._attempt(by_id[message_id], carrier, peer, time)
 
-    def _on_contact_end(self, payload: Tuple[Contact, int, int]) -> None:
+    def _on_contact_end(self, time: float,
+                        payload: Tuple[Contact, int, int]) -> None:
         state = self._state
         contact, a, b = payload
         pair = (a, b) if a <= b else (b, a)
@@ -399,9 +403,11 @@ class DesSimulator:
             state.active_until.pop(pair, None)
         else:
             state.active_counts[pair] = remaining
+        self._adapter.on_contact_end(contact.a, contact.b, time, self._history)
 
     def _on_create(self, time: float, message: Message) -> None:
         state = self._state
+        self._adapter.on_message_created(message, time)
         source = state.interner.index_of(message.source)
         entry = BufferEntry(message_id=message.id,
                             size=self._constraints.effective_size(message),
@@ -452,7 +458,10 @@ class DesSimulator:
         received = self._receive(message, peer, time, hops)
         if not received:
             return
+        node_of = state.node_of
         if peer != state.dest_index[message.id]:
+            self._adapter.on_forwarded(message, node_of[carrier],
+                                       node_of[peer], time)
             # mirror the instantaneous path: delivery at the destination
             # neither costs the carrier its copy (hand-off) nor cascades
             if not self._copy:
@@ -498,7 +507,7 @@ class DesSimulator:
         if not is_destination:
             if not self._adapter.should_forward(
                     state.node_of[carrier], state.node_of[peer],
-                    message.destination, time, self._history):
+                    message, time, self._history):
                 return False
         if self._constraints.bandwidth is not None:
             self._schedule_transfer(message, carrier, peer, time, hops + 1)
@@ -511,6 +520,8 @@ class DesSimulator:
             # mirror the trace simulator: delivery neither triggers a
             # cascade from the destination nor a hand-off removal
             return True
+        self._adapter.on_forwarded(message, state.node_of[carrier],
+                                   state.node_of[peer], time)
         if not self._copy:
             self._drop_copy(carrier, message_id)
         if cascade:
@@ -580,6 +591,7 @@ class DesSimulator:
         stats.copies_sent += 1
         if is_destination and message_id not in state.delivered:
             state.delivered[message_id] = (time, hops)
+            self._adapter.on_delivered(message, time)
         if admitted:
             holders = state.holdings.get(message_id)
             if holders is not None:
@@ -615,7 +627,7 @@ class DesSimulator:
 
 def simulate_des(
     trace: ContactTrace,
-    algorithm: Union[ForwardingAlgorithm, AlgorithmAdapter],
+    algorithm: Union[ForwardingAlgorithm, RoutingProtocol, AlgorithmAdapter],
     messages: Sequence[Message],
     constraints: ResourceConstraints = UNCONSTRAINED,
     copy_semantics: str = "copy",

@@ -16,8 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.parallel import process_map
 from ..contacts import ContactTrace
-from ..forwarding.algorithms import algorithm_by_name
 from ..forwarding.messages import Message
+from ..routing.registry import protocol_by_name
 from .engine import ConstrainedSimulationResult, DesSimulator, ResourceConstraints, ResourceStats
 from .scenarios import Scenario, get_scenario
 
@@ -75,9 +75,9 @@ def _init_sim_worker(trace: ContactTrace) -> None:
 
 
 def _run_sim_job(job: _Job) -> ConstrainedSimulationResult:
-    algorithm_name, messages, constraints, copy_semantics = job
+    protocol_name, messages, constraints, copy_semantics = job
     simulator = DesSimulator(_SIM_WORKER["trace"],
-                             algorithm_by_name(algorithm_name),
+                             protocol_by_name(protocol_name),
                              constraints=constraints,
                              copy_semantics=copy_semantics)
     return simulator.run(messages)

@@ -22,8 +22,9 @@ from typing import Dict, List, Optional, Protocol, Tuple, Union
 
 from ..contacts import ContactTrace
 from ..datasets import load_dataset
-from ..forwarding.algorithms import ForwardingAlgorithm, algorithm_by_name
 from ..forwarding.messages import Message, PoissonMessageWorkload
+from ..routing.base import RoutingProtocol
+from ..routing.registry import protocol_by_name
 from ..synth import ConferenceTraceGenerator, RandomWaypointModel
 from ..synth.seeding import derive_rng
 from ..synth.workloads import AllPairsBurstWorkload, HotspotMessageWorkload
@@ -148,7 +149,7 @@ class Scenario:
         if self.num_runs < 1:
             raise ValueError("num_runs must be positive")
         for name in self.algorithms:
-            algorithm_by_name(name)  # raises on unknown names
+            protocol_by_name(name)  # raises on unknown names
 
     @property
     def is_constrained(self) -> bool:
@@ -166,9 +167,14 @@ class Scenario:
         rng = derive_rng(self.seed, "workload", f"run-{run_index}")
         return list(self.workload.generate(trace, seed=rng))
 
-    def build_algorithms(self) -> List[ForwardingAlgorithm]:
-        """Fresh, unprepared instances of the scenario's algorithms."""
-        return [algorithm_by_name(name) for name in self.algorithms]
+    def build_algorithms(self) -> List[RoutingProtocol]:
+        """Fresh, unprepared protocol instances of the scenario's strategies.
+
+        Paper algorithm names come back wrapped in the protocol API (their
+        behaviour is byte-identical); zoo names come back as the stateful
+        protocols.  Both engines accept the instances directly.
+        """
+        return [protocol_by_name(name) for name in self.algorithms]
 
     def with_overrides(self, **changes) -> "Scenario":
         """A copy with the given fields replaced (CLI convenience)."""

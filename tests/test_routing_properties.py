@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the stateful protocol invariants.
+
+Two invariants from the ISSUE:
+
+* binary (and source) spray-and-wait never exceed their L-copy budget,
+  whatever the contact sequence does;
+* PRoPHET delivery predictabilities stay in ``[0, 1]`` under arbitrary
+  contact sequences, including adversarial timing (simultaneous and
+  out-of-order-looking event times).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contacts import Contact, ContactTrace
+from repro.forwarding import ForwardingSimulator, Message, OnlineContactHistory
+from repro.routing import (
+    BinarySprayAndWaitProtocol,
+    ProphetProtocol,
+    SourceSprayAndWaitProtocol,
+)
+
+node_ids = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def contact_strategy(draw, max_time: float = 500.0):
+    a = draw(node_ids)
+    b = draw(node_ids)
+    if a == b:
+        b = (a + 1) % 10
+    start = draw(st.floats(min_value=0.0, max_value=max_time, allow_nan=False))
+    length = draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    return Contact(start, start + length, a, b)
+
+
+@st.composite
+def trace_strategy(draw, min_contacts: int = 1, max_contacts: int = 40):
+    contacts = draw(st.lists(contact_strategy(), min_size=min_contacts,
+                             max_size=max_contacts))
+    max_end = max(c.end for c in contacts)
+    return ContactTrace(contacts, nodes=range(10), duration=max_end + 50.0)
+
+
+@st.composite
+def messages_strategy(draw, max_messages: int = 6, max_time: float = 400.0):
+    count = draw(st.integers(min_value=1, max_value=max_messages))
+    messages = []
+    for index in range(count):
+        source = draw(node_ids)
+        destination = draw(node_ids)
+        if source == destination:
+            destination = (source + 1) % 10
+        creation = draw(st.floats(min_value=0.0, max_value=max_time,
+                                  allow_nan=False))
+        messages.append(Message(id=index, source=source,
+                                destination=destination,
+                                creation_time=creation))
+    return messages
+
+
+class TestSprayBudgetInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=trace_strategy(), messages=messages_strategy(),
+           budget=st.integers(min_value=1, max_value=16))
+    def test_binary_spray_never_exceeds_budget(self, trace, messages, budget):
+        protocol = BinarySprayAndWaitProtocol(copies=budget)
+        result = ForwardingSimulator(trace, protocol).run(messages)
+        for message in messages:
+            holders = protocol._copies.get(message.id, {})
+            # the logical budget is conserved, every holder owns >= 1 copy,
+            # so at most L nodes ever carry (delivery rides on top for free)
+            assert sum(holders.values()) == budget
+            assert all(count >= 1 for count in holders.values())
+            assert len(holders) <= budget
+        # relaying transfers (delivery excluded) are bounded by the spray
+        # fan-out: at most L - 1 sprays per message
+        delivered = sum(1 for o in result.outcomes if o.delivered)
+        assert result.copies_sent <= len(messages) * (budget - 1) + delivered
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=trace_strategy(), messages=messages_strategy(),
+           budget=st.integers(min_value=1, max_value=16))
+    def test_source_spray_never_exceeds_budget(self, trace, messages, budget):
+        protocol = SourceSprayAndWaitProtocol(copies=budget)
+        ForwardingSimulator(trace, protocol).run(messages)
+        for message in messages:
+            holders = protocol._copies.get(message.id, {})
+            assert sum(holders.values()) == budget
+            assert len(holders) <= budget
+
+
+class TestProphetBounds:
+    @settings(max_examples=80, deadline=None)
+    @given(events=st.lists(
+        st.tuples(node_ids, node_ids,
+                  st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+        min_size=1, max_size=60))
+    def test_predictabilities_stay_in_unit_interval(self, events):
+        """Arbitrary (including non-monotone) contact sequences keep every
+        P(a, b) in [0, 1]."""
+        protocol = ProphetProtocol()
+        history = OnlineContactHistory()
+        for a, b, now in events:
+            if a == b:
+                b = (a + 1) % 10
+            protocol.on_contact_start(a, b, now, history)
+            for node, table in protocol._tables.items():
+                for other, value in table.items():
+                    assert 0.0 <= value <= 1.0, (node, other, value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=trace_strategy(), messages=messages_strategy())
+    def test_bounds_hold_through_full_simulation(self, trace, messages):
+        protocol = ProphetProtocol()
+        ForwardingSimulator(trace, protocol).run(messages)
+        for table in protocol._tables.values():
+            for value in table.values():
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,335 @@
+"""Unit tests for the stateful protocol zoo, registry and compat wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contacts import Contact, ContactTrace
+from repro.forwarding import ForwardingSimulator, Message, OnlineContactHistory
+from repro.forwarding.algorithms import algorithm_by_name, algorithm_names
+from repro.routing import (
+    NEW_PROTOCOL_NAMES,
+    PAPER_PROTOCOL_NAMES,
+    AlgorithmProtocol,
+    BinarySprayAndWaitProtocol,
+    DirectDeliveryProtocol,
+    FirstContactProtocol,
+    HypergossipProtocol,
+    ProphetProtocol,
+    RoutingProtocol,
+    SourceSprayAndWaitProtocol,
+    ensure_protocol,
+    protocol_by_name,
+    protocol_catalogue,
+    protocol_names,
+    register_protocol,
+)
+
+
+# ----------------------------------------------------------------------
+# a tiny line topology: 0-1 at t=10, 1-2 at t=20, 2-3 at t=30, 0-3 at t=40
+# ----------------------------------------------------------------------
+def _line_trace():
+    contacts = [
+        Contact(10.0, 12.0, 0, 1),
+        Contact(20.0, 22.0, 1, 2),
+        Contact(30.0, 32.0, 2, 3),
+        Contact(40.0, 42.0, 0, 3),
+    ]
+    return ContactTrace(contacts, nodes=range(4), duration=60.0, name="line")
+
+
+def _run(protocol, messages, trace=None):
+    return ForwardingSimulator(trace or _line_trace(), protocol).run(messages)
+
+
+class TestRegistry:
+    def test_all_twelve_registered(self):
+        names = protocol_names()
+        assert len(names) >= 12
+        assert len(PAPER_PROTOCOL_NAMES) == 6
+        assert len(NEW_PROTOCOL_NAMES) >= 6
+        assert set(algorithm_names()) <= set(names)
+
+    def test_fresh_instances(self):
+        first = protocol_by_name("PRoPHET")
+        second = protocol_by_name("PRoPHET")
+        assert first is not second
+
+    def test_slug_tolerant_lookup(self):
+        assert protocol_by_name("prophet").name == "PRoPHET"
+        assert protocol_by_name("binary-spray-and-wait").name == \
+            "Binary Spray-and-Wait"
+        assert protocol_by_name("DIRECT delivery").name == "Direct Delivery"
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            protocol_by_name("Telepathy")
+
+    def test_reregistration_requires_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol("Epidemic", DirectDeliveryProtocol)
+
+    def test_slug_collision_rejected(self):
+        # would silently hijack protocol_by_name("prophet")
+        with pytest.raises(ValueError, match="collides"):
+            register_protocol("Pro Phet", DirectDeliveryProtocol)
+        assert protocol_by_name("prophet").name == "PRoPHET"
+
+    def test_catalogue_rows(self):
+        rows = protocol_catalogue()
+        assert len(rows) == len(protocol_names())
+        by_name = {row["protocol"]: row for row in rows}
+        assert by_name["Epidemic"]["origin"] == "paper"
+        assert by_name["PRoPHET"]["origin"] == "zoo"
+        assert by_name["Binary Spray-and-Wait"]["replication"] == "L copies"
+
+
+class TestCompatWrapper:
+    def test_wraps_algorithm(self):
+        wrapped = ensure_protocol(algorithm_by_name("FRESH"))
+        assert isinstance(wrapped, AlgorithmProtocol)
+        assert wrapped.name == "FRESH"
+        assert not wrapped.stateful
+
+    def test_protocol_passes_through(self):
+        protocol = ProphetProtocol()
+        assert ensure_protocol(protocol) is protocol
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_protocol(object())
+
+    @pytest.mark.parametrize("name", algorithm_names())
+    def test_wrapped_algorithm_identical_stream(self, name):
+        """The acceptance criterion: wrapping changes nothing at all."""
+        trace = _line_trace()
+        messages = [Message(id=0, source=0, destination=3, creation_time=0.0),
+                    Message(id=1, source=1, destination=0, creation_time=15.0)]
+        raw = ForwardingSimulator(trace, algorithm_by_name(name)).run(messages)
+        wrapped = ForwardingSimulator(
+            trace, ensure_protocol(algorithm_by_name(name))).run(messages)
+        assert raw.copies_sent == wrapped.copies_sent
+        for a, b in zip(raw.outcomes, wrapped.outcomes):
+            assert (a.delivered, a.delivery_time, a.hop_count) == \
+                (b.delivered, b.delivery_time, b.hop_count)
+
+
+class TestDirectDelivery:
+    def test_only_direct_contacts_deliver(self):
+        messages = [Message(id=0, source=0, destination=3, creation_time=0.0),
+                    Message(id=1, source=0, destination=1, creation_time=0.0)]
+        result = _run(DirectDeliveryProtocol(), messages)
+        by_id = {o.message.id: o for o in result.outcomes}
+        # 0 meets 3 at t=40; 0 meets 1 at t=10
+        assert by_id[0].delivered and by_id[0].delivery_time == 40.0
+        assert by_id[0].hop_count == 1
+        assert by_id[1].delivered and by_id[1].delivery_time == 10.0
+        # exactly one copy per delivery, zero relaying
+        assert result.copies_sent == 2
+
+
+class TestFirstContact:
+    def test_token_walks_the_line(self):
+        messages = [Message(id=0, source=0, destination=3, creation_time=0.0)]
+        result = _run(FirstContactProtocol(), messages)
+        outcome = result.outcomes[0]
+        # token: 0 -> 1 (t=10) -> 2 (t=20) -> 3 (t=30, delivery)
+        assert outcome.delivered
+        assert outcome.delivery_time == 30.0
+        assert outcome.hop_count == 3
+        assert result.copies_sent == 3
+
+    def test_stale_carriers_refuse(self):
+        protocol = FirstContactProtocol()
+        trace = _line_trace()
+        _run(protocol, [Message(id=0, source=0, destination=3,
+                                creation_time=0.0)], trace)
+        history = OnlineContactHistory()
+        message = Message(id=0, source=0, destination=3, creation_time=0.0)
+        # after the run the token sits at the destination, nobody forwards
+        assert not protocol.should_forward(0, 2, message, 50.0, history)
+        assert not protocol.should_forward(1, 0, message, 50.0, history)
+
+
+class TestSprayAndWait:
+    def test_binary_split(self):
+        protocol = BinarySprayAndWaitProtocol(copies=8)
+        protocol.prepare(_line_trace())
+        message = Message(id=0, source=0, destination=3, creation_time=0.0)
+        protocol.on_message_created(message, 0.0)
+        assert protocol.copies_held(0, 0) == 8
+        protocol.on_forwarded(message, 0, 1, 10.0)
+        assert protocol.copies_held(0, 0) == 4
+        assert protocol.copies_held(0, 1) == 4
+        protocol.on_forwarded(message, 1, 2, 20.0)
+        assert protocol.copies_held(0, 1) == 2
+        assert protocol.copies_held(0, 2) == 2
+        assert protocol.total_copies(0) == 8
+
+    def test_wait_phase_blocks_forwarding(self):
+        protocol = BinarySprayAndWaitProtocol(copies=2)
+        protocol.prepare(_line_trace())
+        message = Message(id=0, source=0, destination=3, creation_time=0.0)
+        protocol.on_message_created(message, 0.0)
+        history = OnlineContactHistory()
+        assert protocol.should_forward(0, 1, message, 10.0, history)
+        protocol.on_forwarded(message, 0, 1, 10.0)
+        # both holders are now down to one copy: wait phase
+        assert not protocol.should_forward(0, 2, message, 20.0, history)
+        assert not protocol.should_forward(1, 2, message, 20.0, history)
+
+    def test_source_spray_only_source_sprays(self):
+        protocol = SourceSprayAndWaitProtocol(copies=3)
+        protocol.prepare(_line_trace())
+        message = Message(id=0, source=0, destination=3, creation_time=0.0)
+        protocol.on_message_created(message, 0.0)
+        history = OnlineContactHistory()
+        assert protocol.should_forward(0, 1, message, 10.0, history)
+        protocol.on_forwarded(message, 0, 1, 10.0)
+        # the relay never sprays, the source still can (one copy left to give)
+        assert not protocol.should_forward(1, 2, message, 20.0, history)
+        assert protocol.should_forward(0, 2, message, 20.0, history)
+        protocol.on_forwarded(message, 0, 2, 20.0)
+        assert not protocol.should_forward(0, 3, message, 30.0, history)
+        assert protocol.total_copies(0) == 3
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            BinarySprayAndWaitProtocol(copies=0)
+
+    def test_prepare_resets_budgets(self):
+        protocol = BinarySprayAndWaitProtocol(copies=4)
+        messages = [Message(id=0, source=0, destination=3, creation_time=0.0)]
+        first = _run(protocol, messages)
+        second = _run(protocol, messages)
+        assert first.copies_sent == second.copies_sent
+        assert [o.delivery_time for o in first.outcomes] == \
+            [o.delivery_time for o in second.outcomes]
+
+
+class TestProphet:
+    def test_encounter_raises_predictability(self):
+        protocol = ProphetProtocol()
+        protocol.prepare(_line_trace())
+        history = OnlineContactHistory()
+        assert protocol.predictability(0, 1) == 0.0
+        protocol.on_contact_start(0, 1, 10.0, history)
+        assert protocol.predictability(0, 1) == pytest.approx(0.75)
+        protocol.on_contact_start(0, 1, 10.0, history)
+        assert protocol.predictability(0, 1) == pytest.approx(0.9375)
+
+    def test_aging_decays(self):
+        protocol = ProphetProtocol(gamma=0.5, aging_interval=10.0)
+        protocol.prepare(_line_trace())
+        history = OnlineContactHistory()
+        protocol.on_contact_start(0, 1, 0.0, history)
+        p_now = protocol.predictability(0, 1, now=0.0)
+        p_later = protocol.predictability(0, 1, now=20.0)
+        assert p_later == pytest.approx(p_now * 0.25)
+
+    def test_transitivity(self):
+        protocol = ProphetProtocol()
+        protocol.prepare(_line_trace())
+        history = OnlineContactHistory()
+        protocol.on_contact_start(1, 2, 10.0, history)   # 1 knows 2
+        protocol.on_contact_start(0, 1, 10.0, history)   # 0 learns 2 via 1
+        assert protocol.predictability(0, 2) == pytest.approx(
+            0.75 * 0.75 * 0.25)
+
+    def test_forwards_up_the_gradient(self):
+        protocol = ProphetProtocol()
+        protocol.prepare(_line_trace())
+        history = OnlineContactHistory()
+        protocol.on_contact_start(1, 3, 10.0, history)
+        message = Message(id=0, source=0, destination=3, creation_time=0.0)
+        assert protocol.should_forward(0, 1, message, 20.0, history)
+        assert not protocol.should_forward(1, 0, message, 20.0, history)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ProphetProtocol(p_encounter=0.0)
+        with pytest.raises(ValueError):
+            ProphetProtocol(gamma=1.5)
+        with pytest.raises(ValueError):
+            ProphetProtocol(aging_interval=0.0)
+
+
+class TestHypergossip:
+    def test_p_one_is_epidemic(self):
+        trace = _line_trace()
+        messages = [Message(id=0, source=0, destination=3, creation_time=0.0)]
+        gossip = _run(HypergossipProtocol(p=1.0), messages, trace)
+        epidemic = _run(algorithm_by_name("Epidemic"), messages, trace)
+        assert gossip.copies_sent == epidemic.copies_sent
+        assert gossip.outcomes[0].delivery_time == \
+            epidemic.outcomes[0].delivery_time
+
+    def test_p_zero_is_direct_delivery(self):
+        messages = [Message(id=0, source=0, destination=3, creation_time=0.0)]
+        gossip = _run(HypergossipProtocol(p=0.0), messages)
+        direct = _run(DirectDeliveryProtocol(), messages)
+        assert gossip.copies_sent == direct.copies_sent
+        assert gossip.outcomes[0].delivery_time == \
+            direct.outcomes[0].delivery_time
+
+    def test_coin_is_deterministic(self):
+        protocol = HypergossipProtocol(p=0.5, seed=3)
+        message = Message(id=7, source=0, destination=3, creation_time=0.0)
+        history = OnlineContactHistory()
+        first = protocol.should_forward(1, 2, message, 10.0, history)
+        for _ in range(5):
+            assert protocol.should_forward(1, 2, message, 10.0, history) == first
+
+    def test_seed_changes_coins(self):
+        coins_a = [HypergossipProtocol(p=0.5, seed=0)._coin(m, 1, 2)
+                   for m in range(64)]
+        coins_b = [HypergossipProtocol(p=0.5, seed=1)._coin(m, 1, 2)
+                   for m in range(64)]
+        assert coins_a != coins_b
+        assert all(0.0 <= c < 1.0 for c in coins_a + coins_b)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            HypergossipProtocol(p=1.5)
+
+
+class TestEngineHooks:
+    def test_lifecycle_hooks_fire_in_order(self):
+        events = []
+
+        class Recorder(RoutingProtocol):
+            name = "Recorder"
+
+            def prepare(self, trace):
+                events.append(("prepare", trace.name))
+
+            def on_message_created(self, message, now):
+                events.append(("created", message.id, now))
+
+            def on_contact_start(self, a, b, now, history):
+                events.append(("start", a, b, now))
+
+            def on_contact_end(self, a, b, now, history):
+                events.append(("end", a, b, now))
+
+            def on_forwarded(self, message, carrier, peer, now):
+                events.append(("forwarded", message.id, carrier, peer, now))
+
+            def on_delivered(self, message, now):
+                events.append(("delivered", message.id, now))
+
+            def should_forward(self, carrier, peer, message, now, history):
+                return True
+
+        messages = [Message(id=0, source=0, destination=2, creation_time=0.0)]
+        _run(Recorder(), messages)
+        assert events[0] == ("prepare", "line")
+        assert ("created", 0, 0.0) in events
+        assert ("start", 0, 1, 10.0) in events
+        assert ("end", 0, 1, 12.0) in events
+        assert ("forwarded", 0, 0, 1, 10.0) in events
+        assert ("delivered", 0, 20.0) in events
+        # creation precedes the first contact of its flood
+        assert events.index(("created", 0, 0.0)) < \
+            events.index(("start", 0, 1, 10.0))

@@ -1,0 +1,123 @@
+"""Tests for the cross-scenario tournament harness and the routing CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.routing.tournament import run_tournament
+from repro.sim.cli import main
+
+PROTOCOLS = ("Epidemic", "Direct Delivery", "Binary Spray-and-Wait")
+SCENARIOS = ("paper-ideal", "rwp-courtyard")
+
+
+@pytest.fixture(scope="module")
+def small_tournament():
+    return run_tournament(protocols=PROTOCOLS, scenarios=SCENARIOS, seeds=(7,))
+
+
+class TestRunTournament:
+    def test_cells_cover_the_grid(self, small_tournament):
+        assert set(small_tournament.cells) == {
+            (protocol, scenario, 7)
+            for protocol in PROTOCOLS for scenario in SCENARIOS
+        }
+
+    def test_paired_workloads(self, small_tournament):
+        """Every protocol within a cell sees exactly the same messages."""
+        for scenario in SCENARIOS:
+            per_protocol = [small_tournament.cells[(p, scenario, 7)]
+                            for p in PROTOCOLS]
+            ids = [[o.message.id for o in r.outcomes] for r in per_protocol]
+            assert ids[0] == ids[1] == ids[2]
+
+    def test_leaderboard_ranked_and_complete(self, small_tournament):
+        rows = small_tournament.leaderboard_rows()
+        assert [row["rank"] for row in rows] == [1, 2, 3]
+        rates = [row["success_rate"] for row in rows]
+        assert rates == sorted(rates, reverse=True)
+        # flooding beats single-copy direct delivery on these scenarios
+        assert rows[0]["protocol"] != "Direct Delivery"
+        for row in rows:
+            assert row["messages"] > 0
+            assert row["copies/delivery"] is not None
+            assert {"success_rate", "median_delay_s", "p90_delay_s"} <= set(row)
+
+    def test_leaderboard_table_renders(self, small_tournament):
+        table = small_tournament.leaderboard_table()
+        assert "protocol" in table and "copies/delivery" in table
+        assert format_table(small_tournament.cell_rows())
+
+    def test_deterministic_across_calls(self, small_tournament):
+        again = run_tournament(protocols=PROTOCOLS, scenarios=SCENARIOS,
+                               seeds=(7,))
+        assert again.leaderboard_rows() == small_tournament.leaderboard_rows()
+
+    def test_seeds_change_workloads(self):
+        shifted = run_tournament(protocols=("Epidemic",),
+                                 scenarios=("paper-ideal",), seeds=(7, 8))
+        a = shifted.cells[("Epidemic", "paper-ideal", 7)]
+        b = shifted.cells[("Epidemic", "paper-ideal", 8)]
+        assert [o.message.creation_time for o in a.outcomes] != \
+            [o.message.creation_time for o in b.outcomes]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            run_tournament(protocols=("Epidemic",),
+                           scenarios=("paper-ideal",), seeds=())
+        with pytest.raises(KeyError, match="unknown protocol"):
+            run_tournament(protocols=("Telepathy",),
+                           scenarios=("paper-ideal",))
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_tournament(protocols=("Epidemic",), scenarios=("nope",))
+
+    def test_bare_string_selectors_and_alias_dedup(self):
+        """A lone name is one name (not an iterable of characters), and
+        alias duplicates collapse to a single canonical entry."""
+        result = run_tournament(protocols="prophet", scenarios="paper-ideal",
+                                seeds=(7,))
+        assert result.protocols == ["PRoPHET"]
+        assert result.scenarios == ["paper-ideal"]
+        deduped = run_tournament(protocols=("prophet", "PRoPHET"),
+                                 scenarios=("paper-ideal",), seeds=(7,))
+        assert deduped.protocols == ["PRoPHET"]
+        assert len(deduped.leaderboard_rows()) == 1
+
+    def test_all_protocols_resolve(self):
+        result = run_tournament(protocols="all", scenarios=("paper-ideal",),
+                                seeds=(7,))
+        assert len(result.protocols) >= 12
+        assert len(result.leaderboard_rows()) >= 12
+
+
+class TestRoutingCli:
+    def test_routing_list(self, capsys):
+        assert main(["routing", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "PRoPHET" in out and "Binary Spray-and-Wait" in out
+
+    def test_routing_run(self, capsys):
+        assert main(["routing", "run", "paper-ideal",
+                     "--protocols", "Epidemic,prophet"]) == 0
+        out = capsys.readouterr().out
+        assert "PRoPHET" in out and "copies/delivery" in out
+
+    def test_routing_tournament_json(self, tmp_path, capsys):
+        payload_path = tmp_path / "tournament.json"
+        assert main(["routing", "tournament",
+                     "--scenarios", "paper-ideal,rwp-courtyard",
+                     "--protocols", "Epidemic,Direct Delivery",
+                     "--seed", "7", "--json", str(payload_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        payload = json.loads(payload_path.read_text())
+        assert payload["seeds"] == [7]
+        assert len(payload["leaderboard"]) == 2
+        assert len(payload["cells"]) == 4
+
+    def test_bad_protocol_name_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            main(["routing", "run", "paper-ideal", "--protocols", "Telepathy"])
