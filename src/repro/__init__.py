@@ -20,6 +20,9 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.sim` — the resource-constrained discrete-event engine
   (finite buffers, bandwidth-limited contacts, TTL), scenario registry and
   the ``python -m repro`` CLI;
+* :mod:`repro.exp` — the unified experiment orchestration layer: declarative
+  grid specs, content-hashed job planning, the shared worker pool and the
+  persistent, resumable result store every runner routes through;
 * :mod:`repro.analysis` — experiment runners and per-figure data builders.
 
 Quickstart
@@ -32,15 +35,16 @@ Quickstart
 True
 """
 
-from . import analysis, contacts, core, datasets, forwarding, model, routing, sim, synth
+from . import analysis, contacts, core, datasets, exp, forwarding, model, routing, sim, synth
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
     "contacts",
     "core",
     "datasets",
+    "exp",
     "forwarding",
     "model",
     "routing",

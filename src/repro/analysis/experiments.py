@@ -3,6 +3,11 @@
 Each runner wires together the substrate pieces (datasets → space-time graph
 → enumeration / simulation) for one of the paper's experiment families, so a
 benchmark or example only has to pick parameters and format output.
+
+Fan-out goes through the orchestration layer's shared pool
+(:mod:`repro.exp.pool`); the scenario-based family
+(:func:`run_constraint_sweep`) additionally routes through the full
+``repro.exp`` planner/store pipeline via :func:`repro.sim.sweep_scenario`.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from ..forwarding import (
     default_algorithms,
     simulate,
 )
-from .parallel import process_map
+from ..exp.pool import process_map
 
 __all__ = [
     "run_path_explosion_study",

@@ -1,89 +1,14 @@
-"""Process-pool plumbing shared by the experiment runners.
+"""Back-compat shim: the process-pool backend moved to :mod:`repro.exp.pool`.
 
-The batch experiments (path-explosion studies, algorithm comparisons) are
-embarrassingly parallel across messages and simulations, so the runners in
-:mod:`repro.analysis.experiments` and :mod:`repro.forwarding.metrics` accept
-``parallel=True`` / ``n_workers`` and delegate here.  Expensive shared state
-(the space-time graph and its step tables) is built **once per worker
-process** via the pool initializer rather than pickled per task.
-
-Environments that forbid spawning processes (restricted sandboxes, some
-embedded interpreters) degrade gracefully: if the pool cannot be created the
-work runs serially in the parent with identical results.
+The experiment orchestration layer (PR 4) absorbed the shared worker-pool
+plumbing that used to live here; every runner — the batch experiments, the
+scenario/sweep runners, the tournament and the ``repro.exp`` job executor —
+now dispatches through the same backend.  This module keeps the historical
+import path alive for external callers.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from ..exp.pool import default_worker_count, process_map
 
 __all__ = ["default_worker_count", "process_map"]
-
-_Job = TypeVar("_Job")
-_Result = TypeVar("_Result")
-
-
-def default_worker_count(n_workers: Optional[int] = None,
-                         num_jobs: Optional[int] = None) -> int:
-    """Resolve a worker count: explicit > CPU count, capped by the job count."""
-    if n_workers is not None:
-        if n_workers < 1:
-            raise ValueError("n_workers must be positive")
-        workers = n_workers
-    else:
-        workers = os.cpu_count() or 1
-    if num_jobs is not None:
-        workers = max(1, min(workers, num_jobs))
-    return workers
-
-
-def process_map(
-    fn: Callable[[_Job], _Result],
-    jobs: Iterable[_Job],
-    n_workers: Optional[int] = None,
-    initializer: Optional[Callable[..., None]] = None,
-    initargs: Tuple = (),
-) -> List[_Result]:
-    """``[fn(job) for job in jobs]`` over a process pool, preserving order.
-
-    *fn* and every job must be picklable.  When *initializer* is given it
-    runs once per worker (use it to build per-worker shared state).  Falls
-    back to a serial map if the pool cannot be created.
-    """
-    jobs = list(jobs)
-    if not jobs:
-        return []
-    workers = default_worker_count(n_workers, len(jobs))
-    if workers == 1:
-        return _serial_map(fn, jobs, initializer, initargs)
-    # ProcessPoolExecutor spawns workers lazily, so a forbidden fork/spawn
-    # surfaces on first dispatch, not in the constructor.  Probe with a
-    # no-op first: a spawn failure there (or workers dying later, seen as
-    # BrokenProcessPool) falls back to a serial run, while an exception
-    # raised by a job itself — including an OSError of its own — propagates
-    # directly instead of silently re-running the whole batch.
-    pool = ProcessPoolExecutor(max_workers=workers, initializer=initializer,
-                               initargs=initargs)
-    try:
-        pool.submit(_probe_worker).result()
-    except (OSError, PermissionError, BrokenProcessPool):
-        pool.shutdown(wait=False, cancel_futures=True)
-        return _serial_map(fn, jobs, initializer, initargs)
-    try:
-        with pool:
-            chunksize = max(1, len(jobs) // (workers * 4))
-            return list(pool.map(fn, jobs, chunksize=chunksize))
-    except BrokenProcessPool:
-        return _serial_map(fn, jobs, initializer, initargs)
-
-
-def _probe_worker() -> None:
-    """No-op used to force worker spawn before dispatching real jobs."""
-
-
-def _serial_map(fn, jobs: Sequence, initializer, initargs) -> List:
-    if initializer is not None:
-        initializer(*initargs)
-    return [fn(job) for job in jobs]

@@ -1,0 +1,139 @@
+"""The ``python -m repro exp`` subcommands.
+
+Wired into the main parser by :mod:`repro.sim.cli`::
+
+    python -m repro exp run spec.json [--store DIR] [--parallel] [...]
+    python -m repro exp resume spec.json [--store DIR] [...]
+    python -m repro exp status spec.json [--store DIR]
+
+``run`` plans the spec's grid, executes whatever the store cannot already
+answer, persists every new RunRecord and prints the pooled per-cell table.
+``resume`` is the same operation under the name that matches intent after
+an interruption.  ``status`` only plans and reports done/pending counts per
+scenario — it never simulates.  See :mod:`repro.exp.spec` for the JSON
+spec format; ``examples/exp_quickstart.json`` is a runnable starter.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List
+
+from ..analysis.tables import format_table
+from .spec import ExperimentSpec
+from .store import DEFAULT_STORE_ROOT
+
+__all__ = ["add_exp_commands", "dispatch_exp_command"]
+
+
+def add_exp_commands(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``exp`` command tree to the main parser."""
+    exp = commands.add_parser(
+        "exp", help="declarative experiment grids with a resumable store")
+    exp_commands = exp.add_subparsers(dest="exp_command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    common.add_argument("--store", default=DEFAULT_STORE_ROOT, metavar="DIR",
+                        help="result store directory "
+                             f"(default: {DEFAULT_STORE_ROOT}/)")
+
+    for name, help_text in (
+        ("run", "plan the grid, run what the store cannot answer"),
+        ("resume", "alias of run: continue an interrupted experiment"),
+    ):
+        command = exp_commands.add_parser(name, parents=[common],
+                                          help=help_text)
+        command.add_argument("--parallel", action="store_true",
+                             help="fan jobs over a process pool")
+        command.add_argument("--workers", type=int, default=None,
+                             help="process-pool size (default: CPU count)")
+        command.add_argument("--no-store", action="store_true",
+                             help="purely in-memory run (nothing persisted, "
+                                  "nothing resumed)")
+        command.add_argument("--fresh", action="store_true",
+                             help="ignore stored records and re-run every "
+                                  "job (new records still persist)")
+        command.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the pooled rows as JSON")
+
+    exp_commands.add_parser(
+        "status", parents=[common],
+        help="report done/pending jobs per scenario without running")
+
+
+def _message(error: BaseException) -> str:
+    # KeyError reprs its message; unwrap for readable CLI output
+    return error.args[0] if error.args else str(error)
+
+
+def _load_spec(path: str) -> ExperimentSpec:
+    if not Path(path).exists():
+        raise SystemExit(f"no such spec file: {path}")
+    try:
+        return ExperimentSpec.from_json_file(path)
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"invalid experiment spec {path}: {_message(error)}")
+
+
+def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
+    from .orchestrator import run_experiment
+
+    from .plan import build_plan
+
+    spec = _load_spec(args.spec)
+    store = None if args.no_store else args.store
+    try:
+        # plan separately so only genuine spec problems (unknown names,
+        # trace engine on constrained points, flat ttl sweeps) get the
+        # "invalid spec" label; store/runtime errors surface as themselves
+        plan = build_plan(spec)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"invalid experiment spec {args.spec}: "
+                         f"{_message(error)}")
+    result = run_experiment(spec, store=store, parallel=args.parallel,
+                            n_workers=args.workers, resume=not args.fresh,
+                            plan=plan)
+    print(f"experiment: {spec.name} — {len(result.plan)} jobs over "
+          f"{len(result.plan.scenario_names())} scenario(s)")
+    if store is not None:
+        print(f"store: {store}")
+    rows = result.table_rows()
+    print()
+    print(format_table(rows))
+    print(f"\nexecuted {result.num_executed} jobs, reused "
+          f"{result.num_reused} from store in {result.elapsed_s:.2f}s")
+    write_json(args.json, {"experiment": spec.name,
+                           "executed": result.num_executed,
+                           "reused": result.num_reused,
+                           "rows": rows})
+    return 0
+
+
+def _cmd_exp_status(args: argparse.Namespace) -> int:
+    from .orchestrator import experiment_status
+
+    spec = _load_spec(args.spec)
+    try:
+        status = experiment_status(spec, store=args.store)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"invalid experiment spec {args.spec}: "
+                         f"{_message(error)}")
+    rows: List[dict] = []
+    for name, bucket in status["scenarios"].items():
+        rows.append({"scenario": name, **bucket})
+    print(f"experiment: {status['experiment']}  "
+          f"(store: {status['store']})")
+    print()
+    print(format_table(rows))
+    print(f"\n{status['done']}/{status['total_jobs']} jobs done, "
+          f"{status['pending']} pending")
+    return 0
+
+
+def dispatch_exp_command(args: argparse.Namespace, write_json) -> int:
+    """Route a parsed ``exp`` command to its handler."""
+    if args.exp_command == "status":
+        return _cmd_exp_status(args)
+    return _cmd_exp_run(args, write_json)

@@ -1,0 +1,351 @@
+"""Job execution: plan → shared pool → persistent store → pooled reports.
+
+:func:`execute_plan` is the single dispatch path every entrypoint routes
+through — serial or process-pool, with or without a persistent store.  Each
+worker keeps a scenario/trace cache keyed by the planner's content hashes,
+so a contact trace (and each run's message workload) is built **once per
+worker**, not once per job; chunked dispatch in :func:`repro.exp.pool.
+process_map` keeps consecutive grid jobs on the same worker to maximise
+cache hits.  Workloads are derived from the scenario's seeding contract, so
+serial and parallel execution produce identical results job for job.
+
+:func:`run_experiment` adds the store protocol on top: completed jobs
+(matched by content hash) are decoded from the store instead of re-running,
+which makes re-invocations of a finished spec free and grid extensions
+incremental.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..contacts import ContactTrace
+from ..forwarding.messages import Message
+from ..routing.registry import protocol_by_name
+from ..sim.engine import ConstrainedSimulationResult, DesSimulator, ResourceStats
+from .plan import ExperimentPlan, PlannedJob, build_plan
+from .pool import process_map
+from .records import decode_result, encode_record, is_decodable
+from .spec import ExperimentSpec
+from .store import ResultStore
+
+__all__ = [
+    "ExecutionOutcome",
+    "ExperimentResult",
+    "execute_plan",
+    "run_experiment",
+    "experiment_status",
+]
+
+
+# ----------------------------------------------------------------------
+# per-worker caches: traces and per-run workloads are built once per worker
+# process and shared by every job that lands there
+# ----------------------------------------------------------------------
+_WORKER: Dict[str, Dict[str, object]] = {"traces": {}, "messages": {}}
+
+#: (scenario, protocol, run_index, engine, trace_key, messages_key, cache?)
+_JobPayload = Tuple[object, str, int, str, str, str, bool]
+
+
+def _init_exp_worker(warm_traces: Dict[str, ContactTrace],
+                     warm_messages: Dict[str, List[Message]]) -> None:
+    _WORKER["traces"] = dict(warm_traces)
+    _WORKER["messages"] = dict(warm_messages)
+
+
+def _run_exp_job(payload: _JobPayload) -> ConstrainedSimulationResult:
+    scenario, protocol, run_index, engine, trace_key, messages_key, cache = \
+        payload
+    traces = _WORKER["traces"]
+    trace = traces.get(trace_key) if cache else None
+    if trace is None:
+        trace = scenario.build_trace()
+        if cache:
+            traces[trace_key] = trace
+    messages_cache = _WORKER["messages"]
+    messages = messages_cache.get(messages_key) if cache else None
+    if messages is None:
+        messages = scenario.build_messages(trace, run_index)
+        if cache:
+            messages_cache[messages_key] = messages
+    if engine == "trace":
+        from ..forwarding.simulator import ForwardingSimulator
+
+        ideal = ForwardingSimulator(
+            trace, protocol_by_name(protocol),
+            copy_semantics=scenario.copy_semantics).run(messages)
+        result = ConstrainedSimulationResult(
+            algorithm=ideal.algorithm, trace_name=ideal.trace_name,
+            constraints=scenario.constraints,
+            stats=ResourceStats(copies_sent=ideal.copies_sent or 0),
+            copies_sent=ideal.copies_sent)
+        result.outcomes.extend(ideal.outcomes)
+        return result
+    simulator = DesSimulator(trace, protocol_by_name(protocol),
+                             constraints=scenario.constraints,
+                             copy_semantics=scenario.copy_semantics)
+    return simulator.run(messages)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionOutcome:
+    """What one :func:`execute_plan` call did."""
+
+    #: job_hash -> result, covering every job in the plan
+    results: Dict[str, ConstrainedSimulationResult] = field(default_factory=dict)
+    #: hashes simulated by this invocation, in plan order
+    executed: List[str] = field(default_factory=list)
+    #: hashes served from the store, in plan order
+    reused: List[str] = field(default_factory=list)
+
+    def result_for(self, job: PlannedJob) -> ConstrainedSimulationResult:
+        return self.results[job.job_hash]
+
+
+def execute_plan(
+    plan: ExperimentPlan,
+    store: Optional[ResultStore] = None,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
+    resume: bool = True,
+    trace_cache: bool = True,
+) -> ExecutionOutcome:
+    """Run every job of *plan* that the store cannot already answer.
+
+    With *store* set and *resume* true, jobs whose content hash is stored
+    are decoded instead of simulated, and every newly simulated job is
+    persisted (in plan order, so serial and parallel invocations write
+    byte-identical files).  ``plan.warm_traces`` / ``plan.warm_messages``
+    pre-seed the worker caches — the single-scenario adapters stash the
+    trace they already built for their own metadata there, which restores
+    the legacy "ship the trace once via the pool initializer" behaviour;
+    both are released when execution finishes.  *trace_cache* exists for
+    benchmarking the cache itself; leave it on.
+    """
+    outcome = ExecutionOutcome()
+    reusable: Dict[str, ConstrainedSimulationResult] = {}
+    undecodable = set()
+    if store is not None and resume:
+        store.load()
+        for job in plan.jobs:
+            if job.job_hash in reusable or job.job_hash in undecodable:
+                continue
+            record = store.get(job.job_hash)
+            if record is None:
+                continue
+            try:
+                # decode up front: a stale/foreign record fails fast and
+                # simply re-runs (the fresh record overwrites it) instead
+                # of erroring after the whole simulation pass
+                reusable[job.job_hash] = decode_result(record)
+            except (KeyError, TypeError, ValueError):
+                warnings.warn(
+                    f"re-running job {job.job_hash}: stored record is not "
+                    f"decodable by this build", stacklevel=2)
+                undecodable.add(job.job_hash)
+
+    pending: List[PlannedJob] = []
+    seen_pending = set()
+    for job in plan.jobs:
+        if job.job_hash in reusable:
+            continue
+        if job.job_hash in seen_pending:
+            continue  # degenerate grids can plan one job twice; run it once
+        seen_pending.add(job.job_hash)
+        pending.append(job)
+
+    payloads: List[_JobPayload] = [
+        (job.scenario, job.protocol, job.run_index, job.engine,
+         job.trace_key, job.messages_key, trace_cache)
+        for job in pending
+    ]
+
+    def _persist(index: int, result: ConstrainedSimulationResult) -> None:
+        # runs in the parent as each result arrives (plan order), so an
+        # interrupted run keeps every completed record; re-invocation after
+        # a pool fallback just re-appends (the store index is last-write-wins)
+        if store is not None:
+            store.put(encode_record(pending[index], result,
+                                    experiment=plan.spec.name))
+
+    warm = (dict(plan.warm_traces), dict(plan.warm_messages))
+    try:
+        if parallel and len(payloads) > 1:
+            # process_map may degrade to an in-parent serial run, filling
+            # the parent's caches too — hence the shared finally below
+            fresh = process_map(_run_exp_job, payloads, n_workers=n_workers,
+                                initializer=_init_exp_worker, initargs=warm,
+                                on_result=_persist)
+        else:
+            _init_exp_worker(*warm)
+            fresh = []
+            for index, payload in enumerate(payloads):
+                result = _run_exp_job(payload)
+                _persist(index, result)
+                fresh.append(result)
+    finally:
+        # don't pin traces/workloads in the parent past this call —
+        # neither in the worker caches nor on the plan's warm seeds
+        _init_exp_worker({}, {})
+        plan.warm_traces.clear()
+        plan.warm_messages.clear()
+
+    for job, result in zip(pending, fresh):
+        outcome.results[job.job_hash] = result
+        outcome.executed.append(job.job_hash)
+    for job_hash, result in reusable.items():
+        outcome.results[job_hash] = result
+        outcome.reused.append(job_hash)
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# the high-level entry point
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentResult:
+    """Everything produced by :func:`run_experiment`."""
+
+    spec: ExperimentSpec
+    plan: ExperimentPlan
+    outcome: ExecutionOutcome
+    elapsed_s: float = 0.0
+
+    @property
+    def num_executed(self) -> int:
+        return len(self.outcome.executed)
+
+    @property
+    def num_reused(self) -> int:
+        return len(self.outcome.reused)
+
+    def result_for(self, job: PlannedJob) -> ConstrainedSimulationResult:
+        return self.outcome.results[job.job_hash]
+
+    def cells(self) -> Dict[Tuple, List[ConstrainedSimulationResult]]:
+        """Grid cells — ``(scenario name, scenario content key, sweep
+        value, seed, protocol)`` — each holding its per-run results in run
+        order.  The content key keeps two inline scenarios that share a
+        name but differ in trace/workload from pooling into one cell."""
+        grouped: Dict[Tuple, List[ConstrainedSimulationResult]] = {}
+        for job in self.plan.jobs:
+            key = (job.scenario_name, job.scenario_key, job.sweep_value,
+                   job.seed, job.protocol)
+            grouped.setdefault(key, []).append(self.result_for(job))
+        return grouped
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """One pooled row per grid cell, for ``format_table`` / ``--json``."""
+        from ..sim.runner import merge_constrained_results, round_metric
+
+        sweep = self.spec.sweep
+        rows = []
+        for (scenario, _key, value, seed,
+             protocol), results in self.cells().items():
+            pooled = merge_constrained_results(results)
+            summary = pooled.summary()
+            row: Dict[str, object] = {"scenario": scenario}
+            if sweep is not None:
+                row[sweep.parameter] = "inf" if value is None else value
+            row.update({
+                "seed": seed,
+                "protocol": protocol,
+                "messages": summary["num_messages"],
+                "delivered": summary["num_delivered"],
+                "success_rate": round(float(summary["success_rate"]), 3),
+                "median_delay_s": round_metric(summary["median_delay_s"]),
+                "copies": summary["copies_sent"],
+                "copies/delivery": round_metric(summary["copies_per_delivery"], 2),
+            })
+            rows.append(row)
+        return rows
+
+
+def _resolve_store(
+    store: Union[ResultStore, str, None],
+) -> Optional[ResultStore]:
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    store: Union[ResultStore, str, None] = None,
+    parallel: bool = False,
+    n_workers: Optional[int] = None,
+    resume: bool = True,
+    trace_cache: bool = True,
+    plan: Optional[ExperimentPlan] = None,
+) -> ExperimentResult:
+    """Plan and execute *spec*, resuming from *store* when given.
+
+    *store* may be a :class:`ResultStore`, a directory path, or ``None``
+    for a purely in-memory run.  With ``resume=False`` stored records are
+    ignored (every job re-runs and re-appends; the store's last-write-wins
+    index keeps that consistent).  Pass a prebuilt *plan* to skip
+    re-planning (the CLI plans first so spec errors get friendly messages).
+    """
+    if plan is None:
+        plan = build_plan(spec)
+    started = time.perf_counter()
+    outcome = execute_plan(plan, store=_resolve_store(store),
+                           parallel=parallel, n_workers=n_workers,
+                           resume=resume, trace_cache=trace_cache)
+    elapsed = time.perf_counter() - started
+    return ExperimentResult(spec=spec, plan=plan, outcome=outcome,
+                            elapsed_s=elapsed)
+
+
+def experiment_status(
+    spec: ExperimentSpec,
+    store: Union[ResultStore, str, None] = None,
+) -> Dict[str, object]:
+    """How much of *spec* the store already answers, without running it.
+
+    Planning here skips the flat-ttl-sweep workload check — status must
+    never build traces or workloads; the check runs when the spec runs.
+    """
+    plan = build_plan(spec, check_flat_ttl_sweep=False)
+    resolved = _resolve_store(store)
+    per_scenario: Dict[str, Dict[str, int]] = {}
+    if resolved is not None:
+        resolved.load()
+    decodable: Dict[str, bool] = {}
+
+    def _answerable(job_hash: str) -> bool:
+        # mirror what a run would reuse: a stored record this build cannot
+        # decode counts as pending, not done (structural check only — a
+        # status must stay cheap even on huge stores)
+        if resolved is None:
+            return False
+        if job_hash not in decodable:
+            record = resolved.get(job_hash)
+            decodable[job_hash] = record is not None and is_decodable(record)
+        return decodable[job_hash]
+
+    for job in plan.jobs:
+        bucket = per_scenario.setdefault(
+            job.scenario_name, {"jobs": 0, "done": 0, "pending": 0})
+        bucket["jobs"] += 1
+        if _answerable(job.job_hash):
+            bucket["done"] += 1
+        else:
+            bucket["pending"] += 1
+    total = len(plan.jobs)
+    done = sum(bucket["done"] for bucket in per_scenario.values())
+    return {
+        "experiment": spec.name,
+        "total_jobs": total,
+        "done": done,
+        "pending": total - done,
+        "scenarios": per_scenario,
+        "store": None if resolved is None else str(resolved.path),
+    }

@@ -1,0 +1,124 @@
+"""The shared process-pool backend every experiment runner dispatches through.
+
+Historically each pipeline carried its own fan-out plumbing; the pool now
+lives in the orchestration layer and is reused by the batch experiments
+(:mod:`repro.analysis.experiments`, :mod:`repro.forwarding.metrics`), the
+scenario/sweep runners (:mod:`repro.sim.runner`), the tournament and the
+:mod:`repro.exp` job executor.  Expensive shared state (space-time graphs,
+contact traces) is built **once per worker process** via the pool
+initializer rather than pickled per task; jobs are dispatched in chunks so
+consecutive grid jobs land on the same worker and hit its caches.
+
+Environments that forbid spawning processes (restricted sandboxes, some
+embedded interpreters) degrade gracefully: if the pool cannot be created the
+work runs serially in the parent with identical results.
+
+:mod:`repro.analysis.parallel` re-exports these helpers for backwards
+compatibility.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["default_worker_count", "process_map"]
+
+_Job = TypeVar("_Job")
+_Result = TypeVar("_Result")
+
+
+def default_worker_count(n_workers: Optional[int] = None,
+                         num_jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit > CPU count, capped by the job count."""
+    if n_workers is not None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        workers = n_workers
+    else:
+        workers = os.cpu_count() or 1
+    if num_jobs is not None:
+        workers = max(1, min(workers, num_jobs))
+    return workers
+
+
+def process_map(
+    fn: Callable[[_Job], _Result],
+    jobs: Iterable[_Job],
+    n_workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+    on_result: Optional[Callable[[int, _Result], None]] = None,
+) -> List[_Result]:
+    """``[fn(job) for job in jobs]`` over a process pool, preserving order.
+
+    *fn* and every job must be picklable.  When *initializer* is given it
+    runs once per worker (use it to build per-worker shared state).  Falls
+    back to a serial map if the pool cannot be created.
+
+    *on_result* runs **in the parent**, in job order, as each result
+    arrives — the orchestration layer persists RunRecords through it, so an
+    interrupted run keeps everything completed so far.  It may be invoked a
+    second time for early indices if a broken pool forces the serial
+    fallback, so it must be idempotent (the store's last-write-wins
+    indexing is).
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    workers = default_worker_count(n_workers, len(jobs))
+    if workers == 1:
+        return _serial_map(fn, jobs, initializer, initargs, on_result)
+    # ProcessPoolExecutor spawns workers lazily, so a forbidden fork/spawn
+    # surfaces on first dispatch, not in the constructor.  Probe with a
+    # no-op first: a spawn failure there (or workers dying later, seen as
+    # BrokenProcessPool) falls back to a serial run, while an exception
+    # raised by a job itself — including an OSError of its own — propagates
+    # directly instead of silently re-running the whole batch.
+    pool = ProcessPoolExecutor(max_workers=workers, initializer=initializer,
+                               initargs=initargs)
+    try:
+        pool.submit(_probe_worker).result()
+    except (OSError, PermissionError, BrokenProcessPool):
+        pool.shutdown(wait=False, cancel_futures=True)
+        return _serial_map(fn, jobs, initializer, initargs, on_result)
+    results: List[_Result] = []
+    try:
+        with pool:
+            chunksize = max(1, len(jobs) // (workers * 4))
+            for index, result in enumerate(pool.map(fn, jobs,
+                                                    chunksize=chunksize)):
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results
+    except BrokenProcessPool:
+        # results stream in order, so resume serially after the last one
+        # collected instead of re-running the whole batch
+        if initializer is not None:
+            initializer(*initargs)
+        for index in range(len(results), len(jobs)):
+            result = fn(jobs[index])
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+
+def _probe_worker() -> None:
+    """No-op used to force worker spawn before dispatching real jobs."""
+
+
+def _serial_map(fn, jobs: Sequence, initializer, initargs,
+                on_result=None) -> List:
+    if initializer is not None:
+        initializer(*initargs)
+    results = []
+    for index, job in enumerate(jobs):
+        result = fn(job)
+        if on_result is not None:
+            on_result(index, result)
+        results.append(result)
+    return results

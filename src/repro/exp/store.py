@@ -1,0 +1,158 @@
+"""Persistent JSONL result store keyed by job content hash.
+
+Records append to ``<root>/records.jsonl``, one canonical-JSON dict per
+line, so the store is durable across crashes (every ``put`` is flushed),
+mergeable with ``cat``, and greppable.  Lookups go through an in-memory
+index built lazily from the file; on duplicate hashes the last line wins,
+which makes blind re-appends (e.g. an interrupted run retried with
+``resume=False``) harmless.
+
+Resumability falls out of content addressing: re-planning a spec yields the
+same job hashes, so completed jobs are served from the store and only the
+delta — new seeds, new protocols, new sweep values — is executed.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["ResultStore", "DEFAULT_STORE_ROOT"]
+
+#: Default store location, relative to the invoking process's cwd.
+DEFAULT_STORE_ROOT = "results"
+
+RECORDS_FILENAME = "records.jsonl"
+
+
+class ResultStore:
+    """Durable ``job_hash -> RunRecord`` mapping backed by one JSONL file."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_STORE_ROOT) -> None:
+        self.root = Path(root)
+        self.path = self.root / RECORDS_FILENAME
+        self._index: Dict[str, Dict[str, object]] = {}
+        self._loaded = False
+        # set when load() found a truncated tail from a killed append:
+        # _valid_size is then the byte length of the intact record prefix
+        # and the next put() cuts the tail off before appending
+        self._truncated_tail = False
+        self._valid_size = 0
+        self._size_at_load = 0
+
+    # ------------------------------------------------------------------
+    def load(self, refresh: bool = False) -> None:
+        """Build (or rebuild) the in-memory index from disk."""
+        if self._loaded and not refresh:
+            return
+        self._index = {}
+        raw = self.path.read_bytes() if self.path.exists() else b""
+        self._truncated_tail = False
+        self._valid_size = len(raw)
+        self._size_at_load = len(raw)
+        chunks = raw.split(b"\n")
+        offset = 0
+        for line_number, chunk in enumerate(chunks, start=1):
+            if chunk.strip():
+                try:
+                    record = json.loads(chunk.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    if not b"\n".join(chunks[line_number:]).strip():
+                        # a kill mid-append leaves a partial final line;
+                        # every earlier record is intact, so keep them (the
+                        # lost job simply re-runs) and remember where the
+                        # valid prefix ends so the next put truncates first
+                        warnings.warn(
+                            f"ignoring truncated final record at "
+                            f"{self.path}:{line_number}", stacklevel=2)
+                        self._truncated_tail = True
+                        self._valid_size = offset
+                        break
+                    # records are independent, content-addressed lines:
+                    # dropping a damaged one only means its job re-runs,
+                    # which beats bricking the whole store
+                    warnings.warn(
+                        f"skipping corrupt record at "
+                        f"{self.path}:{line_number}", stacklevel=2)
+                else:
+                    job_hash = record.get("job_hash")
+                    if not job_hash:
+                        warnings.warn(
+                            f"skipping record without job_hash at "
+                            f"{self.path}:{line_number}", stacklevel=2)
+                    else:
+                        self._index[job_hash] = record
+            offset += len(chunk) + 1
+        self._loaded = True
+
+    def get(self, job_hash: str) -> Optional[Dict[str, object]]:
+        """The stored record for *job_hash*, or ``None``."""
+        self.load()
+        return self._index.get(job_hash)
+
+    def put(self, record: Dict[str, object]) -> None:
+        """Append *record* (must carry ``job_hash``) and index it."""
+        job_hash = record.get("job_hash")
+        if not job_hash:
+            raise ValueError("a RunRecord needs a job_hash")
+        self.load()
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self._truncated_tail and self.path.exists() and \
+                self.path.stat().st_size == self._size_at_load:
+            # cut off the truncated tail load() found, so the new record
+            # starts a fresh line instead of gluing onto the partial one.
+            # The size guard skips the truncate when another writer
+            # appended (and thereby repaired the tail) since our load;
+            # stat-then-truncate is not atomic, so a writer racing into
+            # that exact window can still lose one record — bounded harm,
+            # as the lost job simply re-runs on the next resume.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(self._valid_size)
+        self._truncated_tail = False
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8") + b"\n"
+        if self._last_byte_is_not_newline():
+            # the file ends mid-line — our own loaded tail, or a line
+            # another writer never finished; close it before appending so
+            # records never glue together (at worst this inserts a blank
+            # line, which load() skips)
+            line = b"\n" + line
+        # one unbuffered O_APPEND write per record: concurrent writers
+        # cannot interleave inside a line
+        with open(self.path, "ab", buffering=0) as handle:
+            handle.write(line)
+        self._index[job_hash] = record
+
+    def _last_byte_is_not_newline(self) -> bool:
+        """Live probe of the file's final byte (the file may have grown
+        under another writer since load())."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, 2)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, 2)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def __contains__(self, job_hash: str) -> bool:
+        self.load()
+        return job_hash in self._index
+
+    def __len__(self) -> int:
+        self.load()
+        return len(self._index)
+
+    def hashes(self) -> List[str]:
+        """All stored job hashes."""
+        self.load()
+        return list(self._index)
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """All stored records (last write per hash wins)."""
+        self.load()
+        return iter(list(self._index.values()))

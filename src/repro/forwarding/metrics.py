@@ -253,7 +253,7 @@ def compare_algorithms(
         for algorithm in algorithms
     ]
     if parallel and len(jobs) > 1:
-        from ..analysis.parallel import process_map
+        from ..exp.pool import process_map
 
         results = process_map(_run_simulation_job, jobs, n_workers=n_workers,
                               initializer=_init_simulation_worker,

@@ -1,19 +1,22 @@
 """Cross-scenario protocol tournament.
 
 A tournament fans every selected protocol over every selected scenario and
-seed — reusing :func:`repro.sim.run_scenario` and therefore the existing
-process-pool runner (jobs carry protocol *names*; instances and their
-state are built in the worker) — and aggregates the pooled outcomes into a
-leaderboard ranked by success rate (descending), then median delay
-(ascending), then copies per delivery (ascending): deliver the most, fast,
-cheap.
+seed as **one** :class:`repro.exp.ExperimentSpec` grid, planned and
+dispatched through the shared orchestration layer (jobs carry protocol
+*names*; instances and their state are built in the worker, and each
+worker's trace cache builds every scenario trace once).  The pooled
+outcomes aggregate into a leaderboard ranked by success rate (descending),
+then median delay (ascending), then copies per delivery (ascending):
+deliver the most, fast, cheap.
 
 Per-protocol columns: success rate, median and p90 delay over delivered
 messages, and copies-per-delivery overhead.  The per-cell results
 (protocol × scenario × seed) stay available on the result object for
-drill-down, and :meth:`TournamentResult.leaderboard_table` renders through
-:func:`repro.analysis.tables.format_table` like every other report in the
-repo.
+drill-down — each cell pooled by
+:func:`repro.sim.runner.merge_constrained_results`, the same pooling every
+other runner uses — and :meth:`TournamentResult.leaderboard_table` renders
+through :func:`repro.analysis.tables.format_table` like every other report
+in the repo.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..sim.engine import ConstrainedSimulationResult, ResourceConstraints
-from ..sim.runner import run_scenario
+from ..sim.runner import merge_constrained_results
 from ..sim.scenarios import get_scenario, scenario_names
 from .registry import protocol_by_name, protocol_names
 
@@ -53,15 +56,21 @@ class TournamentResult:
                 for scenario in self.scenarios for seed in self.seeds]
 
     def leaderboard_rows(self) -> List[Dict[str, object]]:
-        """One ranked row per protocol (the tournament's headline table)."""
+        """One ranked row per protocol (the tournament's headline table).
+
+        Each row pools the protocol's cells through the shared
+        :func:`~repro.sim.runner.merge_constrained_results` (cross-trace by
+        construction, hence ``validate=False``) instead of carrying its own
+        summation logic.
+        """
         unranked = []
         for protocol in self.protocols:
-            results = self.pooled(protocol)
-            num_messages = sum(r.num_messages for r in results)
-            num_delivered = sum(r.num_delivered for r in results)
-            copies = sum(r.copies_sent or 0 for r in results)
-            delays = np.array([delay for r in results for delay in r.delays()],
-                              dtype=float)
+            merged = merge_constrained_results(self.pooled(protocol),
+                                               validate=False)
+            num_messages = merged.num_messages
+            num_delivered = merged.num_delivered
+            copies = merged.copies_sent or 0
+            delays = np.array(merged.delays(), dtype=float)
             success = num_delivered / num_messages if num_messages else 0.0
             median = float(np.median(delays)) if delays.size else None
             p90 = float(np.percentile(delays, 90)) if delays.size else None
@@ -149,28 +158,45 @@ def run_tournament(
     trace (where the scenario's trace is seeded) and workloads; every
     protocol within a cell sees exactly the same messages, so the
     comparison is paired.  *num_runs* and *constraints* override the
-    scenario's own values when given.  With ``parallel=True`` each
-    scenario-cell's (run × protocol) simulations are distributed over the
+    scenario's own values when given.  With ``parallel=True`` the whole
+    (scenario × seed × run × protocol) grid is distributed over one
     process pool; results are identical to a serial run.
     """
+    from ..exp.orchestrator import execute_plan
+    from ..exp.plan import build_plan
+    from ..exp.spec import ExperimentSpec
+
     protocol_list = _resolve_protocols(protocols)
     scenario_list = _resolve_scenarios(scenarios)
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("a tournament needs at least one seed")
 
+    plan = build_plan(ExperimentSpec(
+        name="tournament",
+        scenarios=tuple(scenario_list),
+        protocols=tuple(protocol_list),
+        seeds=tuple(seed_list),
+        num_runs=num_runs,
+        constraints=constraints,
+    ))
+    executed = execute_plan(plan, parallel=parallel, n_workers=n_workers)
+
     result = TournamentResult(protocols=protocol_list, scenarios=scenario_list,
                               seeds=seed_list, num_runs=num_runs or 0)
+    per_cell: Dict[CellKey, List[ConstrainedSimulationResult]] = {}
+    for job in plan.jobs:
+        key = (job.protocol, job.scenario_name, job.seed)
+        per_cell.setdefault(key, []).append(executed.result_for(job))
+    if plan.jobs:
+        # the resolved num_runs of the last scenario, as the legacy
+        # per-scenario runner reported it
+        result.num_runs = plan.jobs[-1].scenario.num_runs
+    # cells keep the historical insertion order: scenario, then seed, then
+    # protocol (the order the legacy per-scenario runner populated them in)
     for scenario_name in scenario_list:
-        spec = get_scenario(scenario_name).with_overrides(
-            algorithms=tuple(protocol_list))
-        if constraints is not None:
-            spec = spec.with_overrides(constraints=constraints)
         for seed in seed_list:
-            run = run_scenario(spec, num_runs=num_runs, seed=seed,
-                               parallel=parallel, n_workers=n_workers)
-            result.num_runs = run.scenario.num_runs
             for protocol in protocol_list:
-                result.cells[(protocol, scenario_name, seed)] = \
-                    run.pooled(protocol)
+                key = (protocol, scenario_name, seed)
+                result.cells[key] = merge_constrained_results(per_cell[key])
     return result

@@ -9,6 +9,9 @@ Commands::
     python -m repro routing list                  # protocol zoo
     python -m repro routing run <scenario> [...]  # scenario x chosen protocols
     python -m repro routing tournament [...]      # cross-scenario leaderboard
+    python -m repro exp run <spec.json> [...]     # declarative grid, resumable
+    python -m repro exp resume <spec.json> [...]  # continue an interrupted run
+    python -m repro exp status <spec.json> [...]  # done/pending without running
     python -m repro bench [...]                   # engine timing comparison
 
 Every command prints an aligned text table; ``--json PATH`` additionally
@@ -25,6 +28,7 @@ import time
 from typing import List, Optional, Sequence
 
 from ..analysis.tables import format_table
+from ..exp.cli import add_exp_commands, dispatch_exp_command
 from ..routing.cli import add_routing_commands, dispatch_routing_command
 from .engine import DesSimulator, ResourceConstraints
 from .runner import SWEEPABLE_PARAMETERS, run_scenario, sweep_scenario
@@ -73,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", default=None)
 
     add_routing_commands(commands)
+    add_exp_commands(commands)
 
     bench = commands.add_parser(
         "bench", help="time the DES engine against the trace-driven simulator")
@@ -233,6 +238,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "routing":
         return dispatch_routing_command(args, _write_json)
+    if args.command == "exp":
+        return dispatch_exp_command(args, _write_json)
     if args.sim_command == "list":
         return _cmd_sim_list()
     if args.sim_command == "run":

@@ -67,6 +67,7 @@ from .events import (
 )
 
 __all__ = [
+    "SWEEPABLE_PARAMETERS",
     "ResourceConstraints",
     "UNCONSTRAINED",
     "ResourceStats",
@@ -74,6 +75,9 @@ __all__ = [
     "DesSimulator",
     "simulate_des",
 ]
+
+#: :class:`ResourceConstraints` axes a sweep/experiment grid can vary.
+SWEEPABLE_PARAMETERS = ("buffer_capacity", "bandwidth", "ttl", "message_size")
 
 
 @dataclass(frozen=True)

@@ -1,49 +1,76 @@
-"""Scenario and sweep runners for the DES engine.
+"""Scenario and sweep runners — thin adapters over :mod:`repro.exp`.
 
 ``run_scenario`` executes one scenario (every algorithm × every run);
 ``sweep_scenario`` additionally grids one resource-constraint axis.  Both
-reuse :func:`repro.analysis.parallel.process_map` for ``parallel=True``:
-the trace is shipped to each worker once via the pool initializer, jobs
-carry only the algorithm *name* (instances and their oracle state are built
-in the worker), and workloads are drawn in the parent so serial and
-parallel runs produce identical results.
+build a single-scenario :class:`~repro.exp.ExperimentSpec`, let the
+orchestration layer plan and dispatch the content-hashed jobs through the
+shared worker pool, and reassemble their historical result shapes by
+walking the plan in order — outputs are byte-identical to the pre-``exp``
+runners (pinned by the equivalence tests).  The trace each adapter builds
+for its own metadata is handed to the executor as a warm cache, so serial
+runs build it once and parallel workers receive it via the pool
+initializer, exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..analysis.parallel import process_map
 from ..contacts import ContactTrace
 from ..forwarding.messages import Message
-from ..routing.registry import protocol_by_name
-from .engine import ConstrainedSimulationResult, DesSimulator, ResourceConstraints, ResourceStats
+from .engine import (
+    SWEEPABLE_PARAMETERS,
+    ConstrainedSimulationResult,
+    ResourceConstraints,
+    ResourceStats,
+)
 from .scenarios import Scenario, get_scenario
 
 __all__ = [
     "SWEEPABLE_PARAMETERS",
     "ScenarioRunResult",
+    "round_metric",
     "SweepResult",
     "merge_constrained_results",
     "run_scenario",
     "sweep_scenario",
 ]
 
-#: Constraint axes ``sweep_scenario`` can grid over.
-SWEEPABLE_PARAMETERS = ("buffer_capacity", "bandwidth", "ttl", "message_size")
-
 
 def merge_constrained_results(
     runs: Sequence[ConstrainedSimulationResult],
+    validate: bool = True,
 ) -> ConstrainedSimulationResult:
     """Pool several runs of one algorithm into a single result.
 
     Outcomes concatenate, counters sum, and ``peak_buffer_occupancy`` takes
-    the maximum over runs.
+    the maximum over runs.  By default every run must share the merged
+    result's labels — algorithm, trace and constraints — since the pool is
+    reported under ``runs[0]``'s values; pass ``validate=False`` for
+    deliberate cross-trace pools (e.g. a tournament leaderboard row, where
+    one protocol's runs span scenarios).
     """
     if not runs:
         raise ValueError("need at least one run to merge")
+    if validate:
+        first = runs[0]
+        for position, run in enumerate(runs[1:], start=1):
+            if run.algorithm != first.algorithm:
+                raise ValueError(
+                    f"cannot merge mismatched runs: run 0 is algorithm "
+                    f"{first.algorithm!r} but run {position} is "
+                    f"{run.algorithm!r}")
+            if run.trace_name != first.trace_name:
+                raise ValueError(
+                    f"cannot merge mismatched runs: run 0 ran on trace "
+                    f"{first.trace_name!r} but run {position} on "
+                    f"{run.trace_name!r}")
+            if run.constraints != first.constraints:
+                raise ValueError(
+                    f"cannot merge mismatched runs: run {position}'s "
+                    f"constraints {run.constraints} differ from run 0's "
+                    f"{first.constraints}")
     merged_stats = ResourceStats()
     for run in runs:
         for stat_field in fields(ResourceStats):
@@ -60,36 +87,6 @@ def merge_constrained_results(
     for run in runs:
         merged.outcomes.extend(run.outcomes)
     return merged
-
-
-# ----------------------------------------------------------------------
-# parallel plumbing: the trace is built once per worker process
-# ----------------------------------------------------------------------
-_SIM_WORKER: Dict[str, ContactTrace] = {}
-
-_Job = Tuple[str, Sequence[Message], ResourceConstraints, str]
-
-
-def _init_sim_worker(trace: ContactTrace) -> None:
-    _SIM_WORKER["trace"] = trace
-
-
-def _run_sim_job(job: _Job) -> ConstrainedSimulationResult:
-    protocol_name, messages, constraints, copy_semantics = job
-    simulator = DesSimulator(_SIM_WORKER["trace"],
-                             protocol_by_name(protocol_name),
-                             constraints=constraints,
-                             copy_semantics=copy_semantics)
-    return simulator.run(messages)
-
-
-def _execute_jobs(trace: ContactTrace, jobs: List[_Job], parallel: bool,
-                  n_workers: Optional[int]) -> List[ConstrainedSimulationResult]:
-    if parallel and len(jobs) > 1:
-        return process_map(_run_sim_job, jobs, n_workers=n_workers,
-                           initializer=_init_sim_worker, initargs=(trace,))
-    _init_sim_worker(trace)
-    return [_run_sim_job(job) for job in jobs]
 
 
 def _resolve(scenario: Union[str, Scenario]) -> Scenario:
@@ -129,10 +126,10 @@ class ScenarioRunResult:
                 "messages": summary["num_messages"],
                 "delivered": summary["num_delivered"],
                 "success_rate": round(float(summary["success_rate"]), 3),
-                "mean_delay_s": _round(summary["mean_delay_s"]),
-                "median_delay_s": _round(summary["median_delay_s"]),
+                "mean_delay_s": round_metric(summary["mean_delay_s"]),
+                "median_delay_s": round_metric(summary["median_delay_s"]),
                 "copies": summary["copies_sent"],
-                "copies/delivery": _round(summary["copies_per_delivery"], 2),
+                "copies/delivery": round_metric(summary["copies_per_delivery"], 2),
                 "evictions": summary["buffer_evictions"],
                 "expired": summary["expired_messages"],
                 "partial_xfers": summary["partial_transfers"],
@@ -140,8 +137,19 @@ class ScenarioRunResult:
         return rows
 
 
-def _round(value, digits: int = 1):
+def round_metric(value, digits: int = 1):
+    """Round a (possibly None) metric for table display; shared by every
+    report layer (runner tables, exp grid reports)."""
     return None if value is None else round(float(value), digits)
+
+
+def _warm_caches(plan, trace: ContactTrace,
+                 messages_per_run: Sequence[List[Message]]) -> None:
+    """Seed the plan's worker-cache hints from state the adapter built
+    anyway (released by the executor when the run finishes)."""
+    for job in plan.jobs:
+        plan.warm_traces[job.trace_key] = trace
+        plan.warm_messages[job.messages_key] = messages_per_run[job.run_index]
 
 
 def run_scenario(
@@ -159,6 +167,10 @@ def run_scenario(
     (run × algorithm) simulations are distributed over a process pool;
     results are identical to a serial run.
     """
+    from ..exp.orchestrator import execute_plan
+    from ..exp.plan import build_plan
+    from ..exp.spec import ExperimentSpec
+
     spec = _resolve(scenario)
     overrides = {}
     if num_runs is not None:
@@ -173,12 +185,10 @@ def run_scenario(
     trace = spec.build_trace()
     messages_per_run = [spec.build_messages(trace, run_index)
                         for run_index in range(spec.num_runs)]
-    jobs: List[_Job] = [
-        (algorithm, messages, spec.constraints, spec.copy_semantics)
-        for messages in messages_per_run
-        for algorithm in spec.algorithms
-    ]
-    flat = _execute_jobs(trace, jobs, parallel, n_workers)
+    plan = build_plan(ExperimentSpec(name=f"scenario:{spec.name}",
+                                     scenarios=(spec,)))
+    _warm_caches(plan, trace, messages_per_run)
+    executed = execute_plan(plan, parallel=parallel, n_workers=n_workers)
 
     outcome = ScenarioRunResult(
         scenario=spec, trace_name=trace.name, num_nodes=trace.num_nodes,
@@ -186,11 +196,8 @@ def run_scenario(
         num_messages=sum(len(m) for m in messages_per_run))
     for name in spec.algorithms:
         outcome.results[name] = []
-    job_index = 0
-    for _ in range(spec.num_runs):
-        for name in spec.algorithms:
-            outcome.results[name].append(flat[job_index])
-            job_index += 1
+    for job in plan.jobs:
+        outcome.results[job.protocol].append(executed.result_for(job))
     return outcome
 
 
@@ -219,7 +226,7 @@ class SweepResult:
                     self.parameter: "inf" if value is None else value,
                     "algorithm": name,
                     "success_rate": round(float(summary["success_rate"]), 3),
-                    "mean_delay_s": _round(summary["mean_delay_s"]),
+                    "mean_delay_s": round_metric(summary["mean_delay_s"]),
                     "copies": summary["copies_sent"],
                     "evictions": summary["buffer_evictions"],
                     "expired": summary["expired_messages"],
@@ -243,6 +250,10 @@ def sweep_scenario(
     means "unlimited" for that point.  Every grid point sees exactly the
     same trace and workloads, so the comparison is paired along the axis.
     """
+    from ..exp.orchestrator import execute_plan
+    from ..exp.plan import build_plan, reject_flat_ttl_sweep
+    from ..exp.spec import ExperimentSpec, SweepAxis
+
     if parameter not in SWEEPABLE_PARAMETERS:
         raise ValueError(f"cannot sweep {parameter!r}; "
                          f"choose one of {', '.join(SWEEPABLE_PARAMETERS)}")
@@ -260,37 +271,29 @@ def sweep_scenario(
     trace = spec.build_trace()
     messages_per_run = [spec.build_messages(trace, run_index)
                         for run_index in range(spec.num_runs)]
-    if parameter == "ttl" and any(message.ttl is not None
-                                  for messages in messages_per_run
-                                  for message in messages):
-        # a message's own ttl takes precedence over the constraints-level
-        # default, so the sweep would silently produce a flat table
-        raise ValueError(
-            "cannot sweep ttl: the scenario's workload stamps a per-message "
-            "ttl, which overrides the swept constraints-level default; "
-            "remove the workload ttl to sweep this axis")
-    grid = [spec.constraints.with_overrides(**{parameter: value})
-            for value in values]
-    jobs: List[_Job] = [
-        (algorithm, messages, constraints, spec.copy_semantics)
-        for constraints in grid
-        for messages in messages_per_run
-        for algorithm in spec.algorithms
-    ]
-    flat = _execute_jobs(trace, jobs, parallel, n_workers)
+    if parameter == "ttl":
+        # the shared guard against silently flat sweeps, on the workloads
+        # built above (so the planner need not regenerate them)
+        reject_flat_ttl_sweep(messages_per_run)
+    plan = build_plan(ExperimentSpec(
+        name=f"sweep:{spec.name}:{parameter}",
+        scenarios=(spec,),
+        sweep=SweepAxis(parameter=parameter, values=tuple(values))),
+        check_flat_ttl_sweep=False)
+    _warm_caches(plan, trace, messages_per_run)
+    executed = execute_plan(plan, parallel=parallel, n_workers=n_workers)
 
     sweep = SweepResult(scenario=spec, parameter=parameter,
                         values=list(values), trace_name=trace.name)
-    job_index = 0
+    per_value: Dict[Optional[float], Dict[str, List[ConstrainedSimulationResult]]] = {}
+    for job in plan.jobs:
+        per_algorithm = per_value.setdefault(
+            job.sweep_value, {name: [] for name in spec.algorithms})
+        per_algorithm[job.protocol].append(executed.result_for(job))
     for value in values:
-        per_algorithm: Dict[str, List[ConstrainedSimulationResult]] = {
-            name: [] for name in spec.algorithms}
-        for _ in range(spec.num_runs):
-            for name in spec.algorithms:
-                per_algorithm[name].append(flat[job_index])
-                job_index += 1
+        grid_value = None if value is None else float(value)
         sweep.by_value[value] = {
             name: merge_constrained_results(runs)
-            for name, runs in per_algorithm.items()
+            for name, runs in per_value[grid_value].items()
         }
     return sweep

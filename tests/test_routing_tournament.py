@@ -121,3 +121,41 @@ class TestRoutingCli:
     def test_bad_protocol_name_fails_fast(self):
         with pytest.raises(KeyError, match="unknown protocol"):
             main(["routing", "run", "paper-ideal", "--protocols", "Telepathy"])
+
+
+class TestSharedPooling:
+    """Tournament pooling is the shared merge_constrained_results, not a
+    parallel re-implementation (regression for the pooling dedup)."""
+
+    def test_cell_pooling_matches_runner_pooling_field_by_field(self):
+        from repro.sim.runner import merge_constrained_results, run_scenario
+        from repro.sim.scenarios import get_scenario
+
+        tournament = run_tournament(protocols=PROTOCOLS,
+                                    scenarios=("paper-ideal",),
+                                    seeds=(7,), num_runs=2)
+        spec = get_scenario("paper-ideal").with_overrides(
+            algorithms=tuple(PROTOCOLS))
+        run = run_scenario(spec, num_runs=2, seed=7)
+        for protocol in PROTOCOLS:
+            cell = tournament.cells[(protocol, "paper-ideal", 7)]
+            pooled = merge_constrained_results(run.results[protocol])
+            assert cell.algorithm == pooled.algorithm
+            assert cell.trace_name == pooled.trace_name
+            assert cell.constraints == pooled.constraints
+            assert cell.copies_sent == pooled.copies_sent
+            assert cell.stats.as_dict() == pooled.stats.as_dict()
+            assert cell.outcomes == pooled.outcomes
+
+    def test_leaderboard_row_matches_merged_summary(self, small_tournament):
+        from repro.sim.runner import merge_constrained_results
+
+        rows = {row["protocol"]: row
+                for row in small_tournament.leaderboard_rows()}
+        for protocol in PROTOCOLS:
+            merged = merge_constrained_results(
+                small_tournament.pooled(protocol), validate=False)
+            row = rows[protocol]
+            assert row["messages"] == merged.num_messages
+            assert row["delivered"] == merged.num_delivered
+            assert row["success_rate"] == round(merged.success_rate(), 3)

@@ -251,3 +251,47 @@ def test_all_six_algorithms_available_by_name():
     assert len(algorithm_names()) == 6
     for name in algorithm_names():
         assert algorithm_by_name(name).name == name
+
+
+# ----------------------------------------------------------------------
+# merge validation
+# ----------------------------------------------------------------------
+def test_merge_rejects_mismatched_runs():
+    """Pooling runs of different algorithms/traces/constraints used to
+    silently report everything under runs[0]'s labels; it must refuse."""
+    from repro.sim.runner import merge_constrained_results
+
+    run = run_scenario("paper-ttl-tight")
+    epidemic = run.results["Epidemic"][0]
+    fresh = run.results["FRESH"][0]
+    with pytest.raises(ValueError, match="algorithm"):
+        merge_constrained_results([epidemic, fresh])
+
+    other_trace = run_scenario("rwp-courtyard").results["Epidemic"][0]
+    with pytest.raises(ValueError, match="trace"):
+        merge_constrained_results([epidemic, other_trace])
+
+    relaxed = run_scenario(
+        "paper-ttl-tight",
+        constraints=ResourceConstraints(ttl=1800.0)).results["Epidemic"][0]
+    with pytest.raises(ValueError, match="constraints"):
+        merge_constrained_results([epidemic, relaxed])
+
+    # an explicit opt-out still allows deliberate cross-label pools
+    merged = merge_constrained_results([epidemic, other_trace],
+                                       validate=False)
+    assert merged.num_messages == \
+        epidemic.num_messages + other_trace.num_messages
+
+
+def test_merge_accepts_matching_runs_and_pools_fields():
+    from repro.sim.runner import merge_constrained_results
+
+    run = run_scenario("paper-buffer-crunch", num_runs=2)
+    runs = run.results["Epidemic"]
+    merged = merge_constrained_results(runs)
+    assert merged.algorithm == "Epidemic"
+    assert merged.num_messages == sum(r.num_messages for r in runs)
+    assert merged.stats.copies_sent == sum(r.stats.copies_sent for r in runs)
+    assert merged.stats.peak_buffer_occupancy == \
+        max(r.stats.peak_buffer_occupancy for r in runs)
