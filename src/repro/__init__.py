@@ -17,6 +17,9 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.routing` — the stateful protocol zoo (spray-and-wait,
   PRoPHET, hypergossip, …), the compatibility wrapper running the paper's
   algorithms under the protocol API, and the cross-scenario tournament;
+* :mod:`repro.scenario` — the declarative, serializable scenario spec API:
+  kind-tagged trace/workload/constraint specs, the spec-type registry and
+  JSON round-tripping;
 * :mod:`repro.sim` — the resource-constrained discrete-event engine
   (finite buffers, bandwidth-limited contacts, TTL), scenario registry and
   the ``python -m repro`` CLI;
@@ -35,7 +38,7 @@ Quickstart
 True
 """
 
-from . import analysis, contacts, core, datasets, exp, forwarding, model, routing, sim, synth
+from . import analysis, contacts, core, datasets, exp, forwarding, model, routing, scenario, sim, synth
 
 __version__ = "1.3.0"
 
@@ -48,6 +51,7 @@ __all__ = [
     "forwarding",
     "model",
     "routing",
+    "scenario",
     "sim",
     "synth",
     "__version__",

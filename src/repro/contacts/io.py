@@ -21,16 +21,22 @@ from typing import Iterable, List, Optional, Sequence, TextIO, Union
 from .events import Contact, ContactTrace, NodeId
 
 __all__ = [
+    "CONTACT_FILE_FORMATS",
     "write_csv",
     "read_csv",
     "read_imote",
     "write_imote",
+    "read_contacts",
+    "sniff_contact_format",
     "trace_from_records",
 ]
 
 PathLike = Union[str, Path]
 
 _CSV_HEADER = ["start", "end", "a", "b"]
+
+#: Formats :func:`read_contacts` accepts; ``"auto"`` sniffs the file.
+CONTACT_FILE_FORMATS = ("auto", "csv", "imote")
 
 
 def trace_from_records(
@@ -155,6 +161,58 @@ def read_imote(
         if own:
             handle.close()
     return ContactTrace(contacts, duration=duration, name=name)
+
+
+def sniff_contact_format(path: PathLike) -> str:
+    """``"csv"`` or ``"imote"``, judged from the first content line.
+
+    The library's CSV format always starts its body with the
+    ``start,end,a,b`` header (commas), while iMote listings are
+    whitespace-separated columns; comment lines are skipped either way.
+    """
+    with open(path, "r") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            return "csv" if "," in stripped else "imote"
+    raise ValueError(f"cannot sniff contact file format: {path} has no "
+                     f"content lines")
+
+
+def read_contacts(
+    path: PathLike,
+    *,
+    format: str = "auto",
+    time_origin: float = 0.0,
+    duration: Optional[float] = None,
+    name: str = "",
+) -> ContactTrace:
+    """Read a contact trace from disk in either supported format.
+
+    The single front door file-based trace specs use
+    (:class:`repro.scenario.FileTraceSpec`).  *format* is ``"csv"``,
+    ``"imote"`` or ``"auto"`` (sniff via :func:`sniff_contact_format`).
+    *name* and *duration* override whatever the file carries;
+    *time_origin* rebases absolute iMote timestamps (CSV files written by
+    this library are already zero-based and ignore it).
+    """
+    if format not in CONTACT_FILE_FORMATS:
+        raise ValueError(f"unknown contact file format {format!r}; known: "
+                         f"{', '.join(CONTACT_FILE_FORMATS)}")
+    resolved = sniff_contact_format(path) if format == "auto" else format
+    if resolved == "imote":
+        # the column format carries no metadata; default the name to the
+        # file stem so results stay attributable
+        return read_imote(path, time_origin=time_origin, duration=duration,
+                          name=name or Path(path).stem)
+    trace = read_csv(path)
+    if name or duration is not None:
+        trace = ContactTrace(
+            list(trace), nodes=trace.nodes,
+            duration=trace.duration if duration is None else duration,
+            name=name or trace.name)
+    return trace
 
 
 def write_imote(trace: ContactTrace, destination: Union[PathLike, TextIO]) -> None:

@@ -52,6 +52,16 @@ class DatasetSpec:
     seed: int
     afternoon_dropoff: bool = False
 
+    def scaled_num_nodes(self, scale: float = 1.0) -> int:
+        """The population size a given *scale* produces (floor of 10).
+
+        Exposed separately from :meth:`generator` so scenario listings can
+        report node counts without building a trace.
+        """
+        if not 0 < scale <= 1.0:
+            raise ValueError("scale must lie in (0, 1]")
+        return max(10, int(round(self.num_nodes * scale)))
+
     def generator(self, scale: float = 1.0,
                   contact_scale: float = 1.0) -> ConferenceTraceGenerator:
         """Build the trace generator, optionally scaled down.
@@ -64,11 +74,9 @@ class DatasetSpec:
         which keeps delivery delays and success rates closer to paper scale
         and is what the benchmark harness uses.
         """
-        if not 0 < scale <= 1.0:
-            raise ValueError("scale must lie in (0, 1]")
         if not 0 < contact_scale <= 1.0:
             raise ValueError("contact_scale must lie in (0, 1]")
-        num_nodes = max(10, int(round(self.num_nodes * scale)))
+        num_nodes = self.scaled_num_nodes(scale)
         num_stationary = min(num_nodes // 4,
                              int(round(self.num_stationary * scale)))
         profile = None

@@ -11,7 +11,10 @@ answer, persists every new RunRecord and prints the pooled per-cell table.
 ``resume`` is the same operation under the name that matches intent after
 an interruption.  ``status`` only plans and reports done/pending counts per
 scenario — it never simulates.  See :mod:`repro.exp.spec` for the JSON
-spec format; ``examples/exp_quickstart.json`` is a runnable starter.
+spec format; ``examples/exp_quickstart.json`` is a runnable starter and
+``examples/exp_inline_scenario.json`` shows an inline scenario definition
+(a full ``{"kind": "scenario", ...}`` dict in the ``scenarios`` list —
+see :mod:`repro.scenario` — instead of a registry name).
 """
 
 from __future__ import annotations
@@ -34,7 +37,9 @@ def add_exp_commands(commands: argparse._SubParsersAction) -> None:
     exp_commands = exp.add_subparsers(dest="exp_command", required=True)
 
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    common.add_argument("spec", help="path to an ExperimentSpec JSON file "
+                                     "(scenario entries may be registry "
+                                     "names or inline scenario definitions)")
     common.add_argument("--store", default=DEFAULT_STORE_ROOT, metavar="DIR",
                         help="result store directory "
                              f"(default: {DEFAULT_STORE_ROOT}/)")

@@ -19,6 +19,8 @@ from typing import Any
 
 import numpy as np
 
+from ..scenario.base import SpecBase, registered_kind_of
+
 __all__ = ["canonical", "canonical_json", "stable_hash"]
 
 #: Hex digest length used for job/trace keys (64 bits — ample for the
@@ -36,6 +38,13 @@ def canonical(value: Any) -> Any:
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         kind = f"{type(value).__module__}.{type(value).__qualname__}"
+        if isinstance(value, SpecBase):
+            # registered specs are tagged by their category:kind — unique
+            # by construction and stable across module refactors, so a
+            # persistent store keyed on these hashes survives code moves
+            registered = registered_kind_of(type(value))
+            if registered is not None:
+                kind = f"spec:{registered}"
         payload = {"__type__": kind}
         for spec in dataclasses.fields(value):
             if not spec.init or spec.name.startswith("_"):

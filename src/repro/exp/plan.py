@@ -106,7 +106,10 @@ def job_identity(scenario: Scenario, protocol: str, run_index: int,
 
 
 def _trace_key(scenario: Scenario) -> str:
-    seed = scenario.seed if scenario.trace.uses_scenario_seed else None
+    # mirror ScenarioSpec.build_trace: duck-typed trace specs without the
+    # flag are treated as seed-consuming
+    uses_seed = getattr(scenario.trace, "uses_scenario_seed", True)
+    seed = scenario.seed if uses_seed else None
     return stable_hash({"trace": scenario.trace, "seed": seed})
 
 
@@ -155,20 +158,23 @@ def _reject_flat_ttl_sweep(scenario: Scenario, plan: ExperimentPlan) -> None:
 
 
 def _dedup_scenarios(entries) -> List[Union[str, Scenario]]:
-    """Drop repeated scenario entries (names by name, inline specs by
-    content) so no reassembly layer double-pools one result."""
+    """Drop repeated scenario entries so no reassembly layer double-pools
+    one result.
+
+    Dedup is by *content* — names resolve through the registry first, so a
+    registry name and an equivalent inline definition collapse to one
+    entry instead of planning (and then double-pooling) the same job
+    twice."""
     kept: List[Union[str, Scenario]] = []
     seen = set()
     for entry in entries:
-        if isinstance(entry, str):
-            key = entry
-        else:
-            try:
-                key = stable_hash(entry)
-            except TypeError:
-                # unhashable content falls through to the planner's
-                # one-off-key path; dedup by object identity only
-                key = f"id-{id(entry)}"
+        resolved = _resolve_scenario(entry)
+        try:
+            key = stable_hash(resolved)
+        except TypeError:
+            # unhashable content falls through to the planner's
+            # one-off-key path; dedup by object identity only
+            key = f"id-{id(resolved)}"
         if key in seen:
             continue
         seen.add(key)

@@ -21,10 +21,15 @@ launched from the command line (``python -m repro exp run spec.json``)::
     }
 
 Every field except ``name`` and ``scenarios`` is optional; omitted fields
-fall back to each scenario's own registry values.  The legacy entrypoints
-(:func:`repro.sim.run_scenario`, :func:`repro.sim.sweep_scenario`,
-:func:`repro.routing.run_tournament`) are thin adapters that build one of
-these specs internally.
+fall back to each scenario's own registry values.  A ``scenarios`` entry is
+either a registry name or an *inline scenario definition* — a full
+:class:`repro.scenario.ScenarioSpec` dict (``{"kind": "scenario", ...}``,
+see :mod:`repro.scenario`) — so a single JSON file can carry a whole
+experiment including scenarios nobody registered; inline definitions are
+validated eagerly at load and content-hashed by the planner exactly like
+named scenarios.  The legacy entrypoints (:func:`repro.sim.run_scenario`,
+:func:`repro.sim.sweep_scenario`, :func:`repro.routing.run_tournament`)
+are thin adapters that build one of these specs internally.
 """
 
 from __future__ import annotations
@@ -32,16 +37,38 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from ..routing.registry import protocol_by_name, protocol_names
 from ..sim.engine import SWEEPABLE_PARAMETERS, ResourceConstraints
-from ..sim.scenarios import Scenario
+from ..sim.scenarios import Scenario, get_scenario
 
 __all__ = ["ENGINES", "ExperimentSpec", "SweepAxis", "constraints_to_dict"]
 
 #: Supported simulation engines: the resource-constrained DES engine and the
 #: idealized trace-driven simulator (unconstrained runs only).
 ENGINES = ("des", "trace")
+
+
+def _normalize_scenario(entry: Union[str, Scenario, Mapping]) -> \
+        Union[str, Scenario]:
+    """One ``scenarios`` entry, validated eagerly.
+
+    Names are checked against the registry (so a typo fails at spec load,
+    not at plan time), inline definition dicts become :class:`Scenario`
+    objects (whose own construction validates trace/workload/protocols),
+    and :class:`Scenario` objects pass through.
+    """
+    if isinstance(entry, Scenario):
+        return entry
+    if isinstance(entry, str):
+        get_scenario(entry)  # raises KeyError naming the known scenarios
+        return entry
+    if isinstance(entry, Mapping):
+        return Scenario.from_dict(entry)
+    raise ValueError(
+        f"a scenarios entry must be a registry name, an inline scenario "
+        f"definition dict, or a Scenario object; got {entry!r}")
 
 
 @dataclass(frozen=True)
@@ -85,7 +112,9 @@ class ExperimentSpec:
         *not* part of job identity, so renaming an experiment keeps its
         stored results reusable).
     scenarios:
-        Scenario registry names (or, from code, :class:`Scenario` objects).
+        Scenario registry names, inline scenario definition dicts
+        (normalized to :class:`Scenario` eagerly), or — from code —
+        :class:`Scenario` objects.
     protocols:
         Protocol names to run in every scenario; ``None`` uses each
         scenario's own algorithm list.
@@ -120,11 +149,20 @@ class ExperimentSpec:
             raise ValueError("an experiment needs a name")
         if not self.scenarios:
             raise ValueError("an experiment needs at least one scenario")
-        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "scenarios",
+                           tuple(_normalize_scenario(entry)
+                                 for entry in self.scenarios))
         if self.protocols is not None:
             if not self.protocols:
                 raise ValueError("protocols must be None or non-empty")
             object.__setattr__(self, "protocols", tuple(self.protocols))
+            for name in self.protocols:
+                try:
+                    protocol_by_name(name)
+                except KeyError:
+                    raise ValueError(
+                        f"unknown protocol {name!r}; valid protocols: "
+                        f"{', '.join(protocol_names())}") from None
         if self.seeds is not None:
             if not self.seeds:
                 raise ValueError("seeds must be None or non-empty")
@@ -149,15 +187,18 @@ class ExperimentSpec:
     # dict / JSON round-trip
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """The spec as a JSON-serializable dict (named scenarios only)."""
-        for scenario in self.scenarios:
-            if not isinstance(scenario, str):
-                raise TypeError(
-                    "to_dict requires registry scenario names; got an inline "
-                    f"Scenario object {scenario.name!r} — register it first")
+        """The spec as a JSON-serializable dict.
+
+        Named scenarios stay names; inline :class:`Scenario` objects
+        serialize to their full scenario definition dicts (which requires
+        their trace/workload to be registered spec types — a custom
+        code-only workload raises :class:`TypeError` here).
+        """
         payload: Dict[str, object] = {
             "name": self.name,
-            "scenarios": list(self.scenarios),
+            "scenarios": [scenario if isinstance(scenario, str)
+                          else scenario.to_dict()
+                          for scenario in self.scenarios],
         }
         if self.protocols is not None:
             payload["protocols"] = list(self.protocols)
@@ -177,7 +218,12 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ExperimentSpec":
-        """Build a spec from a plain dict (the JSON file format)."""
+        """Build a spec from a plain dict (the JSON file format).
+
+        ``scenarios`` entries may be registry names or inline scenario
+        definition dicts; see :meth:`repro.scenario.ScenarioSpec.from_dict`
+        for the inline format.
+        """
         known = {"name", "scenarios", "protocols", "seeds", "num_runs",
                  "constraints", "sweep", "engine", "copy_semantics"}
         unknown = set(payload) - known

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import ClassVar, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..contacts import ContactTrace, NodeId
+from ..scenario.base import WorkloadSpec, register_spec
 
 __all__ = [
     "Message",
@@ -89,9 +90,13 @@ def _draw_endpoints(rng: np.random.Generator, nodes: Sequence[NodeId]) -> Tuple[
     return nodes[source_index], nodes[dest_index]
 
 
+@register_spec
 @dataclass
-class PoissonMessageWorkload:
+class PoissonMessageWorkload(WorkloadSpec):
     """Messages arriving as a Poisson process over a generation window.
+
+    Registered as the ``"poisson"`` workload-spec kind (JSON-serializable
+    via ``to_dict``/``from_dict``).
 
     Parameters
     ----------
@@ -106,6 +111,8 @@ class PoissonMessageWorkload:
         Stamped onto every generated message; only the resource-constrained
         engine (:mod:`repro.sim`) interprets them.
     """
+
+    kind: ClassVar[str] = "poisson"
 
     rate: float = 0.25
     generation_window: Optional[Tuple[float, float]] = None
@@ -144,9 +151,15 @@ class PoissonMessageWorkload:
         return messages
 
 
+@register_spec
 @dataclass
-class UniformMessageWorkload:
-    """A fixed number of messages with uniformly random creation times."""
+class UniformMessageWorkload(WorkloadSpec):
+    """A fixed number of messages with uniformly random creation times.
+
+    Registered as the ``"uniform"`` workload-spec kind.
+    """
+
+    kind: ClassVar[str] = "uniform"
 
     num_messages: int
     generation_window: Optional[Tuple[float, float]] = None

@@ -22,14 +22,14 @@ in the repo.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..analysis.tables import format_table
 from ..sim.engine import ConstrainedSimulationResult, ResourceConstraints
 from ..sim.runner import merge_constrained_results
-from ..sim.scenarios import get_scenario, scenario_names
+from ..sim.scenarios import Scenario, get_scenario, scenario_names
 from .registry import protocol_by_name, protocol_names
 
 __all__ = ["TournamentResult", "run_tournament"]
@@ -131,12 +131,41 @@ def _resolve_protocols(protocols: Union[str, Sequence[str], None]) -> List[str]:
     return resolved
 
 
-def _resolve_scenarios(names: Union[str, Sequence[str], None]) -> List[str]:
-    if names is None or names == "all":
-        return scenario_names()
-    if isinstance(names, str):
-        names = [names]
-    resolved = _dedup([get_scenario(name).name for name in names])
+def _resolve_scenarios(
+    entries: Union[str, Sequence[Union[str, Scenario, Mapping]], None],
+) -> List[Union[str, Scenario]]:
+    """Registry names, inline scenario definition dicts and/or specs.
+
+    Names are validated (and canonicalized) against the registry; dicts
+    become eagerly validated :class:`Scenario` objects.  The leaderboard's
+    cells are keyed by scenario name, so entries repeating a name with the
+    *same* content collapse to one, while a name carrying two different
+    contents is an error (one of them would silently vanish otherwise).
+    """
+    if entries is None or entries == "all":
+        return list(scenario_names())
+    if isinstance(entries, (str, Mapping, Scenario)):
+        entries = [entries]
+    resolved: List[Union[str, Scenario]] = []
+    by_name: Dict[str, Scenario] = {}
+    for entry in entries:
+        if isinstance(entry, Mapping):
+            entry = Scenario.from_dict(entry)
+        if isinstance(entry, str):
+            spec = get_scenario(entry)
+            entry = spec.name
+        else:
+            spec = entry
+        previous = by_name.get(spec.name)
+        if previous is not None:
+            if previous != spec:
+                raise ValueError(
+                    f"two tournament scenarios share the name "
+                    f"{spec.name!r} with different content; rename one — "
+                    f"leaderboard cells are keyed by scenario name")
+            continue
+        by_name[spec.name] = spec
+        resolved.append(entry)
     if not resolved:
         raise ValueError("a tournament needs at least one scenario")
     return resolved
@@ -144,7 +173,7 @@ def _resolve_scenarios(names: Union[str, Sequence[str], None]) -> List[str]:
 
 def run_tournament(
     protocols: Union[str, Sequence[str], None] = "all",
-    scenarios: Union[str, Sequence[str], None] = "all",
+    scenarios: Union[str, Sequence[Union[str, Scenario, Mapping]], None] = "all",
     seeds: Sequence[int] = (7,),
     num_runs: Optional[int] = None,
     constraints: Optional[ResourceConstraints] = None,
@@ -153,7 +182,10 @@ def run_tournament(
 ) -> TournamentResult:
     """Fan *protocols* × *scenarios* × *seeds* and collect the leaderboard.
 
-    ``"all"`` selects every registered protocol / scenario.  Each seed
+    ``"all"`` selects every registered protocol / scenario; *scenarios*
+    entries may also be inline scenario definitions (:class:`Scenario`
+    objects or their dict form), validated eagerly before anything runs
+    and keyed by their scenario name in the cells.  Each seed
     overrides the scenario's master seed, so different seeds re-draw both
     trace (where the scenario's trace is seeded) and workloads; every
     protocol within a cell sees exactly the same messages, so the
@@ -167,14 +199,16 @@ def run_tournament(
     from ..exp.spec import ExperimentSpec
 
     protocol_list = _resolve_protocols(protocols)
-    scenario_list = _resolve_scenarios(scenarios)
+    scenario_entries = _resolve_scenarios(scenarios)
+    scenario_list = [entry if isinstance(entry, str) else entry.name
+                     for entry in scenario_entries]
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("a tournament needs at least one seed")
 
     plan = build_plan(ExperimentSpec(
         name="tournament",
-        scenarios=tuple(scenario_list),
+        scenarios=tuple(scenario_entries),
         protocols=tuple(protocol_list),
         seeds=tuple(seed_list),
         num_runs=num_runs,

@@ -1,0 +1,85 @@
+"""repro.scenario — the declarative, serializable scenario spec API.
+
+Scenarios are first-class, composable, JSON-round-trippable *data*: a
+:class:`ScenarioSpec` nests a :class:`TraceSpec` (where contacts come
+from), a :class:`WorkloadSpec` (which messages flow), a constraint set and
+the protocol list, each tagged with a ``kind`` discriminator and registered
+in a type table (:func:`register_spec`), so third-party trace generators
+and workloads plug in without touching core.  ``to_dict``/``from_dict``
+round-trip every spec through plain JSON::
+
+    spec = scenario_from_json_file("my_scenario.json")
+    result = repro.sim.run_scenario(spec)
+
+The named registry in :mod:`repro.sim.scenarios` is a thin table of these
+specs; :class:`repro.exp.ExperimentSpec` accepts a full scenario dict
+anywhere a registry name is accepted.
+
+Attributes load lazily (PEP 562) so low-level modules can subclass the
+bases in :mod:`repro.scenario.base` without importing the simulation stack.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "SPEC_CATEGORIES": ".base",
+    "SpecBase": ".base",
+    "TraceSpec": ".base",
+    "WorkloadSpec": ".base",
+    "ConstraintSpec": ".base",
+    "register_spec": ".base",
+    "resolve_kind": ".base",
+    "spec_kinds": ".base",
+    "spec_from_dict": ".base",
+    "DatasetTraceSpec": ".traces",
+    "RandomWaypointTraceSpec": ".traces",
+    "TwoClassTraceSpec": ".traces",
+    "FileTraceSpec": ".traces",
+    "DEFAULT_ALGORITHMS": ".spec",
+    "ScenarioSpec": ".spec",
+    "scenario_from_dict": ".spec",
+    "scenario_from_json_file": ".spec",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from .base import (
+        SPEC_CATEGORIES,
+        ConstraintSpec,
+        SpecBase,
+        TraceSpec,
+        WorkloadSpec,
+        register_spec,
+        resolve_kind,
+        spec_from_dict,
+        spec_kinds,
+    )
+    from .spec import (
+        DEFAULT_ALGORITHMS,
+        ScenarioSpec,
+        scenario_from_dict,
+        scenario_from_json_file,
+    )
+    from .traces import (
+        DatasetTraceSpec,
+        FileTraceSpec,
+        RandomWaypointTraceSpec,
+        TwoClassTraceSpec,
+    )
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") \
+            from None
+    return getattr(import_module(module, __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,333 @@
+"""The typed, serializable spec API: base classes and the kind registry.
+
+Every experiment ingredient — a contact-trace source, a message workload, a
+resource-constraint set, a full scenario — is described by a *spec*: a
+frozen dataclass that is pure data, JSON-round-trippable via
+``to_dict``/``from_dict``, and tagged with a ``kind`` discriminator.  Spec
+classes register themselves in a per-category kind table
+(:func:`register_spec`), so deserialization dispatches on ``{"kind": ...}``
+and third-party trace generators or workloads plug in without touching this
+package::
+
+    @register_spec
+    @dataclass(frozen=True)
+    class MarkovTraceSpec(TraceSpec):
+        kind: ClassVar[str] = "markov"
+        ...
+
+    spec_from_dict("trace", {"kind": "markov", ...})  # -> MarkovTraceSpec
+
+This module is deliberately dependency-free (stdlib only): low-level
+modules such as :mod:`repro.forwarding.messages` subclass these bases
+without dragging in the simulation stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from collections import abc
+from typing import Any, ClassVar, Dict, List, Mapping, Optional
+
+__all__ = [
+    "SPEC_CATEGORIES",
+    "SpecBase",
+    "TraceSpec",
+    "WorkloadSpec",
+    "ConstraintSpec",
+    "register_spec",
+    "resolve_kind",
+    "spec_kinds",
+    "spec_from_dict",
+    "encode_value",
+    "coerce_value",
+]
+
+#: The spec categories the registry knows; each has its own kind namespace.
+SPEC_CATEGORIES = ("trace", "workload", "constraints", "scenario")
+
+_REGISTRY: Dict[str, Dict[str, type]] = {c: {} for c in SPEC_CATEGORIES}
+_BUILTINS_LOADED = False
+_BUILTINS_LOADING = False
+
+
+def _load_builtins() -> None:
+    """Import every module that defines a built-in spec kind (idempotent).
+
+    Lookup by kind must work from a cold ``import repro.scenario`` — the
+    built-in kinds live next to their behaviour (engine, workloads), so the
+    first failed lookup pulls them in instead of importing the simulation
+    stack at package-import time.  The done flag latches only on success:
+    a transient import failure must resurface on the next lookup, not
+    degrade into misleading "unknown kind" errors forever after.
+    """
+    global _BUILTINS_LOADED, _BUILTINS_LOADING
+    if _BUILTINS_LOADED or _BUILTINS_LOADING:
+        return
+    _BUILTINS_LOADING = True
+    try:
+        from importlib import import_module
+
+        import_module("repro.scenario.builtins")
+        _BUILTINS_LOADED = True
+    finally:
+        _BUILTINS_LOADING = False
+
+
+def register_spec(cls: type) -> type:
+    """Class decorator: file *cls* in the kind table of its category.
+
+    Requires ``spec_category`` (inherited from the base) and a ``kind``
+    declared on the class itself.  Re-registering the same class is a
+    no-op; a kind collision between two different classes is an error.
+    """
+    category = getattr(cls, "spec_category", None)
+    if category not in _REGISTRY:
+        raise ValueError(
+            f"{cls.__name__} has spec_category {category!r}; known "
+            f"categories: {', '.join(SPEC_CATEGORIES)}")
+    kind = cls.__dict__.get("kind", getattr(cls, "kind", None))
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(f"{cls.__name__} needs a non-empty 'kind' ClassVar "
+                         f"to be registered")
+    existing = _REGISTRY[category].get(kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"{category} spec kind {kind!r} is already registered to "
+            f"{existing.__name__}; pick a different kind for {cls.__name__}")
+    _REGISTRY[category][kind] = cls
+    return cls
+
+
+def resolve_kind(category: str, kind: str) -> type:
+    """The spec class registered under ``(category, kind)``."""
+    try:
+        table = _REGISTRY[category]
+    except KeyError:
+        raise ValueError(f"unknown spec category {category!r}; known: "
+                         f"{', '.join(SPEC_CATEGORIES)}") from None
+    if kind not in table:
+        _load_builtins()
+    try:
+        return table[kind]
+    except KeyError:
+        known = ", ".join(sorted(table)) or "(none registered)"
+        raise ValueError(f"unknown {category} spec kind {kind!r}; "
+                         f"known kinds: {known}") from None
+
+
+def registered_kind_of(cls: type) -> Optional[str]:
+    """``"category:kind"`` if *cls* is a registered spec class, else None.
+
+    Content hashing uses this as the spec's type tag: the registered kind
+    is unique per category and stable across module moves, so refactoring
+    a spec class to another module does not orphan content-addressed
+    stores the way a module-path tag would.
+    """
+    category = getattr(cls, "spec_category", None)
+    kind = getattr(cls, "kind", None)
+    if not isinstance(category, str) or not isinstance(kind, str):
+        return None
+    # no builtins load here: an *instance* being hashed means its class's
+    # module is imported, hence registered
+    if _REGISTRY.get(category, {}).get(kind) is cls:
+        return f"{category}:{kind}"
+    return None
+
+
+def spec_kinds(category: str) -> List[str]:
+    """All registered kinds of one category, sorted."""
+    if category not in _REGISTRY:
+        raise ValueError(f"unknown spec category {category!r}; known: "
+                         f"{', '.join(SPEC_CATEGORIES)}")
+    _load_builtins()
+    return sorted(_REGISTRY[category])
+
+
+def spec_from_dict(category: str, payload: Mapping[str, Any]):
+    """Build a spec of *category* from its dict form, dispatching on kind."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"a {category} spec must be an object/dict, "
+                         f"got {payload!r}")
+    kind = payload.get("kind")
+    if kind is None:
+        raise ValueError(f"a {category} spec dict needs a 'kind' field; "
+                         f"known kinds: {', '.join(spec_kinds(category))}")
+    return resolve_kind(category, kind).from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# value encoding / decoding shared by every spec's dict form
+# ----------------------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """*value* as JSON-serializable data (nested specs become dicts)."""
+    if isinstance(value, SpecBase):
+        return value.to_dict()
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): encode_value(item) for key, item in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot serialize {type(value).__name__!r} value {value!r} in a "
+        f"spec; spec fields must be JSON data or nested specs")
+
+
+def coerce_value(value: Any, annotation: Any) -> Any:
+    """Undo JSON's type erasure against a field's annotation.
+
+    Lists regain tuple-ness where the field is annotated ``Tuple``/
+    ``Sequence`` (the registry's specs store grids as tuples, and equality
+    with them requires matching types), ints widen to floats, and nested
+    dicts decode through a concretely annotated spec class.  Anything the
+    annotation cannot settle passes through for the dataclass's own
+    ``__post_init__`` validation to judge.
+    """
+    if annotation is None:
+        return value
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:
+        if value is None and type(None) in args:
+            return None
+        concrete = [arg for arg in args if arg is not type(None)]
+        if len(concrete) == 1:
+            return coerce_value(value, concrete[0])
+        return value
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            return value
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(coerce_value(item, args[0]) for item in value)
+        if args:
+            if len(value) != len(args):
+                # zip() would silently truncate — a [start, mid, end]
+                # window must not quietly become (start, mid)
+                raise ValueError(
+                    f"expected {len(args)} values, got {len(value)}: "
+                    f"{list(value)!r}")
+            return tuple(coerce_value(item, arg)
+                         for item, arg in zip(value, args))
+        return tuple(value)
+    if origin in (abc.Sequence, list):
+        if not isinstance(value, (list, tuple)):
+            return value
+        element = args[0] if args else None
+        items = [coerce_value(item, element) for item in value]
+        return items if origin is list else tuple(items)
+    if annotation is float and isinstance(value, int) \
+            and not isinstance(value, bool):
+        return float(value)
+    if isinstance(annotation, type) and issubclass(annotation, SpecBase) \
+            and isinstance(value, Mapping):
+        return annotation.from_dict(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# the base classes
+# ----------------------------------------------------------------------
+class SpecBase:
+    """Mixin giving a frozen-dataclass spec its serialized form.
+
+    ``to_dict`` emits ``{"kind": ..., **fields}`` (init fields only, nested
+    specs recursively); ``from_dict`` validates field names, coerces JSON
+    types back against the annotations, and — called on an *abstract* base
+    (or with a foreign ``kind``) — dispatches through the registry, so
+    ``TraceSpec.from_dict({"kind": "dataset", ...})`` builds the right
+    concrete class.
+    """
+
+    #: Which kind table the class registers in; set by the category bases.
+    spec_category: ClassVar[str]
+    #: The discriminator value; set by each concrete spec class.
+    kind: ClassVar[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a JSON-serializable dict, ``kind`` first."""
+        if not dataclasses.is_dataclass(self):
+            raise TypeError(f"{type(self).__name__} is not a dataclass spec")
+        payload: Dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            if not field.init or field.name.startswith("_"):
+                continue
+            payload[field.name] = encode_value(getattr(self, field.name))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]):
+        """Rebuild a spec from its dict form (inverse of :meth:`to_dict`)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"a {cls.spec_category} spec must be an "
+                             f"object/dict, got {payload!r}")
+        own_kind = cls.__dict__.get("kind", None)
+        if own_kind is None or not dataclasses.is_dataclass(cls):
+            # abstract category base: dispatch on the payload's kind
+            return spec_from_dict(cls.spec_category, payload)
+        data = dict(payload)
+        kind = data.pop("kind", own_kind)
+        if kind != own_kind:
+            target = resolve_kind(cls.spec_category, kind)
+            return target.from_dict(payload)
+        field_map = {field.name: field for field in dataclasses.fields(cls)
+                     if field.init and not field.name.startswith("_")}
+        unknown = set(data) - set(field_map)
+        if unknown:
+            raise ValueError(
+                f"unknown fields for {cls.spec_category} spec kind "
+                f"{own_kind!r}: {', '.join(sorted(unknown))}; valid fields: "
+                f"{', '.join(sorted(field_map))}")
+        hints = typing.get_type_hints(cls)
+        kwargs = {}
+        for name, value in data.items():
+            try:
+                kwargs[name] = coerce_value(value, hints.get(name))
+            except ValueError as error:
+                raise ValueError(
+                    f"field {name!r} of {own_kind!r} {cls.spec_category} "
+                    f"spec: {error}") from None
+        return cls(**kwargs)
+
+
+class TraceSpec(SpecBase):
+    """A declarative contact-trace source.
+
+    Concrete specs are frozen dataclasses with a ``kind`` discriminator and
+    a deterministic ``build(seed)``; ``uses_scenario_seed`` says whether the
+    scenario's derived trace stream feeds that seed (synthetic mobility) or
+    the source pins its own (named datasets, files on disk).
+    """
+
+    spec_category: ClassVar[str] = "trace"
+    #: Whether :meth:`repro.scenario.ScenarioSpec.build_trace` passes the
+    #: scenario-derived seed; dataset/file sources pin their own content.
+    uses_scenario_seed: ClassVar[bool] = True
+
+    def build(self, seed=None):
+        """The contact trace (deterministic per spec content and seed)."""
+        raise NotImplementedError
+
+    def node_count(self) -> Optional[int]:
+        """Expected node count, or ``None`` when unknown before building."""
+        return None
+
+
+class WorkloadSpec(SpecBase):
+    """A declarative message workload: a seeded ``generate(trace, seed)``.
+
+    Generators follow the seeding contract of :mod:`repro.synth.seeding`;
+    the same spec, trace and seed always produce the same message list.
+    """
+
+    spec_category: ClassVar[str] = "workload"
+
+    def generate(self, trace, seed=None):
+        """One realisation of the workload for *trace*."""
+        raise NotImplementedError
+
+
+class ConstraintSpec(SpecBase):
+    """A declarative resource-constraint set (kind-tagged, serializable)."""
+
+    spec_category: ClassVar[str] = "constraints"

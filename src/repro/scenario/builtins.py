@@ -1,0 +1,14 @@
+"""Importing this module registers every built-in spec kind.
+
+The built-in specs live next to the behaviour they describe — workloads in
+:mod:`repro.forwarding.messages` / :mod:`repro.synth.workloads`, resource
+constraints in :mod:`repro.sim.engine` — so the registry loads them on the
+first kind lookup (see ``repro.scenario.base._load_builtins``) instead of
+importing the whole simulation stack when :mod:`repro.scenario` is.
+"""
+
+from ..forwarding import messages as _messages  # noqa: F401  poisson, uniform
+from ..sim import engine as _engine  # noqa: F401  resource constraints
+from ..synth import workloads as _workloads  # noqa: F401  hotspot, bursts
+from . import spec as _spec  # noqa: F401  the scenario kind itself
+from . import traces as _traces  # noqa: F401  dataset, rwp, two-class, file

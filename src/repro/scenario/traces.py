@@ -1,0 +1,192 @@
+"""Built-in contact-trace specs: datasets, mobility, populations, files.
+
+The first three are the trace sources the scenario registry has always
+offered (paper dataset stand-ins, random-waypoint mobility, a two-class
+conference population), ported onto the :class:`~repro.scenario.base.
+TraceSpec` API — same fields, same builds, now with a ``kind``
+discriminator and ``to_dict``/``from_dict``.  :class:`FileTraceSpec` is
+new: it ingests a contact-event file from disk (the library's CSV format or
+the published iMote/CRAWDAD column format) via :mod:`repro.contacts.io`,
+which is how real traces enter the scenario system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Optional
+
+from ..contacts import ContactTrace
+from ..contacts.io import CONTACT_FILE_FORMATS, read_contacts
+from ..datasets import dataset_spec
+from ..synth import ConferenceTraceGenerator, RandomWaypointModel
+from .base import TraceSpec, register_spec
+
+__all__ = [
+    "DatasetTraceSpec",
+    "RandomWaypointTraceSpec",
+    "TwoClassTraceSpec",
+    "FileTraceSpec",
+]
+
+
+@register_spec
+@dataclass(frozen=True)
+class DatasetTraceSpec(TraceSpec):
+    """One of the paper's seeded dataset stand-ins (see ``repro.datasets``).
+
+    The dataset registry's own seed is used, so the trace is exactly the
+    named stand-in regardless of the scenario's master seed.
+    """
+
+    kind: ClassVar[str] = "dataset"
+    #: Dataset stand-ins are pinned to the registry seed.
+    uses_scenario_seed: ClassVar[bool] = False
+
+    key: str
+    scale: float = 1.0
+    contact_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        try:
+            spec = dataset_spec(self.key)
+        except KeyError as error:
+            raise ValueError(str(error.args[0])) from None
+        spec.generator(scale=self.scale, contact_scale=self.contact_scale)
+
+    def build(self, seed: Optional[int] = None) -> ContactTrace:
+        from ..datasets import load_dataset
+
+        return load_dataset(self.key, scale=self.scale, seed=seed,
+                            contact_scale=self.contact_scale)
+
+    def node_count(self) -> Optional[int]:
+        return dataset_spec(self.key).scaled_num_nodes(self.scale)
+
+
+@register_spec
+@dataclass(frozen=True)
+class RandomWaypointTraceSpec(TraceSpec):
+    """A random-waypoint mobility trace (homogeneous baseline)."""
+
+    kind: ClassVar[str] = "rwp"
+    uses_scenario_seed: ClassVar[bool] = True
+
+    num_nodes: int = 25
+    duration: float = 1800.0
+    step: float = 10.0
+    width: float = 120.0
+    height: float = 120.0
+    min_speed: float = 0.5
+    max_speed: float = 2.0
+    max_pause: float = 30.0
+    radio_range: float = 10.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("num_nodes must be at least 2")
+        if self.duration <= 0 or self.step <= 0:
+            raise ValueError("duration and step must be positive")
+
+    def build(self, seed=None) -> ContactTrace:
+        model = RandomWaypointModel(
+            num_nodes=self.num_nodes, width=self.width, height=self.height,
+            min_speed=self.min_speed, max_speed=self.max_speed,
+            max_pause=self.max_pause, radio_range=self.radio_range)
+        return model.generate_trace(self.duration, step=self.step, seed=seed,
+                                    name=self.name or f"rwp-N{self.num_nodes}")
+
+    def node_count(self) -> Optional[int]:
+        return self.num_nodes
+
+
+@register_spec
+@dataclass(frozen=True)
+class TwoClassTraceSpec(TraceSpec):
+    """A two-class (high/low contact rate) conference population."""
+
+    kind: ClassVar[str] = "two-class"
+    uses_scenario_seed: ClassVar[bool] = True
+
+    num_high: int = 8
+    num_low: int = 16
+    duration: float = 3600.0
+    mean_contacts_per_node: float = 60.0
+    high_weight: float = 1.0
+    low_weight: float = 0.1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_high < 1 or self.num_low < 1:
+            raise ValueError("both population classes need at least one node")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def build(self, seed=None) -> ContactTrace:
+        generator = ConferenceTraceGenerator.two_class(
+            num_high=self.num_high, num_low=self.num_low,
+            high_weight=self.high_weight, low_weight=self.low_weight,
+            duration=self.duration,
+            mean_contacts_per_node=self.mean_contacts_per_node)
+        return generator.generate(
+            seed=seed, name=self.name or f"two-class-{self.num_high}h{self.num_low}l")
+
+    def node_count(self) -> Optional[int]:
+        return self.num_high + self.num_low
+
+
+@register_spec
+@dataclass(frozen=True)
+class FileTraceSpec(TraceSpec):
+    """A contact trace ingested from a file on disk.
+
+    Opens the door to real traces: any file in the library's CSV format or
+    the published iMote/CRAWDAD column format (``format="auto"`` sniffs
+    which) becomes a scenario trace source.  Content-addressing caveat: job
+    identity hashes the spec — path and parameters — not the file's bytes,
+    so editing the file behind an unchanged path would silently reuse stale
+    stored results.  Set ``sha256`` (a prefix suffices) to pin the content:
+    :meth:`build` then refuses a file whose digest does not match.
+    """
+
+    kind: ClassVar[str] = "file"
+    #: The file *is* the trace; the scenario seed cannot re-draw it.
+    uses_scenario_seed: ClassVar[bool] = False
+
+    path: str
+    format: str = "auto"
+    time_origin: float = 0.0
+    duration: Optional[float] = None
+    name: str = ""
+    sha256: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("a file trace needs a path")
+        if self.format not in CONTACT_FILE_FORMATS:
+            raise ValueError(
+                f"unknown contact file format {self.format!r}; known: "
+                f"{', '.join(CONTACT_FILE_FORMATS)}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive or None")
+        if self.sha256 is not None and (
+                not self.sha256 or any(ch not in "0123456789abcdef"
+                                       for ch in self.sha256.lower())):
+            raise ValueError("sha256 must be a hex digest (prefix) or None")
+
+    def build(self, seed=None) -> ContactTrace:
+        path = Path(self.path)
+        if self.sha256 is not None:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            if not digest.startswith(self.sha256.lower()):
+                raise ValueError(
+                    f"contact file {self.path} has sha256 {digest}, which "
+                    f"does not match the spec's pinned {self.sha256!r}; "
+                    f"the file changed behind the spec")
+        # an empty name keeps whatever the file carries (CSV embeds one;
+        # read_contacts falls back to the file stem for iMote listings)
+        return read_contacts(path, format=self.format,
+                             time_origin=self.time_origin,
+                             duration=self.duration, name=self.name)

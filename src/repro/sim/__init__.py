@@ -32,8 +32,10 @@ from .engine import (
 from .runner import ScenarioRunResult, SweepResult, run_scenario, sweep_scenario
 from .scenarios import (
     DatasetTraceSpec,
+    FileTraceSpec,
     RandomWaypointTraceSpec,
     Scenario,
+    ScenarioSpec,
     TwoClassTraceSpec,
     get_scenario,
     register_scenario,
@@ -61,8 +63,10 @@ __all__ = [
     "run_scenario",
     "sweep_scenario",
     "DatasetTraceSpec",
+    "FileTraceSpec",
     "RandomWaypointTraceSpec",
     "Scenario",
+    "ScenarioSpec",
     "TwoClassTraceSpec",
     "get_scenario",
     "register_scenario",

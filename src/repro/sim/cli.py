@@ -4,8 +4,12 @@ Commands::
 
     python -m repro sim list                      # scenario catalogue
     python -m repro sim run <scenario> [...]      # one scenario end to end
+    python -m repro sim run --spec file.json      # scenario from a JSON spec
     python -m repro sim sweep <scenario> --param buffer_capacity \\
         --values 2,4,8,inf [...]                  # grid one constraint axis
+    python -m repro scenario show <name|file>     # a scenario's JSON spec
+    python -m repro scenario validate <file>      # check a spec file eagerly
+    python -m repro scenario kinds                # registered spec types
     python -m repro routing list                  # protocol zoo
     python -m repro routing run <scenario> [...]  # scenario x chosen protocols
     python -m repro routing tournament [...]      # cross-scenario leaderboard
@@ -30,6 +34,7 @@ from typing import List, Optional, Sequence
 from ..analysis.tables import format_table
 from ..exp.cli import add_exp_commands, dispatch_exp_command
 from ..routing.cli import add_routing_commands, dispatch_routing_command
+from ..scenario import SPEC_CATEGORIES, ScenarioSpec, spec_kinds
 from .engine import DesSimulator, ResourceConstraints
 from .runner import SWEEPABLE_PARAMETERS, run_scenario, sweep_scenario
 from .scenarios import get_scenario, scenarios
@@ -50,7 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim_commands.add_parser("list", help="list the registered scenarios")
 
     run = sim_commands.add_parser("run", help="run one scenario end to end")
-    run.add_argument("scenario", help="a scenario name (see 'repro sim list')")
+    run.add_argument("scenario", nargs="?", default=None,
+                     help="a scenario name (see 'repro sim list')")
+    run.add_argument("--spec", metavar="PATH", default=None,
+                     help="run a scenario from a JSON spec file instead of "
+                          "a registry name (see 'repro scenario show')")
     run.add_argument("--runs", type=int, default=None,
                      help="override the scenario's number of workload runs")
     run.add_argument("--seed", type=int, default=None,
@@ -75,6 +84,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parallel", action="store_true")
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--json", metavar="PATH", default=None)
+
+    scenario = commands.add_parser(
+        "scenario", help="inspect and validate declarative scenario specs")
+    scenario_commands = scenario.add_subparsers(dest="scenario_command",
+                                                required=True)
+    show = scenario_commands.add_parser(
+        "show", help="print a scenario's JSON spec (registry name or file)")
+    show.add_argument("scenario",
+                      help="a registry scenario name or a JSON spec path")
+    show.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the spec to a file")
+    validate = scenario_commands.add_parser(
+        "validate", help="eagerly validate a scenario spec file")
+    validate.add_argument("spec", help="path to a scenario spec JSON file")
+    validate.add_argument("--build", action="store_true",
+                          help="also build the trace and one workload draw")
+    scenario_commands.add_parser(
+        "kinds", help="list the registered spec types per category")
 
     add_routing_commands(commands)
     add_exp_commands(commands)
@@ -137,8 +164,12 @@ def _describe_constraints(constraints: ResourceConstraints) -> str:
 def _cmd_sim_list() -> int:
     rows = []
     for name, scenario in scenarios().items():
+        nodes = scenario.node_count()
         rows.append({
             "scenario": name,
+            "trace": scenario.trace_kind(),
+            "nodes": "?" if nodes is None else nodes,
+            "workload": scenario.workload_kind(),
             "constraints": _describe_constraints(scenario.constraints),
             "algorithms": len(scenario.algorithms),
             "runs": scenario.num_runs,
@@ -148,8 +179,29 @@ def _cmd_sim_list() -> int:
     return 0
 
 
+def _load_scenario_spec(path: str) -> ScenarioSpec:
+    from pathlib import Path
+
+    if not Path(path).exists():
+        raise SystemExit(f"no such scenario spec file: {path}")
+    try:
+        return ScenarioSpec.from_json_file(path)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"invalid JSON in scenario spec {path}: {error}")
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"invalid scenario spec {path}: {message}")
+
+
 def _cmd_sim_run(args: argparse.Namespace) -> int:
-    scenario = get_scenario(args.scenario)
+    if (args.scenario is None) == (args.spec is None):
+        raise SystemExit(
+            "sim run needs exactly one of: a scenario name, or --spec "
+            "pointing at a JSON scenario file")
+    if args.spec is not None:
+        scenario = _load_scenario_spec(args.spec)
+    else:
+        scenario = get_scenario(args.scenario)
     started = time.perf_counter()
     result = run_scenario(scenario, num_runs=args.runs, seed=args.seed,
                           parallel=args.parallel, n_workers=args.workers)
@@ -185,6 +237,85 @@ def _cmd_sim_sweep(args: argparse.Namespace) -> int:
     _write_json(args.json, {"scenario": scenario.name, "parameter": args.param,
                             "rows": rows})
     return 0
+
+
+# ----------------------------------------------------------------------
+# scenario spec commands
+# ----------------------------------------------------------------------
+def _scenario_summary_lines(scenario: ScenarioSpec) -> List[str]:
+    nodes = scenario.node_count()
+    return [
+        f"scenario: {scenario.name}"
+        + (f" — {scenario.description}" if scenario.description else ""),
+        f"trace: {scenario.trace_kind()} "
+        f"({'?' if nodes is None else nodes} nodes expected)",
+        f"workload: {scenario.workload_kind()}",
+        f"constraints: {_describe_constraints(scenario.constraints)}",
+        f"algorithms: {', '.join(scenario.algorithms)}",
+        f"runs: {scenario.num_runs}  seed: {scenario.seed}",
+    ]
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if Path(args.scenario).exists():
+        scenario = _load_scenario_spec(args.scenario)
+    else:
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as error:
+            raise SystemExit(error.args[0])
+    payload = scenario.to_dict()
+    print(json.dumps(payload, indent=2))
+    _write_json(args.json, payload)
+    return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    scenario = _load_scenario_spec(args.spec)
+    for line in _scenario_summary_lines(scenario):
+        print(line)
+    if args.build:
+        try:
+            trace = scenario.build_trace()
+            messages = scenario.build_messages(trace, 0)
+        except (OSError, ValueError) as error:
+            # e.g. a file trace whose path is missing or whose pinned
+            # sha256 no longer matches — report, don't traceback
+            raise SystemExit(
+                f"scenario spec {args.spec} is structurally valid but "
+                f"failed to build: {error}")
+        print(f"built: trace {trace.name!r} ({trace.num_nodes} nodes, "
+              f"{len(trace)} contacts), {len(messages)} messages in run 0")
+    print(f"\n{args.spec} is a valid scenario spec"
+          + ("" if args.build else " (structure and names; --build to "
+             "also generate the trace and workload)"))
+    return 0
+
+
+def _cmd_scenario_kinds() -> int:
+    from ..scenario import resolve_kind
+
+    rows = []
+    for category in SPEC_CATEGORIES:
+        for kind in spec_kinds(category):
+            cls = resolve_kind(category, kind)
+            rows.append({
+                "category": category,
+                "kind": kind,
+                "class": f"{cls.__module__}.{cls.__qualname__}",
+            })
+    print(format_table(rows))
+    return 0
+
+
+def _dispatch_scenario_command(args: argparse.Namespace) -> int:
+    if args.scenario_command == "show":
+        return _cmd_scenario_show(args)
+    if args.scenario_command == "validate":
+        return _cmd_scenario_validate(args)
+    return _cmd_scenario_kinds()
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -236,6 +367,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "scenario":
+        return _dispatch_scenario_command(args)
     if args.command == "routing":
         return dispatch_routing_command(args, _write_json)
     if args.command == "exp":

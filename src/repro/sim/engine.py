@@ -46,7 +46,7 @@ Semantics choices under constraints (documented, deterministic):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import ClassVar, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..contacts import Contact, ContactTrace
 from ..core.fastpath import NodeInterner
@@ -55,6 +55,7 @@ from ..forwarding.history import OnlineContactHistory
 from ..forwarding.messages import Message
 from ..forwarding.simulator import DeliveryOutcome, SimulationResult
 from ..routing.base import RoutingProtocol
+from ..scenario.base import ConstraintSpec, register_spec
 from .adapter import AlgorithmAdapter, ensure_adapter
 from .buffers import DROP_OLDEST, DROP_POLICIES, BufferEntry, NodeBuffer
 from .events import (
@@ -80,9 +81,15 @@ __all__ = [
 SWEEPABLE_PARAMETERS = ("buffer_capacity", "bandwidth", "ttl", "message_size")
 
 
+@register_spec
 @dataclass(frozen=True)
-class ResourceConstraints:
+class ResourceConstraints(ConstraintSpec):
     """Resource limits applied by :class:`DesSimulator`.
+
+    Registered as the ``"resource"`` constraint-spec kind, so constraint
+    sets round-trip through JSON scenario files (``to_dict``/``from_dict``
+    come from :class:`repro.scenario.base.SpecBase`; a scenario dict may
+    omit the ``kind`` since this is the default constraint spec).
 
     Every field defaults to "unlimited"; enable constraints independently.
 
@@ -104,6 +111,8 @@ class ResourceConstraints:
         Buffer eviction policy: ``"drop-oldest"`` (default),
         ``"drop-youngest"`` or ``"drop-largest"``.
     """
+
+    kind: ClassVar[str] = "resource"
 
     buffer_capacity: Optional[float] = None
     bandwidth: Optional[float] = None

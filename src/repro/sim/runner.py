@@ -15,7 +15,7 @@ initializer, exactly as before.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..contacts import ContactTrace
 from ..forwarding.messages import Message
@@ -89,9 +89,12 @@ def merge_constrained_results(
     return merged
 
 
-def _resolve(scenario: Union[str, Scenario]) -> Scenario:
+def _resolve(scenario: Union[str, Scenario, Mapping]) -> Scenario:
+    """A registry name, an inline scenario definition dict, or a spec."""
     if isinstance(scenario, Scenario):
         return scenario
+    if isinstance(scenario, Mapping):
+        return Scenario.from_dict(scenario)
     return get_scenario(scenario)
 
 

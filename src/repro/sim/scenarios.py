@@ -1,32 +1,30 @@
-"""Named, parameterized simulation scenarios.
+"""The named scenario registry — a thin table of ScenarioSpecs.
 
-A :class:`Scenario` bundles everything one reproducible experiment needs —
-a trace source (paper dataset stand-in, random-waypoint mobility, or a
-two-class population), a message workload, resource constraints, the
-forwarding algorithms to compare, and a master seed.  The registry maps
-scenario names to specs so experiments can be launched by name from the
-command line (``python -m repro sim run <name>``) or from code
-(:func:`repro.sim.run_scenario`).
+Scenario *mechanics* live in :mod:`repro.scenario`: :class:`~repro.scenario.
+ScenarioSpec` (serializable, eagerly validated), the trace/workload spec
+bases and their kind registry.  This module keeps what is genuinely
+registry: the name → spec table (:func:`register_scenario` /
+:func:`get_scenario`) and the built-in catalogue the CLI, tournament and
+tests launch by name.  Every entry is plain data — ``get_scenario(name).
+to_dict()`` is the JSON form, and the equivalence tests pin the table's
+builds byte-for-byte.
 
-Seeding follows the contract of :mod:`repro.synth.seeding`: one master seed
-per scenario; the trace and each run's workload draw from independently
-derived child streams, so the whole experiment is bit-reproducible and
-inserting a draw in one component cannot shift another.  Paper dataset
-stand-ins keep their registry seeds (they *are* the named datasets).
+``Scenario`` remains this module's (and :mod:`repro.sim`'s) name for
+:class:`ScenarioSpec`; existing imports keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Protocol, Tuple, Union
+from typing import Dict, List
 
-from ..contacts import ContactTrace
-from ..datasets import load_dataset
-from ..forwarding.messages import Message, PoissonMessageWorkload
-from ..routing.base import RoutingProtocol
-from ..routing.registry import protocol_by_name
-from ..synth import ConferenceTraceGenerator, RandomWaypointModel
-from ..synth.seeding import derive_rng
+from ..forwarding.messages import PoissonMessageWorkload
+from ..scenario.spec import ScenarioSpec
+from ..scenario.traces import (
+    DatasetTraceSpec,
+    FileTraceSpec,
+    RandomWaypointTraceSpec,
+    TwoClassTraceSpec,
+)
 from ..synth.workloads import AllPairsBurstWorkload, HotspotMessageWorkload
 from .engine import UNCONSTRAINED, ResourceConstraints
 
@@ -34,151 +32,18 @@ __all__ = [
     "DatasetTraceSpec",
     "RandomWaypointTraceSpec",
     "TwoClassTraceSpec",
+    "FileTraceSpec",
     "Scenario",
+    "ScenarioSpec",
     "register_scenario",
     "get_scenario",
     "scenario_names",
     "scenarios",
 ]
 
-
-# ----------------------------------------------------------------------
-# trace sources
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class DatasetTraceSpec:
-    """One of the paper's seeded dataset stand-ins (see ``repro.datasets``).
-
-    The dataset registry's own seed is used, so the trace is exactly the
-    named stand-in regardless of the scenario's master seed.
-    """
-
-    key: str
-    scale: float = 1.0
-    contact_scale: float = 1.0
-
-    def build(self, seed: Optional[int] = None) -> ContactTrace:
-        return load_dataset(self.key, scale=self.scale, seed=seed,
-                            contact_scale=self.contact_scale)
-
-    #: Dataset stand-ins are pinned to the registry seed.
-    uses_scenario_seed = False
-
-
-@dataclass(frozen=True)
-class RandomWaypointTraceSpec:
-    """A random-waypoint mobility trace (homogeneous baseline)."""
-
-    num_nodes: int = 25
-    duration: float = 1800.0
-    step: float = 10.0
-    width: float = 120.0
-    height: float = 120.0
-    min_speed: float = 0.5
-    max_speed: float = 2.0
-    max_pause: float = 30.0
-    radio_range: float = 10.0
-    name: str = ""
-
-    uses_scenario_seed = True
-
-    def build(self, seed=None) -> ContactTrace:
-        model = RandomWaypointModel(
-            num_nodes=self.num_nodes, width=self.width, height=self.height,
-            min_speed=self.min_speed, max_speed=self.max_speed,
-            max_pause=self.max_pause, radio_range=self.radio_range)
-        return model.generate_trace(self.duration, step=self.step, seed=seed,
-                                    name=self.name or f"rwp-N{self.num_nodes}")
-
-
-@dataclass(frozen=True)
-class TwoClassTraceSpec:
-    """A two-class (high/low contact rate) conference population."""
-
-    num_high: int = 8
-    num_low: int = 16
-    duration: float = 3600.0
-    mean_contacts_per_node: float = 60.0
-    high_weight: float = 1.0
-    low_weight: float = 0.1
-    name: str = ""
-
-    uses_scenario_seed = True
-
-    def build(self, seed=None) -> ContactTrace:
-        generator = ConferenceTraceGenerator.two_class(
-            num_high=self.num_high, num_low=self.num_low,
-            high_weight=self.high_weight, low_weight=self.low_weight,
-            duration=self.duration,
-            mean_contacts_per_node=self.mean_contacts_per_node)
-        return generator.generate(
-            seed=seed, name=self.name or f"two-class-{self.num_high}h{self.num_low}l")
-
-
-TraceSpec = Union[DatasetTraceSpec, RandomWaypointTraceSpec, TwoClassTraceSpec]
-
-
-class WorkloadSpec(Protocol):
-    """Anything with a seeded ``generate(trace, seed)`` returning messages."""
-
-    def generate(self, trace: ContactTrace, seed=None) -> List[Message]:
-        ...  # pragma: no cover - protocol
-
-
-# ----------------------------------------------------------------------
-# scenario
-# ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Scenario:
-    """A named, fully parameterized, reproducible experiment."""
-
-    name: str
-    description: str
-    trace: TraceSpec
-    workload: WorkloadSpec
-    constraints: ResourceConstraints = UNCONSTRAINED
-    algorithms: Tuple[str, ...] = ("Epidemic", "FRESH", "Greedy",
-                                   "Dynamic Programming")
-    num_runs: int = 1
-    seed: int = 0
-    copy_semantics: str = "copy"
-
-    def __post_init__(self) -> None:
-        if not self.algorithms:
-            raise ValueError("a scenario needs at least one algorithm")
-        if self.num_runs < 1:
-            raise ValueError("num_runs must be positive")
-        for name in self.algorithms:
-            protocol_by_name(name)  # raises on unknown names
-
-    @property
-    def is_constrained(self) -> bool:
-        return not self.constraints.is_unconstrained
-
-    # ------------------------------------------------------------------
-    def build_trace(self) -> ContactTrace:
-        """The scenario's contact trace (deterministic)."""
-        if self.trace.uses_scenario_seed:
-            return self.trace.build(seed=derive_rng(self.seed, "trace"))
-        return self.trace.build()
-
-    def build_messages(self, trace: ContactTrace, run_index: int = 0) -> List[Message]:
-        """The workload of one run (deterministic per ``(seed, run_index)``)."""
-        rng = derive_rng(self.seed, "workload", f"run-{run_index}")
-        return list(self.workload.generate(trace, seed=rng))
-
-    def build_algorithms(self) -> List[RoutingProtocol]:
-        """Fresh, unprepared protocol instances of the scenario's strategies.
-
-        Paper algorithm names come back wrapped in the protocol API (their
-        behaviour is byte-identical); zoo names come back as the stateful
-        protocols.  Both engines accept the instances directly.
-        """
-        return [protocol_by_name(name) for name in self.algorithms]
-
-    def with_overrides(self, **changes) -> "Scenario":
-        """A copy with the given fields replaced (CLI convenience)."""
-        return replace(self, **changes)
+#: Backward-compatible alias: a "Scenario" always was a fully parameterized
+#: spec; it now lives in repro.scenario as first-class serializable data.
+Scenario = ScenarioSpec
 
 
 # ----------------------------------------------------------------------

@@ -20,18 +20,22 @@ resource-constrained engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import ClassVar, List, Optional, Sequence, Tuple
 
 from ..contacts import ContactTrace
 from ..forwarding.messages import Message
+from ..scenario.base import WorkloadSpec, register_spec
 from .seeding import SeedLike, resolve_rng
 
 __all__ = ["AllPairsBurstWorkload", "HotspotMessageWorkload"]
 
 
+@register_spec
 @dataclass
-class AllPairsBurstWorkload:
+class AllPairsBurstWorkload(WorkloadSpec):
     """One message per ordered node pair at each burst instant.
+
+    Registered as the ``"all-pairs-burst"`` workload-spec kind.
 
     Parameters
     ----------
@@ -43,6 +47,8 @@ class AllPairsBurstWorkload:
     message_size, ttl:
         Stamped onto every generated message.
     """
+
+    kind: ClassVar[str] = "all-pairs-burst"
 
     burst_times: Sequence[float] = (0.0,)
     max_pairs_per_burst: Optional[int] = None
@@ -86,9 +92,12 @@ class AllPairsBurstWorkload:
         return messages
 
 
+@register_spec
 @dataclass
-class HotspotMessageWorkload:
+class HotspotMessageWorkload(WorkloadSpec):
     """Traffic concentrated on a few hotspot nodes.
+
+    Registered as the ``"hotspot"`` workload-spec kind.
 
     A fraction ``hotspot_share`` of the messages has its source (mode
     ``"source"``), destination (``"sink"``) or both endpoints (``"both"``)
@@ -97,6 +106,8 @@ class HotspotMessageWorkload:
     uniform over the generation window (default: the first two-thirds of the
     trace, as in the paper's Poisson workload).
     """
+
+    kind: ClassVar[str] = "hotspot"
 
     num_messages: int = 100
     num_hotspots: int = 3

@@ -57,10 +57,14 @@ def test_unknown_scenario_and_algorithm_raise():
     with pytest.raises(KeyError, match="unknown algorithm"):
         algorithm_by_name("Telepathy")
     # scenarios validate names against the routing registry, which also
-    # covers the paper algorithms
-    with pytest.raises(KeyError, match="unknown protocol"):
+    # covers the paper algorithms; the error names the valid protocols
+    with pytest.raises(ValueError, match="valid protocols"):
         Scenario(name="bad", description="", trace=DatasetTraceSpec(key="infocom05"),
                  workload=None, algorithms=("Telepathy",))
+    # with_overrides revalidates: a bad override fails at the call site,
+    # not deep inside a run
+    with pytest.raises(ValueError, match="unknown protocol 'Telepathy'"):
+        get_scenario("paper-ideal").with_overrides(algorithms=("Telepathy",))
 
 
 def test_scenario_runs_are_reproducible():
