@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Benchmark: the fault-injection layer.
+
+Two measurements, written to ``BENCH_faults.json`` at the repo root:
+
+* **retransmission overhead vs loss rate** — the same Epidemic run on the
+  primary Infocom'06 stand-in under channel loss 0 / 0.1 / 0.3 / 0.5, so
+  both the simulation-time cost and the traffic cost (bytes sent,
+  retransmissions per launched transfer) of the loss/backoff machinery are
+  tracked across PRs.  The zero-loss row doubles as a regression guard on
+  the dormant-path overhead: a null channel must cost ~nothing over the
+  plain engine.
+* **churn overhead** — the same run with a seeded crash/reboot schedule,
+  tracking the cost of buffer wipes and contact truncation.
+
+::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py [--quick]
+        [--benchmark-json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for path in (_HERE, _HERE.parent / "src"):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+from repro.datasets import load_dataset  # noqa: E402
+from repro.forwarding import PoissonMessageWorkload  # noqa: E402
+from repro.forwarding.algorithms import algorithm_by_name  # noqa: E402
+from repro.sim import (  # noqa: E402
+    ChannelSpec,
+    ChurnSpec,
+    DesSimulator,
+    ResourceConstraints,
+)
+
+DEFAULT_BENCHMARK_JSON = _HERE.parent / "BENCH_faults.json"
+
+LOSS_RATES = (0.0, 0.1, 0.3, 0.5)
+
+
+def _timed_run(trace, messages, constraints, seed, repeats):
+    last = None
+    samples = []
+    for _ in range(repeats):
+        simulator = DesSimulator(trace, algorithm_by_name("Epidemic"),
+                                 constraints=constraints, seed=seed)
+        started = time.perf_counter()
+        last = simulator.run(messages)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples), last
+
+
+def _bench_loss_sweep(trace, messages, repeats):
+    rows = []
+    baseline_s, baseline = _timed_run(trace, messages,
+                                      ResourceConstraints(), seed=7,
+                                      repeats=repeats)
+    for loss in LOSS_RATES:
+        constraints = ResourceConstraints(channel=ChannelSpec(loss=loss))
+        median_s, result = _timed_run(trace, messages, constraints, seed=7,
+                                      repeats=repeats)
+        stats = result.stats
+        launched = stats.lost_transfers + (result.copies_sent or 0)
+        rows.append({
+            "loss": loss,
+            "median_s": median_s,
+            "overhead_vs_plain_engine": (median_s / baseline_s
+                                         if baseline_s else None),
+            "delivered": result.num_delivered,
+            "copies_sent": result.copies_sent,
+            "lost_transfers": stats.lost_transfers,
+            "retransmissions": stats.retransmissions,
+            "retx_per_launched_transfer": (stats.retransmissions / launched
+                                           if launched else 0.0),
+        })
+        print(f"loss={loss:>4}: {median_s * 1e3:8.1f} ms, "
+              f"{result.num_delivered:3d} delivered, "
+              f"{stats.lost_transfers:4d} lost, "
+              f"{stats.retransmissions:4d} retransmitted")
+    return {"plain_engine_s": baseline_s, "rows": rows}
+
+
+def _bench_churn(trace, messages, repeats):
+    constraints = ResourceConstraints(
+        churn=ChurnSpec(crash_rate=0.0005, mean_downtime=60.0))
+    median_s, result = _timed_run(trace, messages, constraints, seed=7,
+                                  repeats=repeats)
+    stats = result.stats
+    print(f"churn: {median_s * 1e3:8.1f} ms, {stats.node_crashes} crashes, "
+          f"{stats.churn_dropped_copies} copies wiped, "
+          f"{stats.truncated_contacts} contacts truncated")
+    return {
+        "median_s": median_s,
+        "delivered": result.num_delivered,
+        "node_crashes": stats.node_crashes,
+        "churn_dropped_copies": stats.churn_dropped_copies,
+        "truncated_contacts": stats.truncated_contacts,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller trace scale and fewer repetitions")
+    parser.add_argument("--benchmark-json", type=Path,
+                        default=DEFAULT_BENCHMARK_JSON)
+    args = parser.parse_args()
+
+    scale = 0.2 if args.quick else 0.5
+    repeats = 3 if args.quick else 5
+    trace = load_dataset("infocom06-9-12", scale=scale, contact_scale=scale)
+    messages = list(PoissonMessageWorkload(rate=0.01)
+                    .generate(trace, seed=11))
+    print(f"trace: {trace.name} ({len(trace.nodes)} nodes, "
+          f"{len(trace.contacts)} contacts), {len(messages)} messages")
+
+    loss = _bench_loss_sweep(trace, messages, repeats)
+    churn = _bench_churn(trace, messages, repeats)
+
+    payload = {
+        "benchmark": "fault_injection",
+        "quick": args.quick,
+        "repeats": repeats,
+        "scale": scale,
+        "python": platform.python_version(),
+        "records": {"loss_sweep": loss, "churn": churn},
+    }
+    with open(args.benchmark_json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.benchmark_json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,12 @@ _EXPORTS = {
     "RECORD_SCHEMA": ".records",
     "encode_record": ".records",
     "decode_result": ".records",
+    "encode_failure_record": ".records",
+    "decode_failure": ".records",
+    "FaultPolicy": ".executor",
+    "JobFailure": ".executor",
+    "JobTimeout": ".executor",
+    "resilient_map": ".executor",
     "ResultStore": ".store",
     "DEFAULT_STORE_ROOT": ".store",
     "ExecutionOutcome": ".orchestrator",
@@ -49,6 +55,7 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from .executor import FaultPolicy, JobFailure, JobTimeout, resilient_map
     from .hashing import canonical, stable_hash
     from .orchestrator import (
         ExecutionOutcome,
@@ -59,7 +66,13 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     )
     from .plan import ExperimentPlan, PlannedJob, build_plan
     from .pool import default_worker_count, process_map
-    from .records import RECORD_SCHEMA, decode_result, encode_record
+    from .records import (
+        RECORD_SCHEMA,
+        decode_failure,
+        decode_result,
+        encode_failure_record,
+        encode_record,
+    )
     from .spec import ENGINES, ExperimentSpec, SweepAxis
     from .store import DEFAULT_STORE_ROOT, ResultStore
 

@@ -62,10 +62,20 @@ def add_exp_commands(commands: argparse._SubParsersAction) -> None:
                                   "job (new records still persist)")
         command.add_argument("--json", metavar="PATH", default=None,
                              help="also write the pooled rows as JSON")
+        command.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-job wall-clock budget; a job past it "
+                                  "is retried, then quarantined")
+        command.add_argument("--retries", type=int, default=0, metavar="N",
+                             help="extra attempts per failing job before it "
+                                  "is quarantined (default: 0)")
+        command.add_argument("--retry-failed", action="store_true",
+                             help="re-run jobs the store recorded as failed "
+                                  "(by default they stay quarantined)")
 
     exp_commands.add_parser(
         "status", parents=[common],
-        help="report done/pending jobs per scenario without running")
+        help="report done/failed/pending jobs per scenario without running")
 
 
 def _message(error: BaseException) -> str:
@@ -83,12 +93,19 @@ def _load_spec(path: str) -> ExperimentSpec:
 
 
 def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
+    from .executor import FaultPolicy
     from .orchestrator import run_experiment
 
     from .plan import build_plan
 
     spec = _load_spec(args.spec)
     store = None if args.no_store else args.store
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    # the CLI always runs fault-tolerant: one poison job degrades the run
+    # (quarantined + reported below) instead of aborting the whole batch
+    policy = FaultPolicy(timeout_s=args.timeout,
+                         max_attempts=args.retries + 1)
     try:
         # plan separately so only genuine spec problems (unknown names,
         # trace engine on constrained points, flat ttl sweeps) get the
@@ -99,7 +116,8 @@ def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
                          f"{_message(error)}")
     result = run_experiment(spec, store=store, parallel=args.parallel,
                             n_workers=args.workers, resume=not args.fresh,
-                            plan=plan)
+                            plan=plan, policy=policy,
+                            retry_failed=args.retry_failed)
     print(f"experiment: {spec.name} — {len(result.plan)} jobs over "
           f"{len(result.plan.scenario_names())} scenario(s)")
     if store is not None:
@@ -107,11 +125,23 @@ def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
     rows = result.table_rows()
     print()
     print(format_table(rows))
+    failure_rows = result.failure_rows()
+    if failure_rows:
+        print("\nfailed jobs (quarantined; rerun with --retry-failed):")
+        print(format_table([
+            {key: row[key] for key in ("scenario", "protocol", "seed",
+                                       "run_index", "error_kind", "error",
+                                       "attempts")}
+            for row in failure_rows
+        ]))
     print(f"\nexecuted {result.num_executed} jobs, reused "
-          f"{result.num_reused} from store in {result.elapsed_s:.2f}s")
+          f"{result.num_reused} from store, {result.num_failed} failed "
+          f"in {result.elapsed_s:.2f}s")
     write_json(args.json, {"experiment": spec.name,
                            "executed": result.num_executed,
                            "reused": result.num_reused,
+                           "failed": result.num_failed,
+                           "failures": failure_rows,
                            "rows": rows})
     return 0
 
@@ -132,8 +162,17 @@ def _cmd_exp_status(args: argparse.Namespace) -> int:
           f"(store: {status['store']})")
     print()
     print(format_table(rows))
+    if status["failures"]:
+        print("\nfailed jobs (quarantined; rerun with "
+              "`exp resume --retry-failed`):")
+        print(format_table([
+            {key: row[key] for key in ("scenario", "protocol", "seed",
+                                       "run_index", "error_kind", "error",
+                                       "attempts")}
+            for row in status["failures"]
+        ]))
     print(f"\n{status['done']}/{status['total_jobs']} jobs done, "
-          f"{status['pending']} pending")
+          f"{status['failed']} failed, {status['pending']} pending")
     return 0
 
 

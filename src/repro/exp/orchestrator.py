@@ -26,9 +26,17 @@ from ..contacts import ContactTrace
 from ..forwarding.messages import Message
 from ..routing.registry import protocol_by_name
 from ..sim.engine import ConstrainedSimulationResult, DesSimulator, ResourceStats
+from .executor import FaultPolicy, JobFailure, resilient_map
 from .plan import ExperimentPlan, PlannedJob, build_plan
 from .pool import process_map
-from .records import decode_result, encode_record, is_decodable
+from .records import (
+    decode_failure,
+    decode_result,
+    encode_failure_record,
+    encode_record,
+    is_decodable,
+    is_failure_record,
+)
 from .spec import ExperimentSpec
 from .store import ResultStore
 
@@ -87,7 +95,8 @@ def _run_exp_job(payload: _JobPayload) -> ConstrainedSimulationResult:
         return result
     simulator = DesSimulator(trace, protocol_by_name(protocol),
                              constraints=scenario.constraints,
-                             copy_semantics=scenario.copy_semantics)
+                             copy_semantics=scenario.copy_semantics,
+                             seed=scenario.seed)
     return simulator.run(messages)
 
 
@@ -98,12 +107,16 @@ def _run_exp_job(payload: _JobPayload) -> ConstrainedSimulationResult:
 class ExecutionOutcome:
     """What one :func:`execute_plan` call did."""
 
-    #: job_hash -> result, covering every job in the plan
+    #: job_hash -> result, covering every job in the plan that succeeded
     results: Dict[str, ConstrainedSimulationResult] = field(default_factory=dict)
-    #: hashes simulated by this invocation, in plan order
+    #: hashes simulated *successfully* by this invocation, in plan order
     executed: List[str] = field(default_factory=list)
     #: hashes served from the store, in plan order
     reused: List[str] = field(default_factory=list)
+    #: hashes of quarantined jobs (fresh + carried from the store), plan order
+    failed: List[str] = field(default_factory=list)
+    #: job_hash -> why that job failed
+    failures: Dict[str, JobFailure] = field(default_factory=dict)
 
     def result_for(self, job: PlannedJob) -> ConstrainedSimulationResult:
         return self.results[job.job_hash]
@@ -116,6 +129,8 @@ def execute_plan(
     n_workers: Optional[int] = None,
     resume: bool = True,
     trace_cache: bool = True,
+    policy: Optional[FaultPolicy] = None,
+    retry_failed: bool = False,
 ) -> ExecutionOutcome:
     """Run every job of *plan* that the store cannot already answer.
 
@@ -128,17 +143,38 @@ def execute_plan(
     the legacy "ship the trace once via the pool initializer" behaviour;
     both are released when execution finishes.  *trace_cache* exists for
     benchmarking the cache itself; leave it on.
+
+    With a *policy*, execution is fault-tolerant: jobs that raise, hang
+    past the policy's timeout, or kill their worker are retried per the
+    policy and then *quarantined* — the batch finishes degraded, each
+    quarantined job persisted as a ``status: "failed"`` record and
+    reported in ``outcome.failures``, instead of aborting the run.
+    Stored failure records are carried over as failures on resume;
+    *retry_failed* re-runs them instead.  Without a policy a stored
+    failure record simply re-runs (legacy strict mode: any job exception
+    propagates, after completed results are drained and persisted).
     """
     outcome = ExecutionOutcome()
     reusable: Dict[str, ConstrainedSimulationResult] = {}
+    stored_failures: Dict[str, JobFailure] = {}
     undecodable = set()
     if store is not None and resume:
         store.load()
         for job in plan.jobs:
-            if job.job_hash in reusable or job.job_hash in undecodable:
+            if job.job_hash in reusable or job.job_hash in undecodable \
+                    or job.job_hash in stored_failures:
                 continue
             record = store.get(job.job_hash)
             if record is None:
+                continue
+            if is_failure_record(record):
+                if policy is not None and not retry_failed:
+                    # carry the quarantine over instead of re-running; an
+                    # explicit --retry-failed (or a strict policy-less run)
+                    # gives the job another chance
+                    stored_failures[job.job_hash] = decode_failure(record)
+                else:
+                    undecodable.add(job.job_hash)  # re-run it
                 continue
             try:
                 # decode up front: a stale/foreign record fails fast and
@@ -154,7 +190,7 @@ def execute_plan(
     pending: List[PlannedJob] = []
     seen_pending = set()
     for job in plan.jobs:
-        if job.job_hash in reusable:
+        if job.job_hash in reusable or job.job_hash in stored_failures:
             continue
         if job.job_hash in seen_pending:
             continue  # degenerate grids can plan one job twice; run it once
@@ -175,9 +211,28 @@ def execute_plan(
             store.put(encode_record(pending[index], result,
                                     experiment=plan.spec.name))
 
+    def _persist_outcome(index: int,
+                         value: "ConstrainedSimulationResult | JobFailure"
+                         ) -> None:
+        # resilient path: persist in completion order (the store index is
+        # last-write-wins, so ordering does not affect what a resume reads)
+        if store is None:
+            return
+        if isinstance(value, JobFailure):
+            store.put(encode_failure_record(pending[index], value,
+                                            experiment=plan.spec.name))
+        else:
+            store.put(encode_record(pending[index], value,
+                                    experiment=plan.spec.name))
+
     warm = (dict(plan.warm_traces), dict(plan.warm_messages))
     try:
-        if parallel and len(payloads) > 1:
+        if policy is not None:
+            fresh = resilient_map(_run_exp_job, payloads, policy=policy,
+                                  n_workers=(n_workers if parallel else 1),
+                                  initializer=_init_exp_worker, initargs=warm,
+                                  on_outcome=_persist_outcome)
+        elif parallel and len(payloads) > 1:
             # process_map may degrade to an in-parent serial run, filling
             # the parent's caches too — hence the shared finally below
             fresh = process_map(_run_exp_job, payloads, n_workers=n_workers,
@@ -198,11 +253,18 @@ def execute_plan(
         plan.warm_messages.clear()
 
     for job, result in zip(pending, fresh):
-        outcome.results[job.job_hash] = result
-        outcome.executed.append(job.job_hash)
+        if isinstance(result, JobFailure):
+            outcome.failures[job.job_hash] = result
+            outcome.failed.append(job.job_hash)
+        else:
+            outcome.results[job.job_hash] = result
+            outcome.executed.append(job.job_hash)
     for job_hash, result in reusable.items():
         outcome.results[job_hash] = result
         outcome.reused.append(job_hash)
+    for job_hash, failure in stored_failures.items():
+        outcome.failures[job_hash] = failure
+        outcome.failed.append(job_hash)
     return outcome
 
 
@@ -226,19 +288,50 @@ class ExperimentResult:
     def num_reused(self) -> int:
         return len(self.outcome.reused)
 
+    @property
+    def num_failed(self) -> int:
+        return len(self.outcome.failed)
+
     def result_for(self, job: PlannedJob) -> ConstrainedSimulationResult:
         return self.outcome.results[job.job_hash]
+
+    def failure_rows(self) -> List[Dict[str, object]]:
+        """One row per quarantined job, for reports and ``--json``."""
+        rows = []
+        seen = set()
+        for job in self.plan.jobs:
+            failure = self.outcome.failures.get(job.job_hash)
+            if failure is None or job.job_hash in seen:
+                continue
+            seen.add(job.job_hash)
+            rows.append({
+                "scenario": job.scenario_name,
+                "protocol": job.protocol,
+                "seed": job.seed,
+                "run_index": job.run_index,
+                "job_hash": job.job_hash,
+                "error_kind": failure.error_kind,
+                "error": failure.error,
+                "attempts": failure.attempts,
+                "elapsed_s": failure.elapsed_s,
+            })
+        return rows
 
     def cells(self) -> Dict[Tuple, List[ConstrainedSimulationResult]]:
         """Grid cells — ``(scenario name, scenario content key, sweep
         value, seed, protocol)`` — each holding its per-run results in run
         order.  The content key keeps two inline scenarios that share a
-        name but differ in trace/workload from pooling into one cell."""
+        name but differ in trace/workload from pooling into one cell.
+        Quarantined jobs have no result and are skipped, so a degraded
+        run still tabulates (a cell losing *all* its runs disappears)."""
         grouped: Dict[Tuple, List[ConstrainedSimulationResult]] = {}
         for job in self.plan.jobs:
+            result = self.outcome.results.get(job.job_hash)
+            if result is None:
+                continue
             key = (job.scenario_name, job.scenario_key, job.sweep_value,
                    job.seed, job.protocol)
-            grouped.setdefault(key, []).append(self.result_for(job))
+            grouped.setdefault(key, []).append(result)
         return grouped
 
     def table_rows(self) -> List[Dict[str, object]]:
@@ -284,6 +377,8 @@ def run_experiment(
     resume: bool = True,
     trace_cache: bool = True,
     plan: Optional[ExperimentPlan] = None,
+    policy: Optional[FaultPolicy] = None,
+    retry_failed: bool = False,
 ) -> ExperimentResult:
     """Plan and execute *spec*, resuming from *store* when given.
 
@@ -292,13 +387,16 @@ def run_experiment(
     ignored (every job re-runs and re-appends; the store's last-write-wins
     index keeps that consistent).  Pass a prebuilt *plan* to skip
     re-planning (the CLI plans first so spec errors get friendly messages).
+    *policy* / *retry_failed* select the fault-tolerant executor; see
+    :func:`execute_plan`.
     """
     if plan is None:
         plan = build_plan(spec)
     started = time.perf_counter()
     outcome = execute_plan(plan, store=_resolve_store(store),
                            parallel=parallel, n_workers=n_workers,
-                           resume=resume, trace_cache=trace_cache)
+                           resume=resume, trace_cache=trace_cache,
+                           policy=policy, retry_failed=retry_failed)
     elapsed = time.perf_counter() - started
     return ExperimentResult(spec=spec, plan=plan, outcome=outcome,
                             elapsed_s=elapsed)
@@ -318,34 +416,52 @@ def experiment_status(
     per_scenario: Dict[str, Dict[str, int]] = {}
     if resolved is not None:
         resolved.load()
-    decodable: Dict[str, bool] = {}
+    classified: Dict[str, str] = {}
+    failure_rows: List[Dict[str, object]] = []
 
-    def _answerable(job_hash: str) -> bool:
+    def _classify(job: PlannedJob) -> str:
         # mirror what a run would reuse: a stored record this build cannot
         # decode counts as pending, not done (structural check only — a
-        # status must stay cheap even on huge stores)
+        # status must stay cheap even on huge stores); quarantined jobs get
+        # their own bucket so degraded runs are visible without re-running
         if resolved is None:
-            return False
-        if job_hash not in decodable:
-            record = resolved.get(job_hash)
-            decodable[job_hash] = record is not None and is_decodable(record)
-        return decodable[job_hash]
+            return "pending"
+        if job.job_hash not in classified:
+            record = resolved.get(job.job_hash)
+            if record is not None and is_decodable(record):
+                classified[job.job_hash] = "done"
+            elif record is not None and is_failure_record(record):
+                classified[job.job_hash] = "failed"
+                failure_rows.append({
+                    "scenario": job.scenario_name,
+                    "protocol": job.protocol,
+                    "seed": job.seed,
+                    "run_index": job.run_index,
+                    "job_hash": job.job_hash,
+                    "error_kind": record.get("error_kind", "Unknown"),
+                    "error": record.get("error", ""),
+                    "attempts": record.get("attempts", 1),
+                })
+            else:
+                classified[job.job_hash] = "pending"
+        return classified[job.job_hash]
 
     for job in plan.jobs:
         bucket = per_scenario.setdefault(
-            job.scenario_name, {"jobs": 0, "done": 0, "pending": 0})
+            job.scenario_name,
+            {"jobs": 0, "done": 0, "pending": 0, "failed": 0})
         bucket["jobs"] += 1
-        if _answerable(job.job_hash):
-            bucket["done"] += 1
-        else:
-            bucket["pending"] += 1
+        bucket[_classify(job)] += 1
     total = len(plan.jobs)
     done = sum(bucket["done"] for bucket in per_scenario.values())
+    failed = sum(bucket["failed"] for bucket in per_scenario.values())
     return {
         "experiment": spec.name,
         "total_jobs": total,
         "done": done,
-        "pending": total - done,
+        "failed": failed,
+        "pending": total - done - failed,
         "scenarios": per_scenario,
+        "failures": failure_rows,
         "store": None if resolved is None else str(resolved.path),
     }

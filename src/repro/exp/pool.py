@@ -30,6 +30,37 @@ _Job = TypeVar("_Job")
 _Result = TypeVar("_Result")
 
 
+class _JobError:
+    """A job's exception, shipped back as a value instead of raised.
+
+    ``pool.map`` surfaces a job exception *while iterating results*, which
+    used to discard every already-completed result behind it in the stream.
+    Wrapping the callable turns failures into values so the parent can
+    drain — and persist — all completed work before re-raising the first
+    error.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class _CapturingCall:
+    """Picklable wrapper running *fn* and capturing its exceptions."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def __call__(self, job):
+        try:
+            return self.fn(job)
+        except Exception as error:  # noqa: BLE001 — shipped to the parent
+            return _JobError(error)
+
+
 def default_worker_count(n_workers: Optional[int] = None,
                          num_jobs: Optional[int] = None) -> int:
     """Resolve a worker count: explicit > CPU count, capped by the job count."""
@@ -85,16 +116,31 @@ def process_map(
         pool.shutdown(wait=False, cancel_futures=True)
         return _serial_map(fn, jobs, initializer, initargs, on_result)
     results: List[_Result] = []
+    first_error: Optional[BaseException] = None
     try:
         with pool:
             chunksize = max(1, len(jobs) // (workers * 4))
-            for index, result in enumerate(pool.map(fn, jobs,
+            for index, result in enumerate(pool.map(_CapturingCall(fn), jobs,
                                                     chunksize=chunksize)):
-                if on_result is not None:
+                if isinstance(result, _JobError):
+                    # keep draining: jobs after the failing one may already
+                    # be done, and on_result must persist them before the
+                    # error surfaces
+                    if first_error is None:
+                        first_error = result.error
+                    continue
+                if first_error is None:
+                    if on_result is not None:
+                        on_result(index, result)
+                    results.append(result)
+                elif on_result is not None:
                     on_result(index, result)
-                results.append(result)
+            if first_error is not None:
+                raise first_error
             return results
     except BrokenProcessPool:
+        if first_error is not None:
+            raise first_error from None
         # results stream in order, so resume serially after the last one
         # collected instead of re-running the whole batch
         if initializer is not None:

@@ -24,10 +24,19 @@ from ..sim.engine import (
     ResourceConstraints,
     ResourceStats,
 )
+from .executor import JobFailure
 from .plan import PlannedJob
 from .spec import constraints_to_dict
 
-__all__ = ["RECORD_SCHEMA", "encode_record", "decode_result", "is_decodable"]
+__all__ = [
+    "RECORD_SCHEMA",
+    "encode_record",
+    "decode_result",
+    "is_decodable",
+    "encode_failure_record",
+    "is_failure_record",
+    "decode_failure",
+]
 
 RECORD_SCHEMA = 1
 
@@ -39,6 +48,8 @@ def is_decodable(record: Dict[str, object]) -> bool:
     without paying a full decode of every stored outcome stream.
     """
     if record.get("schema") != RECORD_SCHEMA:
+        return False
+    if record.get("status", "ok") != "ok":
         return False
     payload = record.get("result")
     if not isinstance(payload, dict) or \
@@ -53,6 +64,7 @@ def encode_record(job: PlannedJob, result: ConstrainedSimulationResult,
     record: Dict[str, object] = {
         "schema": RECORD_SCHEMA,
         "job_hash": job.job_hash,
+        "status": "ok",
         "experiment": experiment,
         "scenario": job.scenario_name,
         "protocol": job.protocol,
@@ -88,7 +100,8 @@ def decode_result(record: Dict[str, object]) -> ConstrainedSimulationResult:
         raise ValueError(f"unsupported RunRecord schema {schema!r} "
                          f"(this build reads schema {RECORD_SCHEMA})")
     payload = record["result"]
-    constraints = ResourceConstraints(**record["constraints"])
+    # from_dict so nested channel/churn fault specs decode by kind
+    constraints = ResourceConstraints.from_dict(record["constraints"])
     stats = ResourceStats(**payload["stats"])
     result = ConstrainedSimulationResult(
         algorithm=payload["algorithm"],
@@ -106,3 +119,54 @@ def decode_result(record: Dict[str, object]) -> ConstrainedSimulationResult:
             message=message, delivered=delivered,
             delivery_time=delivery_time, hop_count=hop_count))
     return result
+
+
+# ----------------------------------------------------------------------
+# failure records
+# ----------------------------------------------------------------------
+def encode_failure_record(job: PlannedJob, failure: JobFailure,
+                          experiment: Optional[str] = None) -> \
+        Dict[str, object]:
+    """A quarantined job's :class:`JobFailure` as a storable RunRecord.
+
+    Failure records share the success schema and job-identity fields but
+    carry ``status: "failed"`` and the error summary instead of a
+    ``result`` payload, so ``exp status`` can report them and
+    ``exp resume --retry-failed`` can re-plan exactly those jobs.
+    """
+    return {
+        "schema": RECORD_SCHEMA,
+        "job_hash": job.job_hash,
+        "status": "failed",
+        "experiment": experiment,
+        "scenario": job.scenario_name,
+        "protocol": job.protocol,
+        "seed": job.seed,
+        "run_index": job.run_index,
+        "engine": job.engine,
+        "error": failure.error,
+        "error_kind": failure.error_kind,
+        "attempts": failure.attempts,
+        "elapsed_s": failure.elapsed_s,
+        "detail": failure.detail,
+    }
+
+
+def is_failure_record(record: Dict[str, object]) -> bool:
+    """True for a quarantined-job record this build can read."""
+    return (record.get("schema") == RECORD_SCHEMA
+            and record.get("status") == "failed"
+            and isinstance(record.get("error"), str))
+
+
+def decode_failure(record: Dict[str, object]) -> JobFailure:
+    """Rebuild the :class:`JobFailure` a failure record was encoded from."""
+    if not is_failure_record(record):
+        raise ValueError("not a readable failure record")
+    return JobFailure(
+        error=record["error"],
+        error_kind=record.get("error_kind", "Unknown"),
+        attempts=int(record.get("attempts", 1)),
+        elapsed_s=float(record.get("elapsed_s", 0.0)),
+        detail=record.get("detail"),
+    )

@@ -237,7 +237,9 @@ class ExperimentSpec:
                 raise ValueError(
                     f"'constraints' must be an object of constraint "
                     f"fields, got {constraints!r}")
-            constraints = ResourceConstraints(**constraints)
+            # from_dict (not **kwargs) so nested channel/churn fault specs
+            # decode through their registered spec kinds
+            constraints = ResourceConstraints.from_dict(constraints)
         sweep = payload.get("sweep")
         if sweep is not None and not isinstance(sweep, SweepAxis):
             if not isinstance(sweep, dict) or \
@@ -268,12 +270,19 @@ class ExperimentSpec:
 
 
 def constraints_to_dict(constraints: ResourceConstraints) -> Dict[str, object]:
-    """*constraints* as the dict ``ResourceConstraints(**d)`` rebuilds —
-    the one serialization specs and RunRecords share."""
-    return {
+    """*constraints* as the dict ``ResourceConstraints.from_dict`` rebuilds
+    — the one serialization specs and RunRecords share.  The fault specs
+    are emitted only when present, so pre-fault records and spec files
+    keep their exact historical shape."""
+    payload: Dict[str, object] = {
         "buffer_capacity": constraints.buffer_capacity,
         "bandwidth": constraints.bandwidth,
         "ttl": constraints.ttl,
         "message_size": constraints.message_size,
         "drop_policy": constraints.drop_policy,
     }
+    if constraints.channel is not None:
+        payload["channel"] = constraints.channel.to_dict()
+    if constraints.churn is not None:
+        payload["churn"] = constraints.churn.to_dict()
+    return payload

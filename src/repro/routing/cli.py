@@ -68,6 +68,12 @@ def add_routing_commands(commands: argparse._SubParsersAction) -> None:
     tournament.add_argument("--parallel", action="store_true",
                             help="fan each scenario cell over a process pool")
     tournament.add_argument("--workers", type=int, default=None)
+    tournament.add_argument("--lossy", nargs="?", const=0.1, default=None,
+                            type=float, metavar="LOSS",
+                            help="rank under a lossy channel: run each "
+                                 "selected scenario as its '+lossy' variant "
+                                 "with this transfer-loss probability "
+                                 "(default when given: 0.1)")
     tournament.add_argument("--json", metavar="PATH", default=None,
                             help="also write leaderboard + per-cell rows "
                                  "as JSON")
@@ -122,11 +128,20 @@ def _cmd_routing_run(args: argparse.Namespace, write_json) -> int:
 
 
 def _cmd_routing_tournament(args: argparse.Namespace, write_json) -> int:
-    from .tournament import run_tournament
+    from .tournament import lossy_variant, run_tournament
 
     protocols = _parse_protocols(args.protocols)
     scenarios = ("all" if args.scenarios.strip().lower() == "all"
                  else _parse_names(args.scenarios))
+    if args.lossy is not None:
+        if not 0.0 <= args.lossy < 1.0:
+            raise SystemExit(f"--lossy must be in [0, 1), got {args.lossy}")
+        from ..sim.scenarios import scenario_names
+
+        selected = scenario_names() if scenarios == "all" else scenarios
+        # inline variants: the registry and its golden catalogue stay as-is
+        scenarios = [lossy_variant(name, loss=args.lossy)
+                     for name in selected]
     try:
         seeds = [int(token) for token in _parse_names(args.seeds)]
     except ValueError:

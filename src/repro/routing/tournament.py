@@ -28,11 +28,12 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..sim.engine import ConstrainedSimulationResult, ResourceConstraints
+from ..sim.faults import ChannelSpec
 from ..sim.runner import merge_constrained_results
 from ..sim.scenarios import Scenario, get_scenario, scenario_names
 from .registry import protocol_by_name, protocol_names
 
-__all__ = ["TournamentResult", "run_tournament"]
+__all__ = ["TournamentResult", "lossy_variant", "run_tournament"]
 
 #: (protocol, scenario, seed) — the key of one tournament cell.
 CellKey = Tuple[str, str, int]
@@ -169,6 +170,26 @@ def _resolve_scenarios(
     if not resolved:
         raise ValueError("a tournament needs at least one scenario")
     return resolved
+
+
+def lossy_variant(scenario: Union[str, Scenario], loss: float = 0.1,
+                  delay: float = 0.0, jitter: float = 0.0) -> Scenario:
+    """*scenario* with a lossy/latency channel injected, as an inline spec.
+
+    The variant is named ``<name>+lossy`` and stays *inline* — nothing is
+    registered, so the golden catalogue is untouched — and feeds straight
+    into :func:`run_tournament`'s scenario list, ranking protocols under
+    transfer loss (with retransmission), propagation delay and jitter
+    instead of perfect contacts.  The channel rides on the scenario's own
+    constraints; everything else (trace, workload, seeds) is unchanged, so
+    a lossy leaderboard is directly comparable to its clean twin.
+    """
+    from dataclasses import replace
+
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    channel = ChannelSpec(loss=loss, delay=delay, jitter=jitter)
+    constraints = replace(spec.constraints, channel=channel)
+    return replace(spec, name=f"{spec.name}+lossy", constraints=constraints)
 
 
 def run_tournament(

@@ -29,6 +29,7 @@ from .engine import (
     ResourceStats,
     simulate_des,
 )
+from .faults import ChannelSpec, ChurnSpec
 from .runner import ScenarioRunResult, SweepResult, run_scenario, sweep_scenario
 from .scenarios import (
     DatasetTraceSpec,
@@ -58,6 +59,8 @@ __all__ = [
     "ResourceConstraints",
     "ResourceStats",
     "simulate_des",
+    "ChannelSpec",
+    "ChurnSpec",
     "ScenarioRunResult",
     "SweepResult",
     "run_scenario",

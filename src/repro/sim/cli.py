@@ -155,6 +155,20 @@ def _describe_constraints(constraints: ResourceConstraints) -> str:
         parts.append(f"ttl={constraints.ttl:g}s")
     if constraints.message_size is not None:
         parts.append(f"size={constraints.message_size:g}B")
+    channel = constraints.active_channel
+    if channel is not None:
+        bits = []
+        if channel.loss:
+            bits.append(f"loss={channel.loss:g}")
+        if channel.delay:
+            bits.append(f"delay={channel.delay:g}s")
+        if channel.jitter:
+            bits.append(f"jitter={channel.jitter:g}s")
+        parts.append("channel(" + ", ".join(bits) + ")")
+    churn = constraints.active_churn
+    if churn is not None:
+        parts.append(f"churn(rate={churn.crash_rate:g}/s, "
+                     f"down={churn.mean_downtime:g}s)")
     return ", ".join(parts)
 
 

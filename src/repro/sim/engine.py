@@ -14,7 +14,16 @@ queue, no simpy dependency) that relaxes each assumption independently via
   before the contact closes carries its partial progress over and resumes
   on the pair's next contact;
 * **message TTL** — copies of an expired message are freed everywhere and no
-  delivery can happen at or after the expiry instant.
+  delivery can happen at or after the expiry instant;
+* **channel faults** (:class:`repro.sim.faults.ChannelSpec`) — each transfer
+  is lost with a seeded probability and retransmitted with capped
+  exponential backoff while the contact lasts; successful receptions arrive
+  after a propagation delay plus uniform jitter;
+* **node churn** (:class:`repro.sim.faults.ChurnSpec`) — a seeded crash/
+  reboot schedule: a crash wipes the node's buffer and truncates its open
+  contacts (the adapter's ``on_contact_end`` hook fires early, so stateful
+  protocols observe the loss), and a down node neither sends, receives nor
+  sources messages until it reboots.
 
 Equivalence guarantee
 ---------------------
@@ -41,6 +50,28 @@ Semantics choices under constraints (documented, deterministic):
   received by the peer — then the bytes were wasted (counted, dropped).
 * Forwarding decisions are made when a transfer is scheduled, at the
   current contact history.
+
+Fault semantics (documented, deterministic — all draws flow through
+:func:`repro.synth.seeding.derive_rng` off the ``seed`` argument, labels
+``"channel"`` and ``"churn"``, so serial, parallel and resumed runs make
+byte-identical draws):
+
+* A loss draw happens once per launched transfer, in event order.  A lost
+  transfer still spends its bytes and link time; retransmission *n* waits
+  ``min(retx_base * 2**n, retx_cap)`` seconds and is only scheduled while
+  the contact is still open (and within ``retx_limit``).  Each
+  retransmission re-evaluates the forwarding decision at the then-current
+  history.
+* Delayed receptions complete even if the contact closed meanwhile (the
+  bytes were on the air), but are cancelled if the receiver is down, the
+  message expired or was already delivered (in stop mode).
+* A crash truncates every open contact of the node: the bookkeeping and the
+  adapter's ``on_contact_end`` fire at crash time and the trace's own later
+  ``CONTACT_END`` for those contacts is suppressed.  A contact that starts
+  while either endpoint is down is skipped entirely.  A node that lost its
+  copy to a crash never re-receives that message (the ``ever_held``
+  relation, as with evictions).  A message created at a down source counts
+  as a source rejection.
 """
 
 from __future__ import annotations
@@ -56,6 +87,7 @@ from ..forwarding.messages import Message
 from ..forwarding.simulator import DeliveryOutcome, SimulationResult
 from ..routing.base import RoutingProtocol
 from ..scenario.base import ConstraintSpec, register_spec
+from ..synth.seeding import derive_rng
 from .adapter import AlgorithmAdapter, ensure_adapter
 from .buffers import DROP_OLDEST, DROP_POLICIES, BufferEntry, NodeBuffer
 from .events import (
@@ -63,9 +95,13 @@ from .events import (
     CONTACT_START,
     CREATE,
     EXPIRE,
+    NODE_DOWN,
+    NODE_UP,
+    RETRANSMIT,
     TRANSFER_DONE,
     EventQueue,
 )
+from .faults import ChannelSpec, ChurnSpec
 
 __all__ = [
     "SWEEPABLE_PARAMETERS",
@@ -110,6 +146,13 @@ class ResourceConstraints(ConstraintSpec):
     drop_policy:
         Buffer eviction policy: ``"drop-oldest"`` (default),
         ``"drop-youngest"`` or ``"drop-largest"``.
+    channel:
+        Optional :class:`~repro.sim.faults.ChannelSpec` — per-contact loss
+        probability, propagation delay and jitter, with retransmission
+        backoff.  ``None`` (and a null spec) means a perfect channel.
+    churn:
+        Optional :class:`~repro.sim.faults.ChurnSpec` — a seeded node
+        crash/reboot schedule.  ``None`` (and a null spec) means no churn.
     """
 
     kind: ClassVar[str] = "resource"
@@ -119,6 +162,8 @@ class ResourceConstraints(ConstraintSpec):
     ttl: Optional[float] = None
     message_size: Optional[float] = None
     drop_policy: str = DROP_OLDEST
+    channel: Optional[ChannelSpec] = None
+    churn: Optional[ChurnSpec] = None
 
     def __post_init__(self) -> None:
         if self.buffer_capacity is not None and self.buffer_capacity <= 0:
@@ -132,12 +177,45 @@ class ResourceConstraints(ConstraintSpec):
         if self.drop_policy not in DROP_POLICIES:
             raise ValueError(f"unknown drop policy {self.drop_policy!r}; "
                              f"known: {', '.join(DROP_POLICIES)}")
+        if self.channel is not None and not isinstance(self.channel,
+                                                       ChannelSpec):
+            raise ValueError(f"channel must be a ChannelSpec or None, "
+                             f"got {self.channel!r}")
+        if self.churn is not None and not isinstance(self.churn, ChurnSpec):
+            raise ValueError(f"churn must be a ChurnSpec or None, "
+                             f"got {self.churn!r}")
 
     @property
     def is_unconstrained(self) -> bool:
         """True when the engine degenerates to the idealized simulator."""
         return (self.buffer_capacity is None and self.bandwidth is None
-                and self.ttl is None)
+                and self.ttl is None and self.active_channel is None
+                and self.active_churn is None)
+
+    @property
+    def active_channel(self) -> Optional[ChannelSpec]:
+        """The channel spec if it actually applies faults, else ``None``."""
+        if self.channel is not None and not self.channel.is_null:
+            return self.channel
+        return None
+
+    @property
+    def active_churn(self) -> Optional[ChurnSpec]:
+        """The churn spec if it actually applies faults, else ``None``."""
+        if self.churn is not None and not self.churn.is_null:
+            return self.churn
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Like :meth:`SpecBase.to_dict`, but omitting absent fault specs
+        so pre-fault scenario JSON (and its golden fixtures) round-trips
+        byte-identically."""
+        payload = super().to_dict()
+        if self.channel is None:
+            payload.pop("channel", None)
+        if self.churn is None:
+            payload.pop("churn", None)
+        return payload
 
     def effective_size(self, message: Message) -> float:
         return self.message_size if self.message_size is not None else message.size
@@ -175,6 +253,11 @@ class ResourceStats:
     peak_buffer_occupancy: float = 0.0
     forwarding_decisions: int = 0
     forwarding_approvals: int = 0
+    lost_transfers: int = 0
+    retransmissions: int = 0
+    node_crashes: int = 0
+    churn_dropped_copies: int = 0
+    truncated_contacts: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -191,6 +274,11 @@ class ResourceStats:
             "peak_buffer_occupancy": self.peak_buffer_occupancy,
             "forwarding_decisions": self.forwarding_decisions,
             "forwarding_approvals": self.forwarding_approvals,
+            "lost_transfers": self.lost_transfers,
+            "retransmissions": self.retransmissions,
+            "node_crashes": self.node_crashes,
+            "churn_dropped_copies": self.churn_dropped_copies,
+            "truncated_contacts": self.truncated_contacts,
         }
 
 
@@ -223,7 +311,9 @@ class _DesState:
     __slots__ = ("interner", "node_of", "active_counts", "active_peers",
                  "active_until", "holdings", "carried", "ever_held",
                  "delivered", "dest_index", "buffers", "link_busy",
-                 "progress", "in_flight", "expired", "admission_sequence")
+                 "progress", "in_flight", "expired", "admission_sequence",
+                 "down", "open_payloads", "severed", "retx_failures",
+                 "pending_retx")
 
     def __init__(self, interner: NodeInterner, messages: Sequence[Message],
                  constraints: ResourceConstraints) -> None:
@@ -250,6 +340,18 @@ class _DesState:
         self.in_flight: Set[Tuple[int, int, int]] = set()
         self.expired: Set[int] = set()
         self.admission_sequence = 0
+        # churn: nodes currently crashed; open contact payloads (tracked
+        # only when churn is active, keyed by payload identity so the
+        # shared start/end payload tuple links the two events); payload ids
+        # whose CONTACT_END must be skipped (truncated early or never
+        # observed because an endpoint was down at the start)
+        self.down: Set[int] = set()
+        self.open_payloads: Dict[int, Tuple[Contact, int, int]] = {}
+        self.severed: Set[int] = set()
+        # channel: consecutive losses per transfer key (drives the backoff)
+        # and transfer keys with a retransmission already scheduled
+        self.retx_failures: Dict[Tuple[int, int, int], int] = {}
+        self.pending_retx: Set[Tuple[int, int, int]] = set()
         index_of = interner.index_of
         self.dest_index: Dict[int, int] = {
             m.id: index_of(m.destination) for m in messages
@@ -278,6 +380,11 @@ class DesSimulator:
         :class:`~repro.forwarding.ForwardingSimulator`.
     copy_semantics, stop_on_delivery:
         As in the trace-driven simulator.
+    seed:
+        Master seed for the fault models (loss/jitter draws and the churn
+        schedule derive their independent streams from it via
+        :func:`~repro.synth.seeding.derive_rng`).  Irrelevant without
+        active faults; ``None`` with faults means irreproducible draws.
     """
 
     def __init__(
@@ -287,6 +394,7 @@ class DesSimulator:
         constraints: ResourceConstraints = UNCONSTRAINED,
         copy_semantics: str = "copy",
         stop_on_delivery: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
         if copy_semantics not in ("copy", "handoff"):
             raise ValueError("copy_semantics must be 'copy' or 'handoff'")
@@ -295,12 +403,16 @@ class DesSimulator:
         self._constraints = constraints
         self._copy = copy_semantics == "copy"
         self._stop_on_delivery = stop_on_delivery
+        self._seed = seed
+        self._channel = constraints.active_channel
+        self._churn = constraints.active_churn
         # run-scoped fields, rebound by run()
         self._state: Optional[_DesState] = None
         self._history = OnlineContactHistory()
         self._queue = EventQueue()
         self._stats = ResourceStats()
         self._messages_by_id: Dict[int, Message] = {}
+        self._channel_rng = None
 
     @property
     def constraints(self) -> ResourceConstraints:
@@ -344,6 +456,20 @@ class DesSimulator:
             expiry = self._constraints.effective_expiry(message)
             if expiry is not None:
                 initial.append((expiry, EXPIRE, queue.next_sequence(), message))
+        # fault events come after the baseline load so that without faults
+        # the sequence numbering — and hence the event stream — is
+        # unchanged; the kind priorities place them correctly regardless
+        self._channel_rng = (derive_rng(self._seed, "channel")
+                             if self._channel is not None else None)
+        if self._churn is not None:
+            schedule = self._churn.schedule(self._trace.nodes,
+                                            self._trace.duration, self._seed)
+            for label, windows in schedule.items():
+                node = index_of(label)
+                for down, up in windows:
+                    initial.append((down, NODE_DOWN,
+                                    queue.next_sequence(), node))
+                    initial.append((up, NODE_UP, queue.next_sequence(), node))
         queue.extend_sorted(initial)
 
         while queue:
@@ -356,6 +482,12 @@ class DesSimulator:
                 self._on_create(time, payload)
             elif kind == TRANSFER_DONE:
                 self._on_transfer_done(time, payload)
+            elif kind == RETRANSMIT:
+                self._on_retransmit(time, payload)
+            elif kind == NODE_DOWN:
+                self._on_node_down(time, payload)
+            elif kind == NODE_UP:
+                self._on_node_up(time, payload)
             else:  # EXPIRE
                 self._on_expire(payload)
 
@@ -387,6 +519,15 @@ class DesSimulator:
                           payload: Tuple[Contact, int, int]) -> None:
         state = self._state
         contact, a, b = payload
+        if state.down and (a in state.down or b in state.down):
+            # a contact is only ever observed from its start: with an
+            # endpoint down, neither the protocols nor the history see it,
+            # and its CONTACT_END is skipped via the severed mark
+            state.severed.add(id(payload))
+            self._stats.truncated_contacts += 1
+            return
+        if self._churn is not None:
+            state.open_payloads[id(payload)] = payload
         self._history.record(contact.a, contact.b, time)
         self._adapter.on_contact_start(contact.a, contact.b, time, self._history)
         pair = (a, b) if a <= b else (b, a)
@@ -406,6 +547,13 @@ class DesSimulator:
     def _on_contact_end(self, time: float,
                         payload: Tuple[Contact, int, int]) -> None:
         state = self._state
+        if state.severed and id(payload) in state.severed:
+            # truncated at a crash (bookkeeping and the adapter hook fired
+            # then) or never observed (an endpoint was down at the start)
+            state.severed.discard(id(payload))
+            return
+        if self._churn is not None:
+            state.open_payloads.pop(id(payload), None)
         contact, a, b = payload
         pair = (a, b) if a <= b else (b, a)
         remaining = state.active_counts.get(pair, 0) - 1
@@ -420,8 +568,14 @@ class DesSimulator:
 
     def _on_create(self, time: float, message: Message) -> None:
         state = self._state
+        source_index = state.interner.index_of(message.source)
+        if state.down and source_index in state.down:
+            # a down source never emits the message — it counts as a
+            # source rejection, like a full source buffer
+            self._stats.source_rejections += 1
+            return
         self._adapter.on_message_created(message, time)
-        source = state.interner.index_of(message.source)
+        source = source_index
         entry = BufferEntry(message_id=message.id,
                             size=self._constraints.effective_size(message),
                             receive_time=time, sequence=state.next_admission())
@@ -450,6 +604,53 @@ class DesSimulator:
         if message_id not in state.delivered and message_id in state.ever_held:
             self._stats.expired_messages += 1
 
+    def _on_node_down(self, time: float, node: int) -> None:
+        state = self._state
+        state.down.add(node)
+        self._stats.node_crashes += 1
+        # truncate every open contact touching the node: the pair
+        # bookkeeping and the adapter's contact-end hook run now, and the
+        # trace's own CONTACT_END for these payloads is suppressed
+        for payload_id, payload in list(state.open_payloads.items()):
+            contact, a, b = payload
+            if a != node and b != node:
+                continue
+            del state.open_payloads[payload_id]
+            state.severed.add(payload_id)
+            self._stats.truncated_contacts += 1
+            pair = (a, b) if a <= b else (b, a)
+            remaining = state.active_counts.get(pair, 0) - 1
+            if remaining <= 0:
+                state.active_counts.pop(pair, None)
+                state.active_peers[a].discard(b)
+                state.active_peers[b].discard(a)
+                state.active_until.pop(pair, None)
+            else:
+                state.active_counts[pair] = remaining
+            self._adapter.on_contact_end(contact.a, contact.b, time,
+                                         self._history)
+        # the crash wipes the node's buffer: every carried copy is lost
+        for message_id in list(state.carried[node]):
+            self._drop_copy(node, message_id)
+            self._stats.churn_dropped_copies += 1
+
+    def _on_node_up(self, time: float, node: int) -> None:
+        # the node rejoins empty; contacts that started during the outage
+        # stay unobserved for their remainder (a contact is only ever
+        # entered at its start event)
+        self._state.down.discard(node)
+
+    def _on_retransmit(self, time: float,
+                       payload: Tuple[Message, int, int]) -> None:
+        """A lost transfer's backoff expired: try again, if still sane."""
+        message, carrier, peer = payload
+        state = self._state
+        state.pending_retx.discard((message.id, carrier, peer))
+        # _attempt re-checks every guard (copy still held, contact still
+        # open, endpoints up, not delivered/expired) and re-evaluates the
+        # forwarding decision at the current history
+        self._attempt(message, carrier, peer, time)
+
     def _on_transfer_done(
         self, time: float,
         payload: Tuple[Message, int, int, int],
@@ -460,12 +661,15 @@ class DesSimulator:
         key = (message.id, carrier, peer)
         state.in_flight.discard(key)
         state.progress.pop(key, None)
+        state.retx_failures.pop(key, None)
         # The bytes are already on the air when the carrier evicts its copy,
         # so eviction does not cancel the transfer; expiry, a completed
-        # delivery (in stop mode) and a duplicate reception do.
+        # delivery (in stop mode), a duplicate reception and a crashed
+        # receiver do.
         if (message.id in state.expired
                 or (message.id in state.delivered and self._stop_on_delivery)
-                or state.ever_held.get(message.id, 0) >> peer & 1):
+                or state.ever_held.get(message.id, 0) >> peer & 1
+                or peer in state.down):
             self._stats.cancelled_transfers += 1
             return
         received = self._receive(message, peer, time, hops)
@@ -509,6 +713,8 @@ class DesSimulator:
         holders = state.holdings.get(message_id)
         if holders is None or carrier not in holders:
             return False
+        if state.down and (carrier in state.down or peer in state.down):
+            return False
         if message_id in state.delivered and self._stop_on_delivery:
             return False
         if state.ever_held[message_id] >> peer & 1:
@@ -522,7 +728,7 @@ class DesSimulator:
                     state.node_of[carrier], state.node_of[peer],
                     message, time, self._history):
                 return False
-        if self._constraints.bandwidth is not None:
+        if self._constraints.bandwidth is not None or self._channel is not None:
             self._schedule_transfer(message, carrier, peer, time, hops + 1)
             return False
         # instantaneous transfer
@@ -543,11 +749,11 @@ class DesSimulator:
 
     def _schedule_transfer(self, message: Message, carrier: int, peer: int,
                            time: float, hops: int) -> None:
-        """Queue the transfer on the pair's bandwidth-limited link."""
+        """Queue the transfer on the pair's (possibly faulty) link."""
         state = self._state
         stats = self._stats
         key = (message.id, carrier, peer)
-        if key in state.in_flight:
+        if key in state.in_flight or key in state.pending_retx:
             return
         if not self._copy and any(
                 flight[0] == message.id and flight[1] == carrier
@@ -560,6 +766,14 @@ class DesSimulator:
         if contact_end is None:
             return
         rate = self._constraints.bandwidth
+        if rate is None:
+            # channel faults without a bandwidth model: the link itself is
+            # instantaneous (no serialization, no partial progress), only
+            # loss and propagation delay apply
+            self._launch(message, carrier, peer, time, hops,
+                         self._constraints.effective_size(message),
+                         time, contact_end)
+            return
         start = max(time, state.link_busy.get(pair, time))
         if start >= contact_end:
             return  # no link capacity left in this contact
@@ -571,16 +785,55 @@ class DesSimulator:
         completion = start + remaining / rate
         if completion <= contact_end:
             state.link_busy[pair] = completion
-            state.in_flight.add(key)
-            stats.bytes_sent += remaining
-            self._queue.push(completion, TRANSFER_DONE,
-                             (message, carrier, peer, hops))
+            self._launch(message, carrier, peer, time, hops, remaining,
+                         completion, contact_end)
         else:
             sent_now = rate * (contact_end - start)
             state.progress[key] = already_sent + sent_now
             state.link_busy[pair] = contact_end
             stats.bytes_sent += sent_now
             stats.partial_transfers += 1
+
+    def _launch(self, message: Message, carrier: int, peer: int, time: float,
+                hops: int, size: float, completion: float,
+                contact_end: float) -> None:
+        """Put *size* bytes on the air; the channel decides their fate.
+
+        Without a channel spec this is the historical success path: the
+        reception fires at *completion*.  With one, the transfer is lost
+        with probability ``loss`` — the bytes and link time are spent
+        either way — and a lost transfer schedules a retransmission after
+        a capped exponential backoff, strictly within the contact.
+        """
+        state = self._state
+        stats = self._stats
+        key = (message.id, carrier, peer)
+        channel = self._channel
+        stats.bytes_sent += size
+        if channel is not None and channel.loss > 0.0 \
+                and self._channel_rng.random() < channel.loss:
+            stats.lost_transfers += 1
+            state.progress.pop(key, None)  # the lost bytes resend in full
+            failures = state.retx_failures.get(key, 0)
+            retry_at = completion + channel.backoff(failures)
+            if (channel.retx_limit is None or failures < channel.retx_limit) \
+                    and retry_at < contact_end:
+                state.retx_failures[key] = failures + 1
+                state.pending_retx.add(key)
+                stats.retransmissions += 1
+                self._queue.push(retry_at, RETRANSMIT, (message, carrier, peer))
+            else:
+                # give up for this contact; a fresh offer (next contact
+                # start, or a later cascade) restarts the backoff ladder
+                state.retx_failures.pop(key, None)
+            return
+        state.in_flight.add(key)
+        arrival = completion
+        if channel is not None:
+            arrival += channel.delay
+            if channel.jitter > 0.0:
+                arrival += channel.jitter * self._channel_rng.random()
+        self._queue.push(arrival, TRANSFER_DONE, (message, carrier, peer, hops))
 
     def _receive(self, message: Message, peer: int, time: float,
                  hops: int) -> bool:
@@ -645,9 +898,10 @@ def simulate_des(
     constraints: ResourceConstraints = UNCONSTRAINED,
     copy_semantics: str = "copy",
     stop_on_delivery: bool = True,
+    seed: Optional[int] = None,
 ) -> ConstrainedSimulationResult:
     """One-shot convenience wrapper around :class:`DesSimulator`."""
     simulator = DesSimulator(trace, algorithm, constraints=constraints,
                              copy_semantics=copy_semantics,
-                             stop_on_delivery=stop_on_delivery)
+                             stop_on_delivery=stop_on_delivery, seed=seed)
     return simulator.run(messages)

@@ -10,17 +10,30 @@ ingredients of the engine-equivalence guarantee:
     TTL expiries fire before anything else at the same instant — a message
     is live during ``[creation, creation + ttl)``, so a contact starting
     exactly at the expiry time cannot deliver it.
+``NODE_DOWN`` / ``NODE_UP``
+    Churn transitions (crash, then reboot) precede contact events: a node
+    crashing the instant a contact starts never observes that contact, and
+    a node rebooting at that instant does.  A zero-length downtime wipes
+    the buffer and rejoins in one instant (down sorts before up).
 ``CONTACT_START``
     Starts precede ends so zero-duration contacts are opened, exchanged
     over, and then closed.
 ``TRANSFER_DONE``
     Bandwidth-limited transfers completing exactly at a contact's end
     succeed (the bytes fit the contact), hence before ``CONTACT_END``.
+``RETRANSMIT``
+    A lost transfer's backoff expiring re-attempts the transfer; the
+    engine only schedules these strictly inside the contact, and at equal
+    instants completed transfers land before re-attempts.
 ``CONTACT_END``
     Precedes creations: a message created the instant a contact ends does
     not see it as active (half-open ``[start, end)`` contact semantics).
 ``CREATE``
     Message creations come last at any instant.
+
+The integer values changed when the churn/retransmission kinds were added,
+but the *relative* order of the original five kinds is unchanged — which is
+what the engine-equivalence guarantee depends on.
 """
 
 from __future__ import annotations
@@ -30,8 +43,11 @@ from typing import Any, List, Tuple
 
 __all__ = [
     "EXPIRE",
+    "NODE_DOWN",
+    "NODE_UP",
     "CONTACT_START",
     "TRANSFER_DONE",
+    "RETRANSMIT",
     "CONTACT_END",
     "CREATE",
     "Event",
@@ -39,10 +55,13 @@ __all__ = [
 ]
 
 EXPIRE = 0
-CONTACT_START = 1
-TRANSFER_DONE = 2
-CONTACT_END = 3
-CREATE = 4
+NODE_DOWN = 1
+NODE_UP = 2
+CONTACT_START = 3
+TRANSFER_DONE = 4
+RETRANSMIT = 5
+CONTACT_END = 6
+CREATE = 7
 
 Event = Tuple[float, int, int, Any]
 

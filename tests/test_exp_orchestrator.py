@@ -300,7 +300,7 @@ class TestExpCli:
             "protocols": ["Epidemic", "Direct Delivery"], "seeds": [7]}))
         assert main(["exp", "status", str(spec_path), "--store", store]) == 0
         out = capsys.readouterr().out
-        assert "0/2 jobs done, 2 pending" in out
+        assert "0/2 jobs done, 0 failed, 2 pending" in out
 
     def test_json_export_and_sweep_spec(self, tmp_path, capsys):
         spec_path = tmp_path / "spec.json"

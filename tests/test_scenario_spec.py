@@ -29,7 +29,14 @@ from repro.scenario import (
     spec_from_dict,
     spec_kinds,
 )
-from repro.sim import ResourceConstraints, get_scenario, run_scenario, scenarios
+from repro.sim import (
+    ChannelSpec,
+    ChurnSpec,
+    ResourceConstraints,
+    get_scenario,
+    run_scenario,
+    scenarios,
+)
 from repro.sim.cli import main
 from repro.synth.workloads import AllPairsBurstWorkload, HotspotMessageWorkload
 
@@ -118,6 +125,23 @@ hotspot_workloads = st.builds(
     mode=st.sampled_from(["source", "sink", "both"]),
 )
 
+channel_specs = st.builds(
+    ChannelSpec,
+    loss=st.floats(min_value=0.0, max_value=0.99, **finite),
+    delay=st.floats(min_value=0.0, max_value=60.0, **finite),
+    jitter=st.floats(min_value=0.0, max_value=10.0, **finite),
+    retx_base=st.floats(min_value=0.1, max_value=5.0, **finite),
+    retx_cap=st.floats(min_value=5.0, max_value=120.0, **finite),
+    retx_limit=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+)
+
+churn_specs = st.builds(
+    ChurnSpec,
+    crash_rate=st.floats(min_value=0.0, max_value=0.01, **finite),
+    mean_downtime=st.floats(min_value=1.0, max_value=600.0, **finite),
+    max_crashes=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+)
+
 constraint_specs = st.builds(
     ResourceConstraints,
     buffer_capacity=st.one_of(st.none(),
@@ -129,6 +153,8 @@ constraint_specs = st.builds(
                   st.floats(min_value=1.0, max_value=1e5, **finite)),
     drop_policy=st.sampled_from(["drop-oldest", "drop-youngest",
                                  "drop-largest"]),
+    channel=st.one_of(st.none(), channel_specs),
+    churn=st.one_of(st.none(), churn_specs),
 )
 
 #: kind -> strategy; the coverage test pins this against the registry so a
@@ -143,6 +169,8 @@ SPEC_STRATEGIES = {
     ("workload", "all-pairs-burst"): burst_workloads,
     ("workload", "hotspot"): hotspot_workloads,
     ("constraints", "resource"): constraint_specs,
+    ("constraints", "channel"): channel_specs,
+    ("constraints", "churn"): churn_specs,
 }
 
 scenario_specs = st.builds(
