@@ -26,6 +26,9 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.exp` — the unified experiment orchestration layer: declarative
   grid specs, content-hashed job planning, the shared worker pool and the
   persistent, resumable result store every runner routes through;
+* :mod:`repro.obs` — observability: streaming metric accumulators,
+  structured engine trace events, run telemetry (``metrics.json``) and the
+  live experiment feeds behind ``exp watch``;
 * :mod:`repro.analysis` — experiment runners and per-figure data builders.
 
 Quickstart
@@ -38,9 +41,9 @@ Quickstart
 True
 """
 
-from . import analysis, contacts, core, datasets, exp, forwarding, model, routing, scenario, sim, synth
+from . import analysis, contacts, core, datasets, exp, forwarding, model, obs, routing, scenario, sim, synth
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analysis",
@@ -50,6 +53,7 @@ __all__ = [
     "exp",
     "forwarding",
     "model",
+    "obs",
     "routing",
     "scenario",
     "sim",

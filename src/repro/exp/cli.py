@@ -10,8 +10,13 @@ Wired into the main parser by :mod:`repro.sim.cli`::
 answer, persists every new RunRecord and prints the pooled per-cell table.
 ``resume`` is the same operation under the name that matches intent after
 an interruption.  ``status`` only plans and reports done/pending counts per
-scenario — it never simulates.  See :mod:`repro.exp.spec` for the JSON
-spec format; ``examples/exp_quickstart.json`` is a runnable starter and
+scenario — it never simulates; ``status --live`` / ``watch`` poll the store
+incrementally and redraw the counts until the grid settles.  ``run`` and
+``resume`` take the shared observability flags: ``--trace-dir`` writes one
+JSONL trace per executed job, ``--metrics-json`` a run-telemetry artifact,
+``--profile`` adds parent-side phase timings to it.  See
+:mod:`repro.exp.spec` for the JSON spec format;
+``examples/exp_quickstart.json`` is a runnable starter and
 ``examples/exp_inline_scenario.json`` shows an inline scenario definition
 (a full ``{"kind": "scenario", ...}`` dict in the ``scenarios`` list —
 see :mod:`repro.scenario` — instead of a registry name).
@@ -20,8 +25,9 @@ see :mod:`repro.scenario` — instead of a registry name).
 from __future__ import annotations
 
 import argparse
+import time
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from ..analysis.tables import format_table
 from .spec import ExperimentSpec
@@ -72,10 +78,35 @@ def add_exp_commands(commands: argparse._SubParsersAction) -> None:
         command.add_argument("--retry-failed", action="store_true",
                              help="re-run jobs the store recorded as failed "
                                   "(by default they stay quarantined)")
+        command.add_argument("--trace-dir", default=None, metavar="DIR",
+                             help="write one JSONL trace file per executed "
+                                  "job into DIR (named by job hash)")
+        command.add_argument("--metrics-json", default=None, metavar="PATH",
+                             help="write a run-telemetry metrics.json "
+                                  "artifact (pool counters, per-job engine "
+                                  "telemetry)")
+        command.add_argument("--profile", action="store_true",
+                             help="time the plan/execute phases and include "
+                                  "them in --metrics-json")
 
-    exp_commands.add_parser(
+    status = exp_commands.add_parser(
         "status", parents=[common],
         help="report done/failed/pending jobs per scenario without running")
+    status.add_argument("--live", action="store_true",
+                        help="poll the store and redraw until every job "
+                             "is done or failed (alias of `exp watch`)")
+    status.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="poll interval for --live (default: 2)")
+    watch = exp_commands.add_parser(
+        "watch", parents=[common],
+        help="live done/failed/pending view: poll the store incrementally "
+             "until the experiment settles")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="poll interval (default: 2)")
+    watch.add_argument("--max-polls", type=int, default=None, metavar="N",
+                       help="stop after N polls even if jobs are pending")
 
 
 def _message(error: BaseException) -> str:
@@ -90,6 +121,17 @@ def _load_spec(path: str) -> ExperimentSpec:
         return ExperimentSpec.from_json_file(path)
     except (KeyError, TypeError, ValueError) as error:
         raise SystemExit(f"invalid experiment spec {path}: {_message(error)}")
+
+
+def _obs_config(args: argparse.Namespace):
+    """The ObsConfig the run/resume flags describe, or ``None``."""
+    if not (args.trace_dir or args.metrics_json or args.profile):
+        return None
+    from ..obs.telemetry import ObsConfig
+
+    return ObsConfig(trace_dir=args.trace_dir,
+                     metrics_path=args.metrics_json,
+                     profile=args.profile)
 
 
 def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
@@ -114,14 +156,20 @@ def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
     except (KeyError, ValueError) as error:
         raise SystemExit(f"invalid experiment spec {args.spec}: "
                          f"{_message(error)}")
+    obs = _obs_config(args)
     result = run_experiment(spec, store=store, parallel=args.parallel,
                             n_workers=args.workers, resume=not args.fresh,
                             plan=plan, policy=policy,
-                            retry_failed=args.retry_failed)
+                            retry_failed=args.retry_failed, obs=obs)
     print(f"experiment: {spec.name} — {len(result.plan)} jobs over "
           f"{len(result.plan.scenario_names())} scenario(s)")
     if store is not None:
         print(f"store: {store}")
+    if obs is not None:
+        if obs.trace_dir:
+            print(f"traces: {obs.trace_dir}/")
+        if obs.metrics_path:
+            print(f"metrics: {obs.metrics_path}")
     rows = result.table_rows()
     print()
     print(format_table(rows))
@@ -176,8 +224,50 @@ def _cmd_exp_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _status_line(status: dict) -> str:
+    """One compact progress line for the live views."""
+    return (f"{status['experiment']}: {status['done']}/"
+            f"{status['total_jobs']} done, {status['failed']} failed, "
+            f"{status['pending']} pending")
+
+
+def _cmd_exp_watch(args: argparse.Namespace,
+                   max_polls: Optional[int] = None) -> int:
+    from ..obs.feed import StatusTracker
+
+    spec = _load_spec(args.spec)
+    if args.interval <= 0:
+        raise SystemExit("--interval must be positive")
+    try:
+        tracker = StatusTracker(spec, store=args.store)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(f"invalid experiment spec {args.spec}: "
+                         f"{_message(error)}")
+    polls = 0
+    try:
+        while True:
+            status = tracker.refresh()
+            polls += 1
+            print(_status_line(status), flush=True)
+            if tracker.is_complete:
+                print("experiment complete")
+                return 0
+            if max_polls is not None and polls >= max_polls:
+                print(f"stopping after {polls} poll(s); "
+                      f"{status['pending']} job(s) still pending")
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("\nwatch interrupted; the experiment keeps running")
+        return 0
+
+
 def dispatch_exp_command(args: argparse.Namespace, write_json) -> int:
     """Route a parsed ``exp`` command to its handler."""
+    if args.exp_command == "watch":
+        return _cmd_exp_watch(args, max_polls=args.max_polls)
     if args.exp_command == "status":
+        if getattr(args, "live", False):
+            return _cmd_exp_watch(args)
         return _cmd_exp_status(args)
     return _cmd_exp_run(args, write_json)

@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..contacts import ContactTrace
 from ..forwarding.messages import Message
+from ..obs.telemetry import EngineTelemetry, ObsConfig, PhaseTimers, write_metrics_json
+from ..obs.tracing import JsonlTracer
 from ..routing.registry import protocol_by_name
 from ..sim.engine import ConstrainedSimulationResult, DesSimulator, ResourceStats
 from .executor import FaultPolicy, JobFailure, resilient_map
@@ -34,7 +36,6 @@ from .records import (
     decode_result,
     encode_failure_record,
     encode_record,
-    is_decodable,
     is_failure_record,
 )
 from .spec import ExperimentSpec
@@ -55,8 +56,10 @@ __all__ = [
 # ----------------------------------------------------------------------
 _WORKER: Dict[str, Dict[str, object]] = {"traces": {}, "messages": {}}
 
-#: (scenario, protocol, run_index, engine, trace_key, messages_key, cache?)
-_JobPayload = Tuple[object, str, int, str, str, str, bool]
+#: (scenario, protocol, run_index, engine, trace_key, messages_key, cache?,
+#:  trace_path?, telemetry?)
+_JobPayload = Tuple[object, str, int, str, str, str, bool,
+                    Optional[str], bool]
 
 
 def _init_exp_worker(warm_traces: Dict[str, ContactTrace],
@@ -66,8 +69,8 @@ def _init_exp_worker(warm_traces: Dict[str, ContactTrace],
 
 
 def _run_exp_job(payload: _JobPayload) -> ConstrainedSimulationResult:
-    scenario, protocol, run_index, engine, trace_key, messages_key, cache = \
-        payload
+    (scenario, protocol, run_index, engine, trace_key, messages_key, cache,
+     trace_path, want_telemetry) = payload
     traces = _WORKER["traces"]
     trace = traces.get(trace_key) if cache else None
     if trace is None:
@@ -80,24 +83,35 @@ def _run_exp_job(payload: _JobPayload) -> ConstrainedSimulationResult:
         messages = scenario.build_messages(trace, run_index)
         if cache:
             messages_cache[messages_key] = messages
-    if engine == "trace":
-        from ..forwarding.simulator import ForwardingSimulator
+    tracer = JsonlTracer(trace_path) if trace_path else None
+    telemetry = EngineTelemetry() if want_telemetry else None
+    try:
+        if engine == "trace":
+            from ..forwarding.simulator import ForwardingSimulator
 
-        ideal = ForwardingSimulator(
-            trace, protocol_by_name(protocol),
-            copy_semantics=scenario.copy_semantics).run(messages)
-        result = ConstrainedSimulationResult(
-            algorithm=ideal.algorithm, trace_name=ideal.trace_name,
-            constraints=scenario.constraints,
-            stats=ResourceStats(copies_sent=ideal.copies_sent or 0),
-            copies_sent=ideal.copies_sent)
-        result.outcomes.extend(ideal.outcomes)
-        return result
-    simulator = DesSimulator(trace, protocol_by_name(protocol),
-                             constraints=scenario.constraints,
-                             copy_semantics=scenario.copy_semantics,
-                             seed=scenario.seed)
-    return simulator.run(messages)
+            ideal = ForwardingSimulator(
+                trace, protocol_by_name(protocol),
+                copy_semantics=scenario.copy_semantics,
+                tracer=tracer, telemetry=telemetry).run(messages)
+            result = ConstrainedSimulationResult(
+                algorithm=ideal.algorithm, trace_name=ideal.trace_name,
+                constraints=scenario.constraints,
+                stats=ResourceStats(copies_sent=ideal.copies_sent or 0),
+                copies_sent=ideal.copies_sent)
+            result.outcomes.extend(ideal.outcomes)
+        else:
+            simulator = DesSimulator(trace, protocol_by_name(protocol),
+                                     constraints=scenario.constraints,
+                                     copy_semantics=scenario.copy_semantics,
+                                     seed=scenario.seed,
+                                     tracer=tracer, telemetry=telemetry)
+            result = simulator.run(messages)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if telemetry is not None:
+        result.telemetry = telemetry.as_dict()
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -131,6 +145,8 @@ def execute_plan(
     trace_cache: bool = True,
     policy: Optional[FaultPolicy] = None,
     retry_failed: bool = False,
+    obs: Optional[ObsConfig] = None,
+    progress=None,
 ) -> ExecutionOutcome:
     """Run every job of *plan* that the store cannot already answer.
 
@@ -153,6 +169,16 @@ def execute_plan(
     *retry_failed* re-runs them instead.  Without a policy a stored
     failure record simply re-runs (legacy strict mode: any job exception
     propagates, after completed results are drained and persisted).
+
+    With an *obs* config, each executed job writes a per-job JSONL trace
+    under ``obs.trace_dir`` and/or collects engine telemetry (attached to
+    the result's ``telemetry`` field).  *progress* is an optional callable
+    ``progress(event, job, value)`` invoked in the parent as jobs settle:
+    ``("reused", job, result)`` for store hits (in plan order, before
+    execution starts), then ``("done", job, result)`` /
+    ``("failed", job, failure)`` as fresh jobs complete — the hook behind
+    live leaderboards and ``exp watch``-style feeds.  Progress exceptions
+    propagate; keep the callback cheap and robust.
     """
     outcome = ExecutionOutcome()
     reusable: Dict[str, ConstrainedSimulationResult] = {}
@@ -197,11 +223,22 @@ def execute_plan(
         seen_pending.add(job.job_hash)
         pending.append(job)
 
+    trace_dir = obs.trace_dir if obs is not None else None
+    want_telemetry = bool(obs is not None and obs.wants_telemetry)
     payloads: List[_JobPayload] = [
         (job.scenario, job.protocol, job.run_index, job.engine,
-         job.trace_key, job.messages_key, trace_cache)
+         job.trace_key, job.messages_key, trace_cache,
+         (str(obs.trace_path(job.job_hash)) if trace_dir else None),
+         want_telemetry)
         for job in pending
     ]
+
+    if progress is not None:
+        announced = set()
+        for job in plan.jobs:
+            if job.job_hash in reusable and job.job_hash not in announced:
+                announced.add(job.job_hash)
+                progress("reused", job, reusable[job.job_hash])
 
     def _persist(index: int, result: ConstrainedSimulationResult) -> None:
         # runs in the parent as each result arrives (plan order), so an
@@ -210,20 +247,26 @@ def execute_plan(
         if store is not None:
             store.put(encode_record(pending[index], result,
                                     experiment=plan.spec.name))
+        if progress is not None:
+            progress("done", pending[index], result)
 
     def _persist_outcome(index: int,
                          value: "ConstrainedSimulationResult | JobFailure"
                          ) -> None:
         # resilient path: persist in completion order (the store index is
         # last-write-wins, so ordering does not affect what a resume reads)
-        if store is None:
-            return
         if isinstance(value, JobFailure):
-            store.put(encode_failure_record(pending[index], value,
-                                            experiment=plan.spec.name))
+            if store is not None:
+                store.put(encode_failure_record(pending[index], value,
+                                                experiment=plan.spec.name))
+            if progress is not None:
+                progress("failed", pending[index], value)
         else:
-            store.put(encode_record(pending[index], value,
-                                    experiment=plan.spec.name))
+            if store is not None:
+                store.put(encode_record(pending[index], value,
+                                        experiment=plan.spec.name))
+            if progress is not None:
+                progress("done", pending[index], value)
 
     warm = (dict(plan.warm_traces), dict(plan.warm_messages))
     try:
@@ -379,6 +422,8 @@ def run_experiment(
     plan: Optional[ExperimentPlan] = None,
     policy: Optional[FaultPolicy] = None,
     retry_failed: bool = False,
+    obs: Optional[ObsConfig] = None,
+    progress=None,
 ) -> ExperimentResult:
     """Plan and execute *spec*, resuming from *store* when given.
 
@@ -389,17 +434,71 @@ def run_experiment(
     re-planning (the CLI plans first so spec errors get friendly messages).
     *policy* / *retry_failed* select the fault-tolerant executor; see
     :func:`execute_plan`.
+
+    With an *obs* config, per-job traces and engine telemetry flow through
+    :func:`execute_plan` (see there), ``obs.profile`` times the plan/
+    execute phases, and ``obs.metrics_path`` writes a ``metrics.json``
+    run-telemetry artifact summarizing the pool counters, the phase
+    timers and the per-job engine telemetry.
     """
+    timers = PhaseTimers() if (obs is not None and obs.profile) else None
     if plan is None:
-        plan = build_plan(spec)
+        if timers is not None:
+            with timers.phase("plan"):
+                plan = build_plan(spec)
+        else:
+            plan = build_plan(spec)
     started = time.perf_counter()
-    outcome = execute_plan(plan, store=_resolve_store(store),
-                           parallel=parallel, n_workers=n_workers,
-                           resume=resume, trace_cache=trace_cache,
-                           policy=policy, retry_failed=retry_failed)
+    if timers is not None:
+        with timers.phase("execute"):
+            outcome = execute_plan(plan, store=_resolve_store(store),
+                                   parallel=parallel, n_workers=n_workers,
+                                   resume=resume, trace_cache=trace_cache,
+                                   policy=policy, retry_failed=retry_failed,
+                                   obs=obs, progress=progress)
+    else:
+        outcome = execute_plan(plan, store=_resolve_store(store),
+                               parallel=parallel, n_workers=n_workers,
+                               resume=resume, trace_cache=trace_cache,
+                               policy=policy, retry_failed=retry_failed,
+                               obs=obs, progress=progress)
     elapsed = time.perf_counter() - started
-    return ExperimentResult(spec=spec, plan=plan, outcome=outcome,
-                            elapsed_s=elapsed)
+    result = ExperimentResult(spec=spec, plan=plan, outcome=outcome,
+                              elapsed_s=elapsed)
+    if obs is not None and obs.metrics_path is not None:
+        write_metrics_json(obs.metrics_path,
+                           _metrics_payload(result, timers))
+    return result
+
+
+def _metrics_payload(result: ExperimentResult,
+                     timers: Optional[PhaseTimers]) -> Dict[str, object]:
+    """The ``metrics.json`` body for one :func:`run_experiment` call."""
+    outcome = result.outcome
+    engine_runs = []
+    for job_hash in outcome.executed:
+        telemetry = getattr(outcome.results[job_hash], "telemetry", None)
+        if telemetry is not None:
+            engine_runs.append({"job_hash": job_hash, **telemetry})
+    payload: Dict[str, object] = {
+        "experiment": result.spec.name,
+        "jobs": len(result.plan.jobs),
+        "executed": result.num_executed,
+        "reused": result.num_reused,
+        "failed": result.num_failed,
+        "elapsed_s": round(result.elapsed_s, 6),
+        "engine_runs": engine_runs,
+    }
+    if engine_runs:
+        payload["engine_totals"] = {
+            "events": sum(run["events"] for run in engine_runs),
+            "wall_s": round(sum(run["wall_s"] for run in engine_runs), 6),
+            "peak_queue_depth": max(run["peak_queue_depth"]
+                                    for run in engine_runs),
+        }
+    if timers is not None:
+        payload["phases"] = timers.as_dict()
+    return payload
 
 
 def experiment_status(
@@ -410,58 +509,11 @@ def experiment_status(
 
     Planning here skips the flat-ttl-sweep workload check — status must
     never build traces or workloads; the check runs when the spec runs.
+
+    This is a one-shot :class:`repro.obs.StatusTracker` refresh: one pass
+    over the store index classifies every planned job, and the same
+    tracker (kept alive) powers ``exp watch`` incrementally.
     """
-    plan = build_plan(spec, check_flat_ttl_sweep=False)
-    resolved = _resolve_store(store)
-    per_scenario: Dict[str, Dict[str, int]] = {}
-    if resolved is not None:
-        resolved.load()
-    classified: Dict[str, str] = {}
-    failure_rows: List[Dict[str, object]] = []
+    from ..obs.feed import StatusTracker
 
-    def _classify(job: PlannedJob) -> str:
-        # mirror what a run would reuse: a stored record this build cannot
-        # decode counts as pending, not done (structural check only — a
-        # status must stay cheap even on huge stores); quarantined jobs get
-        # their own bucket so degraded runs are visible without re-running
-        if resolved is None:
-            return "pending"
-        if job.job_hash not in classified:
-            record = resolved.get(job.job_hash)
-            if record is not None and is_decodable(record):
-                classified[job.job_hash] = "done"
-            elif record is not None and is_failure_record(record):
-                classified[job.job_hash] = "failed"
-                failure_rows.append({
-                    "scenario": job.scenario_name,
-                    "protocol": job.protocol,
-                    "seed": job.seed,
-                    "run_index": job.run_index,
-                    "job_hash": job.job_hash,
-                    "error_kind": record.get("error_kind", "Unknown"),
-                    "error": record.get("error", ""),
-                    "attempts": record.get("attempts", 1),
-                })
-            else:
-                classified[job.job_hash] = "pending"
-        return classified[job.job_hash]
-
-    for job in plan.jobs:
-        bucket = per_scenario.setdefault(
-            job.scenario_name,
-            {"jobs": 0, "done": 0, "pending": 0, "failed": 0})
-        bucket["jobs"] += 1
-        bucket[_classify(job)] += 1
-    total = len(plan.jobs)
-    done = sum(bucket["done"] for bucket in per_scenario.values())
-    failed = sum(bucket["failed"] for bucket in per_scenario.values())
-    return {
-        "experiment": spec.name,
-        "total_jobs": total,
-        "done": done,
-        "failed": failed,
-        "pending": total - done - failed,
-        "scenarios": per_scenario,
-        "failures": failure_rows,
-        "store": None if resolved is None else str(resolved.path),
-    }
+    return StatusTracker(spec, store=store).refresh()

@@ -87,6 +87,62 @@ class ResultStore:
             offset += len(chunk) + 1
         self._loaded = True
 
+    def refresh(self) -> List[Dict[str, object]]:
+        """Index records appended since the last load/refresh; return them.
+
+        This is the incremental read behind ``exp watch``: instead of
+        re-reading the whole file per poll, only the byte range past the
+        last known-valid prefix is parsed.  A partial final line (a writer
+        caught mid-append) is left unconsumed and retried on the next
+        refresh.  If the file shrank (store rewritten), a full reload runs
+        and every record is returned.
+        """
+        if not self._loaded:
+            self.load()
+            return list(self._index.values())
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        if size < self._valid_size or self._truncated_tail:
+            self.load(refresh=True)
+            return list(self._index.values())
+        if size == self._valid_size:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._valid_size)
+            raw = handle.read(size - self._valid_size)
+        fresh: List[Dict[str, object]] = []
+        chunks = raw.split(b"\n")
+        offset = self._valid_size
+        for position, chunk in enumerate(chunks):
+            is_last = position == len(chunks) - 1
+            if chunk.strip():
+                try:
+                    record = json.loads(chunk.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    if is_last:
+                        # a writer is mid-append: leave the partial line
+                        # for the next refresh (do NOT mark the store
+                        # truncated — the line is still being written)
+                        break
+                    warnings.warn(
+                        f"skipping corrupt record in {self.path}",
+                        stacklevel=2)
+                else:
+                    job_hash = record.get("job_hash")
+                    if job_hash:
+                        self._index[job_hash] = record
+                        fresh.append(record)
+            if is_last:
+                # a complete final chunk is either empty (file ended with
+                # a newline) or a parsed record without a trailing newline
+                offset += len(chunk)
+            else:
+                offset += len(chunk) + 1
+        self._valid_size = offset
+        return fresh
+
     def get(self, job_hash: str) -> Optional[Dict[str, object]]:
         """The stored record for *job_hash*, or ``None``."""
         self.load()

@@ -46,6 +46,12 @@ class PerformanceSummary:
     that cannot attribute copies, e.g. per-pair-type); the derived
     ``copies_per_delivery`` is the paper-era cost metric the replication
     protocols trade against delay.
+
+    The fault counters (``lost_transfers``, ``retransmissions``,
+    ``node_crashes``) are populated when the summarized result carries
+    :class:`~repro.sim.engine.ResourceStats` (DES engine runs) and stay
+    ``None`` otherwise — :meth:`as_row` only emits their columns when
+    they are known, so idealized-simulator tables are unchanged.
     """
 
     algorithm: str
@@ -56,6 +62,40 @@ class PerformanceSummary:
     median_delay: Optional[float]
     p90_delay: Optional[float]
     copies_sent: Optional[int] = None
+    lost_transfers: Optional[int] = None
+    retransmissions: Optional[int] = None
+    node_crashes: Optional[int] = None
+
+    @classmethod
+    def from_delays(
+        cls,
+        algorithm: str,
+        num_messages: int,
+        num_delivered: int,
+        delays: Union[Sequence[float], np.ndarray],
+        copies_sent: Optional[int] = None,
+        **fault_counters,
+    ) -> "PerformanceSummary":
+        """Build a summary from a batch delay array.
+
+        This is *the* batch computation — ``np.mean`` / ``np.median`` /
+        ``np.percentile`` over the delivered delays — shared by
+        :func:`summarize`, :func:`summarize_by_pair_type` and the exact
+        mode of :class:`repro.obs.StreamingSummary`, so streaming and
+        batch summaries agree to the last bit on small inputs.
+        """
+        delays = np.asarray(delays, dtype=float)
+        return cls(
+            algorithm=algorithm,
+            num_messages=num_messages,
+            num_delivered=num_delivered,
+            success_rate=(num_delivered / num_messages) if num_messages else 0.0,
+            average_delay=float(delays.mean()) if delays.size else None,
+            median_delay=float(np.median(delays)) if delays.size else None,
+            p90_delay=float(np.percentile(delays, 90)) if delays.size else None,
+            copies_sent=copies_sent,
+            **fault_counters,
+        )
 
     @property
     def copies_per_delivery(self) -> Optional[float]:
@@ -65,9 +105,14 @@ class PerformanceSummary:
         return self.copies_sent / self.num_delivered
 
     def as_row(self) -> Dict[str, Union[str, float, int, None]]:
-        """A flat dict suitable for printing as a results-table row."""
+        """A flat dict suitable for printing as a results-table row.
+
+        Fault-cost columns (``lost``, ``retx``, ``crashes``) appear only
+        when the counters are known, so pre-fault tables keep their
+        historical shape.
+        """
         overhead = self.copies_per_delivery
-        return {
+        row: Dict[str, Union[str, float, int, None]] = {
             "algorithm": self.algorithm,
             "messages": self.num_messages,
             "delivered": self.num_delivered,
@@ -78,20 +123,36 @@ class PerformanceSummary:
             "copies": self.copies_sent,
             "copies/delivery": None if overhead is None else round(overhead, 2),
         }
+        if self.lost_transfers is not None:
+            row["lost"] = self.lost_transfers
+        if self.retransmissions is not None:
+            row["retx"] = self.retransmissions
+        if self.node_crashes is not None:
+            row["crashes"] = self.node_crashes
+        return row
+
+
+def _fault_counters(result: SimulationResult) -> Dict[str, int]:
+    """The fault telemetry of *result*, when it carries ResourceStats."""
+    stats = getattr(result, "stats", None)
+    if stats is None:
+        return {}
+    return {
+        "lost_transfers": stats.lost_transfers,
+        "retransmissions": stats.retransmissions,
+        "node_crashes": stats.node_crashes,
+    }
 
 
 def summarize(result: SimulationResult) -> PerformanceSummary:
     """Collapse a :class:`SimulationResult` into a :class:`PerformanceSummary`."""
-    delays = np.array(result.delays(), dtype=float)
-    return PerformanceSummary(
+    return PerformanceSummary.from_delays(
         algorithm=result.algorithm,
         num_messages=result.num_messages,
         num_delivered=result.num_delivered,
-        success_rate=result.success_rate(),
-        average_delay=float(delays.mean()) if delays.size else None,
-        median_delay=float(np.median(delays)) if delays.size else None,
-        p90_delay=float(np.percentile(delays, 90)) if delays.size else None,
+        delays=result.delays(),
         copies_sent=result.copies_sent,
+        **_fault_counters(result),
     )
 
 
@@ -128,17 +189,14 @@ def summarize_by_pair_type(
         grouped[pair_type].append(outcome)
     summaries: Dict[PairType, PerformanceSummary] = {}
     for pair_type, outcomes in grouped.items():
-        delays = np.array([o.delay for o in outcomes if o.delivered and o.delay is not None],
-                          dtype=float)
+        delays = [o.delay for o in outcomes
+                  if o.delivered and o.delay is not None]
         delivered = int(sum(1 for o in outcomes if o.delivered))
-        summaries[pair_type] = PerformanceSummary(
+        summaries[pair_type] = PerformanceSummary.from_delays(
             algorithm=result.algorithm,
             num_messages=len(outcomes),
             num_delivered=delivered,
-            success_rate=(delivered / len(outcomes)) if outcomes else 0.0,
-            average_delay=float(delays.mean()) if delays.size else None,
-            median_delay=float(np.median(delays)) if delays.size else None,
-            p90_delay=float(np.percentile(delays, 90)) if delays.size else None,
+            delays=delays,
         )
     return summaries
 

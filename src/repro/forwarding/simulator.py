@@ -165,6 +165,10 @@ class SimulationResult:
 # ----------------------------------------------------------------------
 _START, _END, _CREATE = 0, 1, 2
 
+#: event-kind names for telemetry (the DES engine has its own richer set)
+_KIND_NAMES = {_START: "contact_start", _END: "contact_end",
+               _CREATE: "create"}
+
 
 class _RunState:
     """Mutable per-run simulation state over interned node indices."""
@@ -220,6 +224,14 @@ class ForwardingSimulator:
     stop_on_delivery:
         Stop propagating a message once it has been delivered.  Does not
         change success rate or delay.
+    tracer:
+        Optional structured-event probe (any object with
+        ``emit(event, time, **fields)``; see :mod:`repro.obs.tracing`).
+        ``None`` (the default) keeps the hot path allocation-free — every
+        probe site is a single ``is not None`` check.
+    telemetry:
+        Optional :class:`repro.obs.EngineTelemetry` collecting event
+        counts and wall-clock for the run.  ``None`` disables it.
     """
 
     def __init__(
@@ -228,6 +240,8 @@ class ForwardingSimulator:
         algorithm: Union[ForwardingAlgorithm, "RoutingProtocol"],
         copy_semantics: str = "copy",
         stop_on_delivery: bool = True,
+        tracer=None,
+        telemetry=None,
     ) -> None:
         from ..routing.compat import ensure_protocol
 
@@ -237,6 +251,8 @@ class ForwardingSimulator:
         self._protocol = ensure_protocol(algorithm)
         self._copy = copy_semantics == "copy"
         self._stop_on_delivery = stop_on_delivery
+        self._tracer = tracer
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self, messages: Sequence[Message]) -> SimulationResult:
@@ -270,25 +286,41 @@ class ForwardingSimulator:
         events.sort(key=lambda e: (e[0], e[1], e[2]))
 
         protocol = self._protocol
+        tracer = self._tracer
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.begin(engine="trace", algorithm=protocol.name)
         for time, kind, _, payload in events:
             if kind == _END:
                 contact, a, b = payload  # type: ignore[misc]
+                if tracer is not None:
+                    tracer.emit("contact_end", time, a=contact.a, b=contact.b)
                 self._close_contact(state, a, b)
                 protocol.on_contact_end(contact.a, contact.b, time, history)
             elif kind == _START:
                 contact, a, b = payload  # type: ignore[misc]
+                if tracer is not None:
+                    tracer.emit("contact_start", time, a=contact.a,
+                                b=contact.b)
                 history.record(contact.a, contact.b, time)
                 protocol.on_contact_start(contact.a, contact.b, time, history)
                 self._open_contact(state, a, b)
                 self._exchange_on_contact(state, a, b, time, history, by_id)
             else:  # _CREATE
                 message = payload  # type: ignore[assignment]
+                if tracer is not None:
+                    tracer.emit("create", time, msg=message.id,
+                                src=message.source, dst=message.destination)
                 protocol.on_message_created(message, time)
                 source = index_of(message.source)
                 state.holdings[message.id] = {source: (time, 0)}
                 state.carried[source].add(message.id)
                 state.ever_held[message.id] = 1 << source
                 self._cascade(state, message, source, time, history)
+            if telemetry is not None:
+                telemetry.event(_KIND_NAMES[kind])
+        if telemetry is not None:
+            telemetry.finish()
 
         outcomes = []
         for message in messages:
@@ -390,6 +422,11 @@ class ForwardingSimulator:
             if message.id not in state.delivered:
                 state.delivered[message.id] = (time, hops + 1)
                 self._protocol.on_delivered(message, time)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "deliver", time, msg=message.id,
+                        node=state.node_of[peer], hops=hops + 1,
+                        delay=time - message.creation_time)
             return True
         node_of = state.node_of
         if not self._protocol.should_forward(node_of[carrier], node_of[peer],
@@ -400,6 +437,10 @@ class ForwardingSimulator:
         state.ever_held[message.id] |= 1 << peer
         state.copies_sent += 1
         self._protocol.on_forwarded(message, node_of[carrier], node_of[peer], time)
+        if self._tracer is not None:
+            self._tracer.emit("forward", time, msg=message.id,
+                              src=node_of[carrier], dst=node_of[peer],
+                              hops=hops + 1)
         if not self._copy:
             holders.pop(carrier, None)
             state.carried[carrier].discard(message.id)

@@ -1,0 +1,59 @@
+"""repro.obs — observability: streaming metrics, tracing, telemetry, feeds.
+
+Four small layers, all opt-in:
+
+* :mod:`repro.obs.streaming` — mergeable one-pass accumulators
+  (Welford moments, a deterministic quantile sketch with an exact
+  small-sample mode) and :class:`StreamingSummary`, the streaming twin of
+  :func:`repro.forwarding.metrics.summarize`;
+* :mod:`repro.obs.tracing` — the structured trace-event probe both
+  engines accept (``tracer=``), with JSONL and in-memory sinks;
+* :mod:`repro.obs.telemetry` — per-run engine counters/time series,
+  parent-side phase timers and the ``metrics.json`` artifact writer;
+* :mod:`repro.obs.feed` — incremental experiment status
+  (:class:`StatusTracker`, behind ``exp watch``) and the streaming
+  tournament leaderboard (:class:`LiveLeaderboard`).
+"""
+
+from .feed import LiveLeaderboard, StatusTracker
+from .streaming import (
+    DEFAULT_BUFFER_SIZE,
+    DEFAULT_EXACT_CAPACITY,
+    QuantileSketch,
+    StreamingMoments,
+    StreamingSummary,
+)
+from .telemetry import (
+    METRICS_SCHEMA,
+    EngineTelemetry,
+    ObsConfig,
+    PhaseTimers,
+    write_metrics_json,
+)
+from .tracing import (
+    TRACE_EVENTS,
+    JsonlTracer,
+    RecordingTracer,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUFFER_SIZE",
+    "DEFAULT_EXACT_CAPACITY",
+    "StreamingMoments",
+    "QuantileSketch",
+    "StreamingSummary",
+    "TRACE_EVENTS",
+    "Tracer",
+    "RecordingTracer",
+    "JsonlTracer",
+    "read_trace",
+    "METRICS_SCHEMA",
+    "EngineTelemetry",
+    "ObsConfig",
+    "PhaseTimers",
+    "write_metrics_json",
+    "StatusTracker",
+    "LiveLeaderboard",
+]

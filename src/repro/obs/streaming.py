@@ -1,0 +1,425 @@
+"""Mergeable one-pass metric accumulators.
+
+The engines historically materialized the full per-message outcome list
+before a single number was computed.  This module provides the streaming
+counterparts:
+
+* :class:`StreamingMoments` — count / mean / variance via Welford's
+  algorithm, merged across streams with Chan's parallel formula;
+* :class:`QuantileSketch` — a deterministic mergeable quantile sketch in
+  the Munro–Paterson merging-buffers family, with an *exact* small-sample
+  mode that keeps the raw values and defers to numpy, so small streams
+  reproduce the batch median/percentile to the last bit;
+* :class:`StreamingSummary` — the one-pass equivalent of
+  :func:`repro.forwarding.metrics.summarize`, accumulating delivery
+  outcomes (or whole results) and emitting a
+  :class:`~repro.forwarding.metrics.PerformanceSummary`.
+
+Accuracy contract
+-----------------
+While a sketch holds at most ``exact_capacity`` values it is *exact*: the
+raw samples are retained in insertion order and every query goes through
+the same ``np.mean`` / ``np.median`` / ``np.percentile`` calls the batch
+path uses, so summaries are byte-identical to the batch computation.  Past
+that, values compress into weighted sorted buffers (weight ``2**level``);
+each collapse of two level-``l`` buffers can shift a rank by at most
+``2**l``, giving a relative rank error of roughly
+``log2(n / buffer_size) / (2 * buffer_size)`` — with the default
+``buffer_size=1024`` that stays under 1% up to ~10^9 samples.  All
+operations are deterministic (alternating-parity selection, no RNG), so
+merging the same streams always yields the same sketch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_EXACT_CAPACITY",
+    "DEFAULT_BUFFER_SIZE",
+    "StreamingMoments",
+    "QuantileSketch",
+    "StreamingSummary",
+]
+
+#: Raw samples kept before a sketch starts compressing (exact below this).
+DEFAULT_EXACT_CAPACITY = 4096
+#: Size of one sketch buffer once compressing (drives the error bound).
+DEFAULT_BUFFER_SIZE = 1024
+
+
+class StreamingMoments:
+    """Count, mean and variance in one pass (Welford), mergeable (Chan)."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold *other*'s moments into this accumulator (in place)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        return self
+
+    @property
+    def variance(self) -> Optional[float]:
+        """Population variance, or ``None`` on an empty stream."""
+        if self.count == 0:
+            return None
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> Optional[float]:
+        variance = self.variance
+        return None if variance is None else float(np.sqrt(variance))
+
+    def copy(self) -> "StreamingMoments":
+        twin = StreamingMoments()
+        twin.count = self.count
+        twin.mean = self.mean
+        twin._m2 = self._m2
+        return twin
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {"count": self.count,
+                "mean": self.mean if self.count else None,
+                "variance": self.variance}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StreamingMoments(count={self.count}, mean={self.mean!r}, "
+                f"variance={self.variance!r})")
+
+
+class QuantileSketch:
+    """Deterministic mergeable quantile sketch (merging buffers).
+
+    Below ``exact_capacity`` observations the sketch is exact (see module
+    docstring); past that, weight-1 values stage into sorted buffers of
+    ``buffer_size`` and equal-level buffers collapse pairwise, keeping
+    alternating-parity elements of the merge, into the next level (weight
+    doubles per level).  Queries walk the weighted sorted union.
+    """
+
+    __slots__ = ("exact_capacity", "buffer_size", "count",
+                 "_samples", "_staging", "_levels", "_parity")
+
+    def __init__(self, exact_capacity: int = DEFAULT_EXACT_CAPACITY,
+                 buffer_size: int = DEFAULT_BUFFER_SIZE) -> None:
+        if exact_capacity < 0:
+            raise ValueError("exact_capacity must be >= 0")
+        if buffer_size < 2:
+            raise ValueError("buffer_size must be >= 2")
+        self.exact_capacity = exact_capacity
+        self.buffer_size = buffer_size
+        self.count = 0
+        # insertion-ordered raw values while exact; None once compressing
+        self._samples: Optional[List[float]] = []
+        self._staging: List[float] = []
+        self._levels: List[List[float]] = []
+        self._parity: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        """True while every observation is retained verbatim."""
+        return self._samples is not None
+
+    @property
+    def samples(self) -> List[float]:
+        """The raw observations, in insertion order (exact mode only)."""
+        if self._samples is None:
+            raise ValueError("sketch has compressed; raw samples are gone")
+        return list(self._samples)
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        self.count += 1
+        self._ingest(float(value))
+
+    def _ingest(self, value: float) -> None:
+        # one weight-1 observation, without touching self.count (merge reuses
+        # this after adding the other sketch's count wholesale)
+        if self._samples is not None:
+            self._samples.append(value)
+            if len(self._samples) > self.exact_capacity:
+                self._spill()
+            return
+        self._staging.append(value)
+        if len(self._staging) >= self.buffer_size:
+            self._flush_staging()
+
+    def _spill(self) -> None:
+        """Leave exact mode: re-feed the raw samples into the buffers."""
+        samples = self._samples
+        self._samples = None
+        for value in samples:
+            self._staging.append(value)
+            if len(self._staging) >= self.buffer_size:
+                self._flush_staging()
+
+    def _flush_staging(self) -> None:
+        if not self._staging:
+            return
+        buffer = sorted(self._staging)
+        self._staging = []
+        self._carry(buffer, 0)
+
+    def _carry(self, buffer: List[float], level: int) -> None:
+        """Place a sorted buffer at *level*, collapsing up while occupied."""
+        while True:
+            while len(self._levels) <= level:
+                self._levels.append([])
+                self._parity.append(0)
+            if not self._levels[level]:
+                self._levels[level] = buffer
+                return
+            resident = self._levels[level]
+            self._levels[level] = []
+            merged = list(heapq.merge(resident, buffer))
+            # alternating parity debiases the rank error of the collapse
+            start = self._parity[level]
+            self._parity[level] ^= 1
+            buffer = merged[start::2]
+            level += 1
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold *other*'s observations into this sketch (in place).
+
+        *other* is left untouched.  Exact + exact stays exact while the
+        union fits ``exact_capacity`` (sample order: self's then other's);
+        anything else compresses.  Merging is deterministic but — like
+        every compressing sketch — not bit-exact under reassociation;
+        queries of differently grouped merges agree within the error
+        bound.
+        """
+        if other is self:
+            other = other.copy()
+        if other.count == 0:
+            return self
+        self.count += other.count
+        if other._samples is not None:
+            if self._samples is not None and \
+                    len(self._samples) + len(other._samples) \
+                    <= self.exact_capacity:
+                self._samples.extend(other._samples)
+                return self
+            for value in other._samples:
+                self._ingest(value)
+            return self
+        if self._samples is not None:
+            self._spill()
+        for value in other._staging:
+            self._ingest(value)
+        for level, buffer in enumerate(other._levels):
+            if buffer:
+                self._carry(list(buffer), level)
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        twin = QuantileSketch(self.exact_capacity, self.buffer_size)
+        twin.count = self.count
+        twin._samples = None if self._samples is None else list(self._samples)
+        twin._staging = list(self._staging)
+        twin._levels = [list(buffer) for buffer in self._levels]
+        twin._parity = list(self._parity)
+        return twin
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """The *q*-quantile of the stream (``0 <= q <= 1``), or ``None``.
+
+        Exact mode answers via ``np.percentile`` (linear interpolation,
+        byte-identical to the batch path); compressed mode returns the
+        smallest stored value whose cumulative weight reaches ``q`` of the
+        total — a rank-error-bounded answer, not an interpolated one.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        if self._samples is not None:
+            return float(np.percentile(
+                np.array(self._samples, dtype=float), q * 100.0))
+        items = self._weighted_items()
+        total = sum(weight for _, weight in items)
+        target = q * total
+        cumulative = 0.0
+        for value, weight in items:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return items[-1][0]
+
+    def median(self) -> Optional[float]:
+        """The stream median (``np.median`` while exact)."""
+        if self.count == 0:
+            return None
+        if self._samples is not None:
+            return float(np.median(np.array(self._samples, dtype=float)))
+        return self.quantile(0.5)
+
+    def _weighted_items(self) -> List[tuple]:
+        items = [(value, 1) for value in self._staging]
+        for level, buffer in enumerate(self._levels):
+            weight = 1 << level
+            items.extend((value, weight) for value in buffer)
+        items.sort(key=lambda item: item[0])
+        return items
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "exact" if self.is_exact else "compressed"
+        return f"QuantileSketch(count={self.count}, {mode})"
+
+
+class StreamingSummary:
+    """One-pass accumulation of everything a ``PerformanceSummary`` needs.
+
+    Feed it per-message outcomes (:meth:`observe` /
+    :meth:`observe_outcome`), whole results (:meth:`observe_result`), or
+    other summaries (:meth:`merge`), then call :meth:`summary`.  While the
+    delay sketch is exact, :meth:`summary` equals
+    :func:`repro.forwarding.metrics.summarize` of the equivalent batch
+    result to the last bit (both defer to the same numpy calls).
+
+    ``copies_sent`` follows the batch pooling convention: one unknown
+    (``None``) copy counter poisons the total to ``None``.  Fault counters
+    (lost transfers, retransmissions, node crashes) accumulate from any
+    observed result that carries :class:`~repro.sim.engine.ResourceStats`
+    and surface on the summary only when at least one such result was seen.
+    """
+
+    __slots__ = ("algorithm", "num_messages", "num_delivered", "moments",
+                 "sketch", "_copies", "_copies_known", "lost_transfers",
+                 "retransmissions", "node_crashes", "_has_fault_stats")
+
+    def __init__(self, algorithm: str = "",
+                 exact_capacity: int = DEFAULT_EXACT_CAPACITY,
+                 buffer_size: int = DEFAULT_BUFFER_SIZE) -> None:
+        self.algorithm = algorithm
+        self.num_messages = 0
+        self.num_delivered = 0
+        self.moments = StreamingMoments()
+        self.sketch = QuantileSketch(exact_capacity, buffer_size)
+        self._copies = 0
+        self._copies_known = True
+        self.lost_transfers = 0
+        self.retransmissions = 0
+        self.node_crashes = 0
+        self._has_fault_stats = False
+
+    # ------------------------------------------------------------------
+    @property
+    def copies_sent(self) -> Optional[int]:
+        return self._copies if self._copies_known else None
+
+    def observe(self, delivered: bool, delay: Optional[float] = None) -> None:
+        """Fold one message outcome into the summary."""
+        self.num_messages += 1
+        if delivered:
+            self.num_delivered += 1
+            if delay is not None:
+                self.moments.add(delay)
+                self.sketch.add(delay)
+
+    def observe_outcome(self, outcome) -> None:
+        """Fold one :class:`~repro.forwarding.DeliveryOutcome`."""
+        self.observe(outcome.delivered, outcome.delay)
+
+    def add_copies(self, copies: Optional[int]) -> None:
+        """Account a run's copy counter (``None`` poisons the total)."""
+        if copies is None:
+            self._copies_known = False
+        else:
+            self._copies += int(copies)
+
+    def observe_result(self, result) -> None:
+        """Fold a whole :class:`~repro.forwarding.SimulationResult`."""
+        for outcome in result.outcomes:
+            self.observe(outcome.delivered, outcome.delay)
+        self.add_copies(result.copies_sent)
+        stats = getattr(result, "stats", None)
+        if stats is not None:
+            self._has_fault_stats = True
+            self.lost_transfers += stats.lost_transfers
+            self.retransmissions += stats.retransmissions
+            self.node_crashes += stats.node_crashes
+
+    def merge(self, other: "StreamingSummary") -> "StreamingSummary":
+        """Fold *other*'s accumulation into this summary (in place)."""
+        self.num_messages += other.num_messages
+        self.num_delivered += other.num_delivered
+        self.moments.merge(other.moments)
+        self.sketch.merge(other.sketch)
+        if not other._copies_known:
+            self._copies_known = False
+        else:
+            self._copies += other._copies
+        if other._has_fault_stats:
+            self._has_fault_stats = True
+            self.lost_transfers += other.lost_transfers
+            self.retransmissions += other.retransmissions
+            self.node_crashes += other.node_crashes
+        return self
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        """The accumulated stream as a ``PerformanceSummary``."""
+        from ..forwarding.metrics import PerformanceSummary
+
+        faults: Dict[str, int] = {}
+        if self._has_fault_stats:
+            faults = {"lost_transfers": self.lost_transfers,
+                      "retransmissions": self.retransmissions,
+                      "node_crashes": self.node_crashes}
+        if self.sketch.is_exact:
+            # identical numpy calls to the batch path → bit-equal summaries
+            return PerformanceSummary.from_delays(
+                algorithm=self.algorithm,
+                num_messages=self.num_messages,
+                num_delivered=self.num_delivered,
+                delays=self.sketch.samples,
+                copies_sent=self.copies_sent,
+                **faults)
+        return PerformanceSummary(
+            algorithm=self.algorithm,
+            num_messages=self.num_messages,
+            num_delivered=self.num_delivered,
+            success_rate=(self.num_delivered / self.num_messages
+                          if self.num_messages else 0.0),
+            average_delay=self.moments.mean if self.moments.count else None,
+            median_delay=self.sketch.quantile(0.5),
+            p90_delay=self.sketch.quantile(0.9),
+            copies_sent=self.copies_sent,
+            **faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StreamingSummary({self.algorithm!r}, "
+                f"messages={self.num_messages}, "
+                f"delivered={self.num_delivered})")

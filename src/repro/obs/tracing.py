@@ -1,0 +1,126 @@
+"""Structured trace events: an opt-in probe API for both engines.
+
+A tracer is any object with ``emit(event, time, **fields)``.  Both
+:class:`~repro.forwarding.ForwardingSimulator` and
+:class:`~repro.sim.DesSimulator` accept one via their ``tracer`` argument;
+the default is ``None`` and every probe site is guarded by a single
+``is not None`` check, so a tracerless run allocates nothing on the hot
+path and its event stream is untouched (the engine-equivalence suites pin
+this byte-for-byte).
+
+Event vocabulary (fields beyond ``event``/``t`` vary per event):
+
+=================  =====================================================
+``contact_start``  a contact opened (``a``, ``b``)
+``contact_end``    a contact closed (``a``, ``b``; ``truncated`` when a
+                   crash cut it short)
+``create``         a message entered the system (``msg``, ``src``, ``dst``)
+``forward``        a relay copy moved (``msg``, ``src``, ``dst``, ``hops``)
+``deliver``        first arrival at the destination (``msg``, ``node``,
+                   ``hops``, ``delay``)
+``drop``           a copy was lost (``msg``, ``node``, ``reason`` one of
+                   ``evicted`` / ``rejected`` / ``source_rejected`` /
+                   ``expired`` / ``churn`` / ``cancelled``)
+``loss``           the channel ate a transfer (``msg``, ``src``, ``dst``)
+``retransmit``     a lost transfer was rescheduled (``msg``, ``src``,
+                   ``dst``, ``at``)
+``crash``          a node went down (``node``)
+``reboot``         a node came back (``node``)
+``expire``         a message's TTL fired (``msg``, ``copies``)
+=================  =====================================================
+
+:class:`RecordingTracer` buffers events in memory (tests, notebooks);
+:class:`JsonlTracer` appends one JSON object per line to a file — the
+format ``exp run --trace-dir`` writes per job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["TRACE_EVENTS", "Tracer", "RecordingTracer", "JsonlTracer",
+           "read_trace"]
+
+#: Every event name the engines emit (the vocabulary above).
+TRACE_EVENTS = (
+    "contact_start", "contact_end", "create", "forward", "deliver",
+    "drop", "loss", "retransmit", "crash", "reboot", "expire",
+)
+
+
+class Tracer:
+    """Base tracer: the probe interface both engines call.
+
+    Subclasses implement :meth:`emit`; :meth:`close` is optional and the
+    class is a context manager closing itself on exit.
+    """
+
+    def emit(self, event: str, time: float, **fields) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (flush files, etc.).  Idempotent."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RecordingTracer(Tracer):
+    """Buffers every event as a dict in :attr:`events` (in emit order)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+
+    def emit(self, event: str, time: float, **fields) -> None:
+        record = {"event": event, "t": time}
+        record.update(fields)
+        self.events.append(record)
+
+    def by_event(self, event: str) -> List[Dict[str, object]]:
+        """The recorded events of one kind, in emit order."""
+        return [record for record in self.events if record["event"] == event]
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a JSONL file, one canonical JSON object per line.
+
+    The file (and its parent directories) is created on first emit, so a
+    run that never traces leaves nothing behind.  Writes are buffered;
+    :meth:`close` flushes and releases the handle.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.num_events = 0
+
+    def emit(self, event: str, time: float, **fields) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        record = {"event": event, "t": time}
+        record.update(fields)
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        self.num_events += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -77,6 +77,24 @@ def add_routing_commands(commands: argparse._SubParsersAction) -> None:
     tournament.add_argument("--json", metavar="PATH", default=None,
                             help="also write leaderboard + per-cell rows "
                                  "as JSON")
+    tournament.add_argument("--live", action="store_true",
+                            help="print live standings as grid cells "
+                                 "complete, not only the final leaderboard")
+    tournament.add_argument("--live-every", type=int, default=None,
+                            metavar="N",
+                            help="with --live, redraw after every N "
+                                 "completed jobs (default: one redraw per "
+                                 "~10%% of the grid)")
+    tournament.add_argument("--trace-dir", default=None, metavar="DIR",
+                            help="write one JSONL trace file per executed "
+                                 "job into DIR")
+    tournament.add_argument("--metrics-json", default=None, metavar="PATH",
+                            help="write a run-telemetry metrics.json "
+                                 "artifact for the tournament grid")
+    tournament.add_argument("--profile", action="store_true",
+                            help="collect engine telemetry even without "
+                                 "--metrics-json (implies per-job "
+                                 "telemetry)")
 
 
 def _parse_names(raw: str) -> List[str]:
@@ -146,14 +164,54 @@ def _cmd_routing_tournament(args: argparse.Namespace, write_json) -> int:
         seeds = [int(token) for token in _parse_names(args.seeds)]
     except ValueError:
         raise SystemExit(f"--seeds must be integers, got {args.seeds!r}")
+    obs = None
+    if args.trace_dir or args.metrics_json or args.profile:
+        from ..obs.telemetry import ObsConfig
+
+        obs = ObsConfig(trace_dir=args.trace_dir,
+                        metrics_path=args.metrics_json,
+                        profile=args.profile)
+    progress = None
+    if args.live:
+        from ..obs.feed import LiveLeaderboard
+
+        board = LiveLeaderboard()
+        live_state = {"settled": 0, "total": 0}
+        redraw_every = args.live_every or 0
+
+        def progress(event, job, value):
+            if event == "plan":
+                live_state["total"] = len(value.jobs)
+                return
+            live_state["settled"] += 1
+            if event != "failed":
+                board.observe(job.protocol, value)
+            every = redraw_every
+            if every <= 0:
+                # ~10 redraws over the grid (at least one per completion
+                # on tiny grids)
+                every = max(1, live_state["total"] // 10)
+            if live_state["settled"] % every == 0 \
+                    and live_state["settled"] < live_state["total"]:
+                print(f"\n[{live_state['settled']}/{live_state['total']} "
+                      f"jobs] current standings:")
+                print(board.table(), flush=True)
+
     started = time.perf_counter()
     result = run_tournament(protocols=protocols, scenarios=scenarios,
                             seeds=seeds, num_runs=args.runs,
-                            parallel=args.parallel, n_workers=args.workers)
+                            parallel=args.parallel, n_workers=args.workers,
+                            obs=obs, progress=progress)
     elapsed = time.perf_counter() - started
     print(f"tournament: {len(result.protocols)} protocols × "
           f"{len(result.scenarios)} scenarios × {len(result.seeds)} seed(s)")
-    print(f"scenarios: {', '.join(result.scenarios)}\n")
+    print(f"scenarios: {', '.join(result.scenarios)}")
+    if obs is not None:
+        if obs.trace_dir:
+            print(f"traces: {obs.trace_dir}/")
+        if obs.metrics_path:
+            print(f"metrics: {obs.metrics_path}")
+    print()
     print(result.leaderboard_table())
     print(f"\ncompleted in {elapsed:.2f}s")
     write_json(args.json, {

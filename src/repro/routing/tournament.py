@@ -21,10 +21,9 @@ in the repo.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
-
-import numpy as np
 
 from ..analysis.tables import format_table
 from ..sim.engine import ConstrainedSimulationResult, ResourceConstraints
@@ -61,30 +60,37 @@ class TournamentResult:
 
         Each row pools the protocol's cells through the shared
         :func:`~repro.sim.runner.merge_constrained_results` (cross-trace by
-        construction, hence ``validate=False``) instead of carrying its own
-        summation logic.
+        construction, hence ``validate=False``) and summarizes the pooled
+        delays via :meth:`~repro.forwarding.metrics.PerformanceSummary.
+        from_delays` — the same batch computation every other report uses.
+        Fault-cost columns (``lost``, ``retx``, ``crashes``) come from the
+        summed :class:`~repro.sim.engine.ResourceStats` of the cells.
         """
+        from ..forwarding.metrics import summarize
+
         unranked = []
         for protocol in self.protocols:
             merged = merge_constrained_results(self.pooled(protocol),
                                                validate=False)
-            num_messages = merged.num_messages
-            num_delivered = merged.num_delivered
+            summary = summarize(merged)
+            num_delivered = summary.num_delivered
             copies = merged.copies_sent or 0
-            delays = np.array(merged.delays(), dtype=float)
-            success = num_delivered / num_messages if num_messages else 0.0
-            median = float(np.median(delays)) if delays.size else None
-            p90 = float(np.percentile(delays, 90)) if delays.size else None
             overhead = copies / num_delivered if num_delivered else None
             unranked.append({
                 "protocol": protocol,
                 "scenarios": len(self.scenarios),
-                "messages": num_messages,
+                "messages": summary.num_messages,
                 "delivered": num_delivered,
-                "success_rate": round(success, 3),
-                "median_delay_s": None if median is None else round(median, 1),
-                "p90_delay_s": None if p90 is None else round(p90, 1),
-                "copies/delivery": None if overhead is None else round(overhead, 2),
+                "success_rate": round(summary.success_rate, 3),
+                "median_delay_s": (None if summary.median_delay is None
+                                   else round(summary.median_delay, 1)),
+                "p90_delay_s": (None if summary.p90_delay is None
+                                else round(summary.p90_delay, 1)),
+                "copies/delivery": (None if overhead is None
+                                    else round(overhead, 2)),
+                "lost": summary.lost_transfers,
+                "retx": summary.retransmissions,
+                "crashes": summary.node_crashes,
             })
         unranked.sort(key=lambda row: (
             -row["success_rate"],
@@ -115,6 +121,16 @@ class TournamentResult:
                 "copies_per_delivery": summary["copies_per_delivery"],
             })
         return rows
+
+
+@contextmanager
+def _maybe_phase(timers, name: str):
+    """Time a phase when profiling is on; vanish entirely when it is not."""
+    if timers is None:
+        yield
+    else:
+        with timers.phase(name):
+            yield
 
 
 def _dedup(names: List[str]) -> List[str]:
@@ -200,6 +216,8 @@ def run_tournament(
     constraints: Optional[ResourceConstraints] = None,
     parallel: bool = False,
     n_workers: Optional[int] = None,
+    obs=None,
+    progress=None,
 ) -> TournamentResult:
     """Fan *protocols* × *scenarios* × *seeds* and collect the leaderboard.
 
@@ -214,7 +232,15 @@ def run_tournament(
     scenario's own values when given.  With ``parallel=True`` the whole
     (scenario × seed × run × protocol) grid is distributed over one
     process pool; results are identical to a serial run.
+
+    *obs* (a :class:`repro.obs.ObsConfig`) enables per-job traces and
+    engine telemetry; *progress* is the :func:`repro.exp.execute_plan`
+    callback — ``routing tournament --live`` feeds it into a
+    :class:`repro.obs.LiveLeaderboard` so the standings update as jobs
+    land, instead of only after the whole grid settles.
     """
+    import time as _time
+
     from ..exp.orchestrator import execute_plan
     from ..exp.plan import build_plan
     from ..exp.spec import ExperimentSpec
@@ -227,15 +253,37 @@ def run_tournament(
     if not seed_list:
         raise ValueError("a tournament needs at least one seed")
 
-    plan = build_plan(ExperimentSpec(
+    spec = ExperimentSpec(
         name="tournament",
         scenarios=tuple(scenario_entries),
         protocols=tuple(protocol_list),
         seeds=tuple(seed_list),
         num_runs=num_runs,
         constraints=constraints,
-    ))
-    executed = execute_plan(plan, parallel=parallel, n_workers=n_workers)
+    )
+    timers = None
+    if obs is not None and obs.profile:
+        from ..obs.telemetry import PhaseTimers
+
+        timers = PhaseTimers()
+    with _maybe_phase(timers, "plan"):
+        plan = build_plan(spec)
+    if progress is not None:
+        # announce the grid before anything settles, so live views can
+        # render "done/total" from the first completion on
+        progress("plan", None, plan)
+    started = _time.perf_counter()
+    with _maybe_phase(timers, "execute"):
+        executed = execute_plan(plan, parallel=parallel, n_workers=n_workers,
+                                obs=obs, progress=progress)
+    if obs is not None and obs.metrics_path is not None:
+        from ..exp.orchestrator import ExperimentResult, _metrics_payload
+        from ..obs.telemetry import write_metrics_json
+
+        write_metrics_json(obs.metrics_path, _metrics_payload(
+            ExperimentResult(spec=spec, plan=plan, outcome=executed,
+                             elapsed_s=_time.perf_counter() - started),
+            timers=timers))
 
     result = TournamentResult(protocols=protocol_list, scenarios=scenario_list,
                               seeds=seed_list, num_runs=num_runs or 0)

@@ -68,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan (run x algorithm) simulations over a process pool")
     run.add_argument("--workers", type=int, default=None,
                      help="process-pool size (default: CPU count)")
+    run.add_argument("--trace-dir", default=None, metavar="DIR",
+                     help="write one JSONL engine trace per executed job "
+                          "into DIR (see repro.obs)")
+    run.add_argument("--metrics-json", default=None, metavar="PATH",
+                     help="write a run-telemetry metrics.json artifact")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write the result rows as JSON")
 
@@ -216,9 +221,16 @@ def _cmd_sim_run(args: argparse.Namespace) -> int:
         scenario = _load_scenario_spec(args.spec)
     else:
         scenario = get_scenario(args.scenario)
+    obs = None
+    if args.trace_dir or args.metrics_json:
+        from ..obs.telemetry import ObsConfig
+
+        obs = ObsConfig(trace_dir=args.trace_dir,
+                        metrics_path=args.metrics_json)
     started = time.perf_counter()
     result = run_scenario(scenario, num_runs=args.runs, seed=args.seed,
-                          parallel=args.parallel, n_workers=args.workers)
+                          parallel=args.parallel, n_workers=args.workers,
+                          obs=obs)
     elapsed = time.perf_counter() - started
     print(f"scenario: {scenario.name} — {scenario.description}")
     print(f"trace: {result.trace_name}  ({result.num_nodes} nodes, "

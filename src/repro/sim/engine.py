@@ -116,6 +116,18 @@ __all__ = [
 #: :class:`ResourceConstraints` axes a sweep/experiment grid can vary.
 SWEEPABLE_PARAMETERS = ("buffer_capacity", "bandwidth", "ttl", "message_size")
 
+#: Human-readable telemetry labels for the event kinds of the main loop.
+_KIND_NAMES = {
+    CONTACT_START: "contact_start",
+    CONTACT_END: "contact_end",
+    CREATE: "create",
+    TRANSFER_DONE: "transfer_done",
+    RETRANSMIT: "retransmit",
+    NODE_DOWN: "node_down",
+    NODE_UP: "node_up",
+    EXPIRE: "expire",
+}
+
 
 @register_spec
 @dataclass(frozen=True)
@@ -284,10 +296,19 @@ class ResourceStats:
 
 @dataclass
 class ConstrainedSimulationResult(SimulationResult):
-    """A :class:`SimulationResult` plus resource accounting."""
+    """A :class:`SimulationResult` plus resource accounting.
+
+    ``telemetry`` is an optional run-telemetry payload (the
+    :meth:`repro.obs.EngineTelemetry.as_dict` of the producing run) the
+    experiment worker attaches when telemetry collection is on.  It is
+    diagnostic only: excluded from equality and from the persisted record
+    encoding, so decoded store records still compare equal to fresh runs.
+    """
 
     constraints: ResourceConstraints = UNCONSTRAINED
     stats: ResourceStats = field(default_factory=ResourceStats)
+    telemetry: Optional[Dict[str, object]] = field(default=None, repr=False,
+                                                   compare=False)
 
     def summary(self) -> Dict[str, object]:
         """The base summary extended with the resource counters."""
@@ -385,6 +406,16 @@ class DesSimulator:
         schedule derive their independent streams from it via
         :func:`~repro.synth.seeding.derive_rng`).  Irrelevant without
         active faults; ``None`` with faults means irreproducible draws.
+    tracer:
+        Optional structured-event probe (anything with
+        ``emit(event, time, **fields)``, e.g. a
+        :class:`repro.obs.RecordingTracer`).  ``None`` (the default)
+        disables tracing entirely — every probe site is a single
+        ``is not None`` check, and the simulated behaviour never depends
+        on the tracer.
+    telemetry:
+        Optional :class:`repro.obs.EngineTelemetry` collecting event
+        counters and buffer-occupancy samples for ``metrics.json``.
     """
 
     def __init__(
@@ -395,6 +426,8 @@ class DesSimulator:
         copy_semantics: str = "copy",
         stop_on_delivery: bool = True,
         seed: Optional[int] = None,
+        tracer: Optional[object] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         if copy_semantics not in ("copy", "handoff"):
             raise ValueError("copy_semantics must be 'copy' or 'handoff'")
@@ -404,6 +437,8 @@ class DesSimulator:
         self._copy = copy_semantics == "copy"
         self._stop_on_delivery = stop_on_delivery
         self._seed = seed
+        self._tracer = tracer
+        self._telemetry = telemetry
         self._channel = constraints.active_channel
         self._churn = constraints.active_churn
         # run-scoped fields, rebound by run()
@@ -472,6 +507,10 @@ class DesSimulator:
                     initial.append((up, NODE_UP, queue.next_sequence(), node))
         queue.extend_sorted(initial)
 
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.begin(engine="des", algorithm=self._adapter.name)
+        buffers = state.buffers
         while queue:
             time, kind, _, payload = queue.pop()
             if kind == CONTACT_START:
@@ -489,7 +528,13 @@ class DesSimulator:
             elif kind == NODE_UP:
                 self._on_node_up(time, payload)
             else:  # EXPIRE
-                self._on_expire(payload)
+                self._on_expire(time, payload)
+            if telemetry is not None and telemetry.event(_KIND_NAMES[kind],
+                                                         len(queue)):
+                telemetry.sample_buffers(
+                    time, sum(buffer.used for buffer in buffers))
+        if telemetry is not None:
+            telemetry.finish()
 
         outcomes = []
         for message in messages:
@@ -528,6 +573,8 @@ class DesSimulator:
             return
         if self._churn is not None:
             state.open_payloads[id(payload)] = payload
+        if self._tracer is not None:
+            self._tracer.emit("contact_start", time, a=contact.a, b=contact.b)
         self._history.record(contact.a, contact.b, time)
         self._adapter.on_contact_start(contact.a, contact.b, time, self._history)
         pair = (a, b) if a <= b else (b, a)
@@ -564,15 +611,24 @@ class DesSimulator:
             state.active_until.pop(pair, None)
         else:
             state.active_counts[pair] = remaining
+        if self._tracer is not None:
+            self._tracer.emit("contact_end", time, a=contact.a, b=contact.b)
         self._adapter.on_contact_end(contact.a, contact.b, time, self._history)
 
     def _on_create(self, time: float, message: Message) -> None:
         state = self._state
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit("create", time, msg=message.id, src=message.source,
+                        dst=message.destination)
         source_index = state.interner.index_of(message.source)
         if state.down and source_index in state.down:
             # a down source never emits the message — it counts as a
             # source rejection, like a full source buffer
             self._stats.source_rejections += 1
+            if tracer is not None:
+                tracer.emit("drop", time, msg=message.id, node=message.source,
+                            reason="source_rejected")
             return
         self._adapter.on_message_created(message, time)
         source = source_index
@@ -582,18 +638,24 @@ class DesSimulator:
         admitted, evicted = state.buffers[source].admit(entry)
         if not admitted:
             self._stats.source_rejections += 1
+            if tracer is not None:
+                tracer.emit("drop", time, msg=message.id, node=message.source,
+                            reason="source_rejected")
             return
         state.holdings[message.id] = {source: (time, 0)}
         state.carried[source].add(message.id)
         state.ever_held[message.id] = 1 << source
-        self._drop_evicted(source, evicted)
+        self._drop_evicted(source, evicted, time)
         self._cascade(message, source, time)
 
-    def _on_expire(self, message: Message) -> None:
+    def _on_expire(self, time: float, message: Message) -> None:
         state = self._state
         message_id = message.id
         state.expired.add(message_id)
         holders = state.holdings.pop(message_id, None)
+        if self._tracer is not None:
+            self._tracer.emit("expire", time, msg=message_id,
+                              copies=len(holders) if holders else 0)
         if holders:
             for node in holders:
                 state.carried[node].discard(message_id)
@@ -606,8 +668,11 @@ class DesSimulator:
 
     def _on_node_down(self, time: float, node: int) -> None:
         state = self._state
+        tracer = self._tracer
         state.down.add(node)
         self._stats.node_crashes += 1
+        if tracer is not None:
+            tracer.emit("crash", time, node=state.node_of[node])
         # truncate every open contact touching the node: the pair
         # bookkeeping and the adapter's contact-end hook run now, and the
         # trace's own CONTACT_END for these payloads is suppressed
@@ -627,18 +692,26 @@ class DesSimulator:
                 state.active_until.pop(pair, None)
             else:
                 state.active_counts[pair] = remaining
+            if tracer is not None:
+                tracer.emit("contact_end", time, a=contact.a, b=contact.b,
+                            truncated=True)
             self._adapter.on_contact_end(contact.a, contact.b, time,
                                          self._history)
         # the crash wipes the node's buffer: every carried copy is lost
         for message_id in list(state.carried[node]):
             self._drop_copy(node, message_id)
             self._stats.churn_dropped_copies += 1
+            if tracer is not None:
+                tracer.emit("drop", time, msg=message_id,
+                            node=state.node_of[node], reason="churn")
 
     def _on_node_up(self, time: float, node: int) -> None:
         # the node rejoins empty; contacts that started during the outage
         # stay unobserved for their remainder (a contact is only ever
         # entered at its start event)
         self._state.down.discard(node)
+        if self._tracer is not None:
+            self._tracer.emit("reboot", time, node=self._state.node_of[node])
 
     def _on_retransmit(self, time: float,
                        payload: Tuple[Message, int, int]) -> None:
@@ -671,6 +744,9 @@ class DesSimulator:
                 or state.ever_held.get(message.id, 0) >> peer & 1
                 or peer in state.down):
             self._stats.cancelled_transfers += 1
+            if self._tracer is not None:
+                self._tracer.emit("drop", time, msg=message.id,
+                                  node=state.node_of[peer], reason="cancelled")
             return
         received = self._receive(message, peer, time, hops)
         if not received:
@@ -679,6 +755,10 @@ class DesSimulator:
         if peer != state.dest_index[message.id]:
             self._adapter.on_forwarded(message, node_of[carrier],
                                        node_of[peer], time)
+            if self._tracer is not None:
+                self._tracer.emit("forward", time, msg=message.id,
+                                  src=node_of[carrier], dst=node_of[peer],
+                                  hops=hops)
             # mirror the instantaneous path: delivery at the destination
             # neither costs the carrier its copy (hand-off) nor cascades
             if not self._copy:
@@ -741,6 +821,10 @@ class DesSimulator:
             return True
         self._adapter.on_forwarded(message, state.node_of[carrier],
                                    state.node_of[peer], time)
+        if self._tracer is not None:
+            self._tracer.emit("forward", time, msg=message_id,
+                              src=state.node_of[carrier],
+                              dst=state.node_of[peer], hops=hops + 1)
         if not self._copy:
             self._drop_copy(carrier, message_id)
         if cascade:
@@ -813,6 +897,10 @@ class DesSimulator:
         if channel is not None and channel.loss > 0.0 \
                 and self._channel_rng.random() < channel.loss:
             stats.lost_transfers += 1
+            if self._tracer is not None:
+                self._tracer.emit("loss", time, msg=message.id,
+                                  src=state.node_of[carrier],
+                                  dst=state.node_of[peer])
             state.progress.pop(key, None)  # the lost bytes resend in full
             failures = state.retx_failures.get(key, 0)
             retry_at = completion + channel.backoff(failures)
@@ -821,6 +909,10 @@ class DesSimulator:
                 state.retx_failures[key] = failures + 1
                 state.pending_retx.add(key)
                 stats.retransmissions += 1
+                if self._tracer is not None:
+                    self._tracer.emit("retransmit", time, msg=message.id,
+                                      src=state.node_of[carrier],
+                                      dst=state.node_of[peer], at=retry_at)
                 self._queue.push(retry_at, RETRANSMIT, (message, carrier, peer))
             else:
                 # give up for this contact; a fresh offer (next contact
@@ -852,12 +944,19 @@ class DesSimulator:
         admitted, evicted = state.buffers[peer].admit(entry)
         if not admitted and not is_destination:
             stats.buffer_rejections += 1
+            if self._tracer is not None:
+                self._tracer.emit("drop", time, msg=message_id,
+                                  node=state.node_of[peer], reason="rejected")
             return False
         state.ever_held[message_id] |= 1 << peer
         stats.copies_sent += 1
         if is_destination and message_id not in state.delivered:
             state.delivered[message_id] = (time, hops)
             self._adapter.on_delivered(message, time)
+            if self._tracer is not None:
+                self._tracer.emit("deliver", time, msg=message_id,
+                                  node=state.node_of[peer], hops=hops,
+                                  delay=time - message.creation_time)
         if admitted:
             holders = state.holdings.get(message_id)
             if holders is not None:
@@ -865,7 +964,7 @@ class DesSimulator:
             else:  # defensive: holdings exist whenever copies circulate
                 state.holdings[message_id] = {peer: (time, hops)}
             state.carried[peer].add(message_id)
-            self._drop_evicted(peer, evicted)
+            self._drop_evicted(peer, evicted, time)
         return True
 
     # ------------------------------------------------------------------
@@ -878,16 +977,21 @@ class DesSimulator:
         state.carried[node].discard(message_id)
         state.buffers[node].remove(message_id)
 
-    def _drop_evicted(self, node: int, evicted: List[BufferEntry]) -> None:
+    def _drop_evicted(self, node: int, evicted: List[BufferEntry],
+                      time: float) -> None:
         """Unregister copies the node's buffer just evicted."""
         if not evicted:
             return
         state = self._state
+        tracer = self._tracer
         for entry in evicted:
             holders = state.holdings.get(entry.message_id)
             if holders is not None:
                 holders.pop(node, None)
             state.carried[node].discard(entry.message_id)
+            if tracer is not None:
+                tracer.emit("drop", time, msg=entry.message_id,
+                            node=state.node_of[node], reason="evicted")
         self._stats.buffer_evictions += len(evicted)
 
 
@@ -899,9 +1003,12 @@ def simulate_des(
     copy_semantics: str = "copy",
     stop_on_delivery: bool = True,
     seed: Optional[int] = None,
+    tracer: Optional[object] = None,
+    telemetry: Optional[object] = None,
 ) -> ConstrainedSimulationResult:
     """One-shot convenience wrapper around :class:`DesSimulator`."""
     simulator = DesSimulator(trace, algorithm, constraints=constraints,
                              copy_semantics=copy_semantics,
-                             stop_on_delivery=stop_on_delivery, seed=seed)
+                             stop_on_delivery=stop_on_delivery, seed=seed,
+                             tracer=tracer, telemetry=telemetry)
     return simulator.run(messages)

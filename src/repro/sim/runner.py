@@ -162,13 +162,16 @@ def run_scenario(
     constraints: Optional[ResourceConstraints] = None,
     parallel: bool = False,
     n_workers: Optional[int] = None,
+    obs=None,
 ) -> ScenarioRunResult:
     """Run one scenario end to end.
 
     *num_runs*, *seed* and *constraints* override the scenario's own values
     when given (the CLI exposes them).  With ``parallel=True`` the
     (run × algorithm) simulations are distributed over a process pool;
-    results are identical to a serial run.
+    results are identical to a serial run.  *obs* (a
+    :class:`repro.obs.ObsConfig`) enables per-job JSONL traces and engine
+    telemetry on the executed jobs.
     """
     from ..exp.orchestrator import execute_plan
     from ..exp.plan import build_plan
@@ -191,7 +194,15 @@ def run_scenario(
     plan = build_plan(ExperimentSpec(name=f"scenario:{spec.name}",
                                      scenarios=(spec,)))
     _warm_caches(plan, trace, messages_per_run)
-    executed = execute_plan(plan, parallel=parallel, n_workers=n_workers)
+    executed = execute_plan(plan, parallel=parallel, n_workers=n_workers,
+                            obs=obs)
+    if obs is not None and obs.metrics_path is not None:
+        from ..exp.orchestrator import ExperimentResult, _metrics_payload
+        from ..obs.telemetry import write_metrics_json
+
+        write_metrics_json(obs.metrics_path, _metrics_payload(
+            ExperimentResult(spec=plan.spec, plan=plan, outcome=executed),
+            timers=None))
 
     outcome = ScenarioRunResult(
         scenario=spec, trace_name=trace.name, num_nodes=trace.num_nodes,

@@ -1,0 +1,367 @@
+"""Live experiment feeds: incremental store reads, status tracking, the
+streaming leaderboard and the ``exp watch`` CLI.
+
+The load-bearing guarantees: :meth:`ResultStore.refresh` parses only the
+bytes appended since the last poll (and never consumes a writer's partial
+line); :class:`StatusTracker` reproduces ``experiment_status`` payloads
+exactly while polling incrementally; :class:`LiveLeaderboard` converges to
+the tournament's final standings; and an interrupted observed run keeps
+its telemetry artifacts across resume.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exp import ExperimentSpec, ResultStore, run_experiment
+from repro.exp.orchestrator import experiment_status
+from repro.obs import LiveLeaderboard, ObsConfig, StatusTracker, read_trace
+from repro.obs.feed import StatusTracker as FeedStatusTracker
+from repro.routing.tournament import run_tournament
+from repro.sim.cli import main
+
+SMALL_SPEC = ExperimentSpec(
+    name="feed-small", scenarios=("paper-ttl-tight",),
+    protocols=("Epidemic", "Direct Delivery"), seeds=(7,), num_runs=1)
+
+
+def _record(job_hash, payload=0):
+    return {"schema": 1, "job_hash": job_hash, "payload": payload}
+
+
+def _append_raw(store, data: bytes) -> None:
+    store.root.mkdir(parents=True, exist_ok=True)
+    with open(store.path, "ab") as handle:
+        handle.write(data)
+
+
+# ----------------------------------------------------------------------
+# ResultStore.refresh
+# ----------------------------------------------------------------------
+class TestStoreRefresh:
+    def test_first_refresh_loads_everything(self, tmp_path):
+        writer = ResultStore(tmp_path / "s")
+        writer.put(_record("a"))
+        writer.put(_record("b"))
+        reader = ResultStore(tmp_path / "s")
+        fresh = reader.refresh()
+        assert {record["job_hash"] for record in fresh} == {"a", "b"}
+        assert reader.refresh() == []
+
+    def test_refresh_returns_only_appended_records(self, tmp_path):
+        writer = ResultStore(tmp_path / "s")
+        writer.put(_record("a"))
+        reader = ResultStore(tmp_path / "s")
+        reader.load()
+        assert reader.refresh() == []
+        writer.put(_record("b"))
+        writer.put(_record("c"))
+        fresh = reader.refresh()
+        assert [record["job_hash"] for record in fresh] == ["b", "c"]
+        assert reader.refresh() == []
+        assert reader.get("c") == _record("c")
+
+    def test_partial_final_line_is_left_for_the_next_poll(self, tmp_path):
+        """A writer caught mid-append must not lose the record: the
+        partial line stays unconsumed and parses once completed."""
+        writer = ResultStore(tmp_path / "s")
+        writer.put(_record("a"))
+        reader = ResultStore(tmp_path / "s")
+        reader.load()
+        line = json.dumps(_record("b")).encode("utf-8")
+        _append_raw(reader, line[:10])          # mid-append snapshot
+        assert reader.refresh() == []
+        _append_raw(reader, line[10:] + b"\n")  # writer finishes
+        fresh = reader.refresh()
+        assert [record["job_hash"] for record in fresh] == ["b"]
+        # the reader never marked the store damaged
+        assert not reader._truncated_tail
+
+    def test_complete_line_without_trailing_newline_is_consumed(self, tmp_path):
+        writer = ResultStore(tmp_path / "s")
+        writer.put(_record("a"))
+        reader = ResultStore(tmp_path / "s")
+        reader.load()
+        _append_raw(reader, json.dumps(_record("b")).encode("utf-8"))
+        fresh = reader.refresh()
+        assert [record["job_hash"] for record in fresh] == ["b"]
+        assert reader.refresh() == []
+
+    def test_shrunken_file_triggers_full_reload(self, tmp_path):
+        writer = ResultStore(tmp_path / "s")
+        writer.put(_record("a"))
+        writer.put(_record("b"))
+        reader = ResultStore(tmp_path / "s")
+        reader.load()
+        writer.path.write_text(
+            json.dumps(_record("z")) + "\n")  # store rewritten from scratch
+        fresh = reader.refresh()
+        assert [record["job_hash"] for record in fresh] == ["z"]
+        assert reader.hashes() == ["z"]
+
+    def test_corrupt_interior_line_warns_and_skips(self, tmp_path):
+        writer = ResultStore(tmp_path / "s")
+        writer.put(_record("a"))
+        reader = ResultStore(tmp_path / "s")
+        reader.load()
+        _append_raw(reader, b"{this is not json}\n")
+        _append_raw(reader, json.dumps(_record("b")).encode() + b"\n")
+        with pytest.warns(UserWarning, match="corrupt"):
+            fresh = reader.refresh()
+        assert [record["job_hash"] for record in fresh] == ["b"]
+
+
+# ----------------------------------------------------------------------
+# StatusTracker
+# ----------------------------------------------------------------------
+class TestStatusTracker:
+    def test_payload_matches_experiment_status_before_and_after(self, tmp_path):
+        store = str(tmp_path / "results")
+        tracker = StatusTracker(SMALL_SPEC, store=store)
+        assert tracker.refresh() == experiment_status(SMALL_SPEC, store=store)
+        assert not tracker.is_complete
+        run_experiment(SMALL_SPEC, store=store)
+        after = tracker.refresh()
+        assert after == experiment_status(SMALL_SPEC, store=store)
+        assert (after["done"], after["pending"]) == (2, 0)
+        assert tracker.is_complete
+
+    def test_experiment_status_routes_through_the_tracker(self):
+        # the satellite fix: one classification pass, shared implementation
+        import repro.exp.orchestrator as orchestrator
+        import inspect
+
+        source = inspect.getsource(orchestrator.experiment_status)
+        assert "StatusTracker" in source
+
+    def test_incremental_refresh_sees_new_records_cheaply(self, tmp_path):
+        """Jobs landing between polls flip pending->done without a full
+        reload (the tracker's store only tail-reads)."""
+        store_root = tmp_path / "results"
+        tracker = StatusTracker(SMALL_SPEC, store=str(store_root))
+        assert tracker.refresh()["pending"] == 2
+        run_experiment(SMALL_SPEC, store=str(store_root))
+        status = tracker.refresh()
+        assert (status["done"], status["pending"]) == (2, 0)
+        assert status["scenarios"]["paper-ttl-tight"]["done"] == 2
+
+    def test_storeless_tracker_reports_all_pending(self):
+        tracker = StatusTracker(SMALL_SPEC, store=None)
+        status = tracker.refresh()
+        assert (status["done"], status["pending"]) == (0, 2)
+        assert status["store"] is None
+        assert not tracker.is_complete
+
+    def test_failure_records_classify_and_report(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        run_experiment(SMALL_SPEC, store=store)
+        tracker = StatusTracker(SMALL_SPEC, store=ResultStore(store.root))
+        assert tracker.refresh()["failed"] == 0
+        # quarantine one job after the fact: last write wins per hash
+        victim = tracker.plan.jobs[0]
+        store.put({
+            "schema": 1, "job_hash": victim.job_hash, "status": "failed",
+            "scenario": victim.scenario_name, "protocol": victim.protocol,
+            "seed": victim.seed, "run_index": victim.run_index,
+            "error": "exploded", "error_kind": "RuntimeError",
+            "attempts": 2, "elapsed_s": 0.1, "detail": None})
+        status = tracker.refresh()
+        assert (status["done"], status["failed"]) == (1, 1)
+        (row,) = status["failures"]
+        assert row["protocol"] == victim.protocol
+        assert row["error_kind"] == "RuntimeError"
+        assert status == experiment_status(SMALL_SPEC,
+                                           store=ResultStore(store.root))
+        # failed jobs are settled: watch terminates on them
+        assert tracker.is_complete
+
+    def test_watch_during_a_live_run(self, tmp_path):
+        """Poll a tracker while another thread executes the experiment —
+        the feed must settle to complete without a full store rescan."""
+        store_root = str(tmp_path / "results")
+        tracker = StatusTracker(SMALL_SPEC, store=store_root)
+        assert tracker.refresh()["pending"] == 2
+        runner = threading.Thread(
+            target=run_experiment, args=(SMALL_SPEC,),
+            kwargs={"store": store_root})
+        runner.start()
+        try:
+            deadline = time.monotonic() + 60.0
+            while not tracker.is_complete:
+                assert time.monotonic() < deadline, "watch never settled"
+                tracker.refresh()
+                time.sleep(0.02)
+        finally:
+            runner.join(timeout=60.0)
+        status = tracker.refresh()
+        assert (status["done"], status["failed"]) == (2, 0)
+
+
+# ----------------------------------------------------------------------
+# LiveLeaderboard
+# ----------------------------------------------------------------------
+class TestLiveLeaderboard:
+    def test_converges_to_the_tournament_leaderboard(self):
+        """Observing every finished cell through the progress callback
+        must end at the same standings the batch leaderboard computes."""
+        board = LiveLeaderboard()
+        snapshots = []
+
+        def progress(event, job, value):
+            if event in ("done", "reused"):
+                board.observe(job.protocol, value)
+                snapshots.append([row["protocol"] for row in board.rows()])
+
+        result = run_tournament(
+            protocols=("Epidemic", "Direct Delivery"),
+            scenarios=("paper-ttl-tight",), seeds=(7,),
+            progress=progress)
+        assert board.num_observed == 2
+        assert snapshots, "progress must fire per settled job"
+        assert len(snapshots[0]) == 1  # standings existed mid-run
+
+        final = {row["protocol"]: row for row in board.rows()}
+        batch = {row["protocol"]: row for row in result.leaderboard_rows()}
+        assert final.keys() == batch.keys()
+        for protocol, row in batch.items():
+            live = final[protocol]
+            for column in ("rank", "messages", "delivered", "success_rate",
+                           "median_delay_s", "p90_delay_s",
+                           "copies/delivery", "lost", "retx", "crashes"):
+                assert live[column] == row[column], (protocol, column)
+
+    def test_preseeded_protocols_rank_with_zero_observations(self):
+        board = LiveLeaderboard(protocols=("A", "B"))
+        rows = board.rows()
+        assert [row["protocol"] for row in rows] == ["A", "B"]
+        assert all(row["messages"] == 0 for row in rows)
+        assert "A" in board.table()
+
+    def test_ranking_orders_by_success_then_delay(self):
+        board = LiveLeaderboard()
+
+        class _Result:
+            def __init__(self, delivered, total, delay):
+                from repro.forwarding.simulator import DeliveryOutcome
+                from repro.forwarding.messages import Message
+
+                self.copies_sent = total
+                self.outcomes = []
+                for index in range(total):
+                    message = Message(id=index, source=0, destination=1,
+                                      creation_time=0.0)
+                    hit = index < delivered
+                    self.outcomes.append(DeliveryOutcome(
+                        message=message, delivered=hit,
+                        delivery_time=delay if hit else None,
+                        hop_count=1 if hit else 0))
+
+        board.observe("strong", _Result(delivered=9, total=10, delay=50.0))
+        board.observe("weak", _Result(delivered=2, total=10, delay=5.0))
+        board.observe("slow", _Result(delivered=9, total=10, delay=400.0))
+        ranked = [row["protocol"] for row in board.rows()]
+        assert ranked == ["strong", "slow", "weak"]
+        assert [row["rank"] for row in board.rows()] == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# interrupted observed runs
+# ----------------------------------------------------------------------
+class TestKillAndResume:
+    def test_interrupt_preserves_telemetry_artifacts(self, tmp_path,
+                                                     monkeypatch):
+        """Kill mid-run: the finished job's trace survives; resume
+        executes the tail, keeps the old trace, and writes metrics."""
+        import repro.exp.orchestrator as orchestrator
+
+        store = ResultStore(tmp_path / "results")
+        obs = ObsConfig(trace_dir=str(tmp_path / "traces"),
+                        metrics_path=str(tmp_path / "metrics.json"))
+        real_run = orchestrator._run_exp_job
+        calls = {"n": 0}
+
+        def explode_on_second(payload):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return real_run(payload)
+
+        monkeypatch.setattr(orchestrator, "_run_exp_job", explode_on_second)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(SMALL_SPEC, store=store, obs=obs)
+        trace_dir = tmp_path / "traces"
+        survivors = sorted(trace_dir.glob("trace-*.jsonl"))
+        assert len(survivors) == 1
+        first_trace = survivors[0].read_bytes()
+
+        monkeypatch.setattr(orchestrator, "_run_exp_job", real_run)
+        resumed = run_experiment(SMALL_SPEC, store=ResultStore(store.root),
+                                 obs=obs)
+        assert resumed.num_executed == 1
+        assert resumed.num_reused == 1
+        # both traces on disk now; the survivor is untouched
+        assert len(sorted(trace_dir.glob("trace-*.jsonl"))) == 2
+        assert survivors[0].read_bytes() == first_trace
+        assert read_trace(survivors[0])
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["executed"] == 1
+        assert metrics["reused"] == 1
+        assert len(metrics["engine_runs"]) == 1
+
+
+# ----------------------------------------------------------------------
+# the watch CLI
+# ----------------------------------------------------------------------
+class TestWatchCli:
+    def _spec_file(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "watch-cli", "scenarios": ["paper-ttl-tight"],
+            "protocols": ["Epidemic", "Direct Delivery"], "seeds": [7]}))
+        return str(spec_path)
+
+    def test_watch_bounded_polls_on_a_pending_grid(self, tmp_path, capsys):
+        spec_path = self._spec_file(tmp_path)
+        store = str(tmp_path / "results")
+        assert main(["exp", "watch", spec_path, "--store", store,
+                     "--interval", "0.01", "--max-polls", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0/2 done, 0 failed, 2 pending" in out
+        assert "stopping after 2 poll(s)" in out
+
+    def test_watch_exits_when_the_grid_settles(self, tmp_path, capsys):
+        spec_path = self._spec_file(tmp_path)
+        store = str(tmp_path / "results")
+        assert main(["exp", "run", spec_path, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["exp", "watch", spec_path, "--store", store,
+                     "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 done, 0 failed, 0 pending" in out
+        assert "experiment complete" in out
+
+    def test_status_live_aliases_watch(self, tmp_path, capsys):
+        spec_path = self._spec_file(tmp_path)
+        store = str(tmp_path / "results")
+        assert main(["exp", "run", spec_path, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["exp", "status", spec_path, "--store", store,
+                     "--live", "--interval", "0.01"]) == 0
+        assert "experiment complete" in capsys.readouterr().out
+
+    def test_interval_must_be_positive(self, tmp_path):
+        spec_path = self._spec_file(tmp_path)
+        with pytest.raises(SystemExit, match="interval"):
+            main(["exp", "watch", spec_path, "--interval", "0"])
+
+
+def test_public_reexports():
+    """The feed types are part of the repro.obs (and repro) surface."""
+    import repro
+
+    assert FeedStatusTracker is StatusTracker
+    assert repro.obs.LiveLeaderboard is LiveLeaderboard

@@ -1,0 +1,367 @@
+"""Streaming metric accumulators: exactness, merge laws, error bounds.
+
+The contract under test (see :mod:`repro.obs.streaming`): while a sketch
+is exact (``<= exact_capacity`` samples) every streaming summary is
+byte-identical to the batch computation, because both defer to the same
+``np.mean`` / ``np.median`` / ``np.percentile`` calls; past that, quantile
+queries stay within a bounded rank error.  Merging is associative and
+commutative — exactly for counts, to floating tolerance for moments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import PAPER_DATASET_KEYS, load_dataset
+from repro.forwarding import (
+    ForwardingSimulator,
+    PoissonMessageWorkload,
+)
+from repro.forwarding.algorithms import algorithm_by_name
+from repro.forwarding.metrics import summarize
+from repro.obs import QuantileSketch, StreamingMoments, StreamingSummary
+
+_SCALE = 0.2
+_RATE = 0.01
+
+# finite, moderate-magnitude floats: the merge laws are floating-point
+# statements, so keep values away from cancellation-catastrophe ranges
+values = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False, width=64)
+value_lists = st.lists(values, max_size=200)
+
+
+def _moments_of(samples):
+    moments = StreamingMoments()
+    for sample in samples:
+        moments.add(sample)
+    return moments
+
+
+def _sketch_of(samples, **kwargs):
+    sketch = QuantileSketch(**kwargs)
+    for sample in samples:
+        sketch.add(sample)
+    return sketch
+
+
+def _close(a, b, tol=1e-9):
+    if a is None or b is None:
+        return a is None and b is None
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+# ----------------------------------------------------------------------
+# StreamingMoments
+# ----------------------------------------------------------------------
+class TestStreamingMoments:
+    def test_empty_stream(self):
+        moments = StreamingMoments()
+        assert moments.count == 0
+        assert moments.variance is None
+        assert moments.std is None
+        assert moments.as_dict() == {"count": 0, "mean": None,
+                                     "variance": None}
+
+    @given(samples=st.lists(values, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_batch(self, samples):
+        moments = _moments_of(samples)
+        data = np.array(samples, dtype=float)
+        assert moments.count == len(samples)
+        assert _close(moments.mean, float(data.mean()), tol=1e-7)
+        assert _close(moments.variance, float(data.var()), tol=1e-6) or \
+            abs(moments.variance - float(data.var())) <= 1e-6 * max(
+                1.0, float(np.abs(data).max()) ** 2)
+
+    @given(a=value_lists, b=value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes(self, a, b):
+        ab = _moments_of(a).merge(_moments_of(b))
+        ba = _moments_of(b).merge(_moments_of(a))
+        assert ab.count == ba.count
+        assert _close(ab.mean, ba.mean, tol=1e-7) or ab.count == 0
+        if ab.count:
+            assert _close(ab.variance, ba.variance, tol=1e-6) or \
+                abs(ab.variance - ba.variance) <= 1e-6
+
+    @given(a=value_lists, b=value_lists, c=value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        left = _moments_of(a).merge(_moments_of(b)).merge(_moments_of(c))
+        right = _moments_of(a).merge(
+            _moments_of(b).merge(_moments_of(c)))
+        assert left.count == right.count
+        if left.count:
+            assert _close(left.mean, right.mean, tol=1e-7)
+            assert _close(left.variance, right.variance, tol=1e-6) or \
+                abs(left.variance - right.variance) <= 1e-6
+
+    def test_merge_with_empty_is_identity(self):
+        moments = _moments_of([1.0, 2.0, 3.0])
+        before = moments.as_dict()
+        moments.merge(StreamingMoments())
+        assert moments.as_dict() == before
+        fresh = StreamingMoments().merge(_moments_of([1.0, 2.0, 3.0]))
+        assert fresh.as_dict() == before
+
+    def test_copy_is_independent(self):
+        moments = _moments_of([1.0, 2.0])
+        twin = moments.copy()
+        twin.add(100.0)
+        assert moments.count == 2
+        assert twin.count == 3
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch — exact mode
+# ----------------------------------------------------------------------
+class TestSketchExactMode:
+    def test_empty(self):
+        sketch = QuantileSketch()
+        assert len(sketch) == 0
+        assert sketch.median() is None
+        assert sketch.quantile(0.9) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exact_capacity"):
+            QuantileSketch(exact_capacity=-1)
+        with pytest.raises(ValueError, match="buffer_size"):
+            QuantileSketch(buffer_size=1)
+        with pytest.raises(ValueError, match="quantile"):
+            _sketch_of([1.0]).quantile(1.5)
+
+    @given(samples=st.lists(values, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_matches_numpy_on_small_inputs(self, samples):
+        """Below capacity, median/p90 equal the batch numpy calls *bit for
+        bit* — the property that makes streaming summaries byte-identical
+        to batch ones."""
+        sketch = _sketch_of(samples)
+        assert sketch.is_exact
+        data = np.array(samples, dtype=float)
+        assert sketch.median() == float(np.median(data))
+        assert sketch.quantile(0.9) == float(np.percentile(data, 90))
+        assert sketch.quantile(0.5) == float(np.percentile(data, 50))
+
+    @given(a=st.lists(values, max_size=100), b=st.lists(values, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_merge_equals_concatenation(self, a, b):
+        merged = _sketch_of(a).merge(_sketch_of(b))
+        assert merged.is_exact
+        assert merged.count == len(a) + len(b)
+        assert merged.samples == list(map(float, a)) + list(map(float, b))
+        if a or b:
+            data = np.array(a + b, dtype=float)
+            assert merged.median() == float(np.median(data))
+            assert merged.quantile(0.9) == float(np.percentile(data, 90))
+
+    @given(a=st.lists(values, max_size=60), b=st.lists(values, max_size=60),
+           c=st.lists(values, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_merge_queries_commute_and_associate(self, a, b, c):
+        """numpy sorts internally, so exact-mode queries only see the
+        multiset: any merge order answers identically."""
+        if not (a or b or c):
+            return
+        orders = [
+            _sketch_of(a).merge(_sketch_of(b)).merge(_sketch_of(c)),
+            _sketch_of(c).merge(_sketch_of(a)).merge(_sketch_of(b)),
+            _sketch_of(a).merge(_sketch_of(b).merge(_sketch_of(c))),
+        ]
+        reference = orders[0]
+        for candidate in orders[1:]:
+            assert candidate.count == reference.count
+            assert candidate.median() == reference.median()
+            assert candidate.quantile(0.9) == reference.quantile(0.9)
+
+    def test_self_merge_doubles(self):
+        sketch = _sketch_of([1.0, 2.0, 3.0])
+        sketch.merge(sketch)
+        assert sketch.count == 6
+        assert sketch.samples == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+
+    def test_samples_raise_once_compressed(self):
+        sketch = _sketch_of(range(100), exact_capacity=16, buffer_size=8)
+        assert not sketch.is_exact
+        with pytest.raises(ValueError, match="compressed"):
+            sketch.samples
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch — compressed mode error bound
+# ----------------------------------------------------------------------
+def _rank_error(sketch, data_sorted, q):
+    """|empirical rank of the sketch's answer - q|, as a fraction."""
+    answer = sketch.quantile(q)
+    # rank range of the answer in the true data (handles duplicates)
+    lo = np.searchsorted(data_sorted, answer, side="left")
+    hi = np.searchsorted(data_sorted, answer, side="right")
+    target = q * len(data_sorted)
+    if lo <= target <= hi:
+        return 0.0
+    return min(abs(lo - target), abs(hi - target)) / len(data_sorted)
+
+
+class TestSketchCompressedMode:
+    @pytest.mark.parametrize("distribution", ["uniform", "exponential",
+                                              "lognormal"])
+    def test_rank_error_below_one_percent_on_large_streams(self, distribution):
+        rng = np.random.default_rng(12345)
+        n = 60_000
+        if distribution == "uniform":
+            data = rng.uniform(0.0, 1e4, size=n)
+        elif distribution == "exponential":
+            data = rng.exponential(scale=900.0, size=n)
+        else:
+            data = rng.lognormal(mean=5.0, sigma=2.0, size=n)
+        sketch = _sketch_of(data)
+        assert not sketch.is_exact
+        assert sketch.count == n
+        data_sorted = np.sort(data)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            assert _rank_error(sketch, data_sorted, q) <= 0.01, \
+                f"{distribution} q={q}"
+
+    def test_rank_error_holds_under_chunked_merging(self):
+        """Merging many part-streams must stay within the same bound."""
+        rng = np.random.default_rng(99)
+        data = rng.exponential(scale=100.0, size=50_000)
+        merged = QuantileSketch()
+        for chunk in np.array_split(data, 13):
+            merged.merge(_sketch_of(chunk))
+        assert merged.count == len(data)
+        data_sorted = np.sort(data)
+        for q in (0.5, 0.9):
+            assert _rank_error(merged, data_sorted, q) <= 0.01
+
+    def test_sorted_and_reversed_feeds_agree_within_bound(self):
+        data = np.arange(30_000, dtype=float)
+        forward = _sketch_of(data)
+        backward = _sketch_of(data[::-1])
+        for q in (0.5, 0.9):
+            for sketch in (forward, backward):
+                assert abs(sketch.quantile(q) - q * len(data)) \
+                    <= 0.01 * len(data)
+
+    def test_copy_is_independent_when_compressed(self):
+        sketch = _sketch_of(range(10_000))
+        twin = sketch.copy()
+        twin.add(1e12)
+        assert twin.count == sketch.count + 1
+        assert sketch.quantile(0.5) == sketch.copy().quantile(0.5)
+
+
+# ----------------------------------------------------------------------
+# StreamingSummary vs the batch summarize()
+# ----------------------------------------------------------------------
+def _simulate(dataset_key, algorithm="Epidemic", seed=11):
+    trace = load_dataset(dataset_key, scale=_SCALE, contact_scale=_SCALE)
+    messages = PoissonMessageWorkload(rate=_RATE).generate(trace, seed=seed)
+    return ForwardingSimulator(trace, algorithm_by_name(algorithm)).run(messages)
+
+
+class TestStreamingSummary:
+    @pytest.mark.parametrize("dataset_key", PAPER_DATASET_KEYS)
+    def test_as_row_byte_identical_to_batch_on_paper_standins(self,
+                                                              dataset_key):
+        """The headline acceptance check: fold a real simulation result
+        through the streaming path and the batch path — the rows must be
+        *equal*, not approximately equal."""
+        result = _simulate(dataset_key)
+        stream = StreamingSummary(result.algorithm)
+        stream.observe_result(result)
+        assert stream.sketch.is_exact
+        assert stream.summary().as_row() == summarize(result).as_row()
+        assert stream.summary() == summarize(result)
+
+    def test_outcome_by_outcome_fold_matches_whole_result_fold(self):
+        result = _simulate(PAPER_DATASET_KEYS[0])
+        whole = StreamingSummary(result.algorithm)
+        whole.observe_result(result)
+        piecewise = StreamingSummary(result.algorithm)
+        for outcome in result.outcomes:
+            piecewise.observe_outcome(outcome)
+        piecewise.add_copies(result.copies_sent)
+        assert piecewise.summary() == whole.summary()
+
+    def test_merge_of_run_streams_matches_pooled_batch(self):
+        """Two runs folded separately then merged == the batch summary of
+        both runs' outcomes pooled (exact mode)."""
+        first = _simulate(PAPER_DATASET_KEYS[0], seed=11)
+        second = _simulate(PAPER_DATASET_KEYS[0], seed=12)
+        merged_stream = StreamingSummary(first.algorithm)
+        for result in (first, second):
+            part = StreamingSummary(result.algorithm)
+            part.observe_result(result)
+            merged_stream.merge(part)
+        from repro.forwarding.simulator import SimulationResult
+
+        pooled = SimulationResult(algorithm=first.algorithm,
+                                  trace_name=first.trace_name)
+        pooled.outcomes.extend(first.outcomes)
+        pooled.outcomes.extend(second.outcomes)
+        pooled.copies_sent = first.copies_sent + second.copies_sent
+        assert merged_stream.summary().as_row() == \
+            summarize(pooled).as_row()
+
+    def test_unknown_copies_poison_the_total(self):
+        stream = StreamingSummary("x")
+        stream.observe(True, 10.0)
+        stream.add_copies(5)
+        assert stream.copies_sent == 5
+        stream.add_copies(None)
+        assert stream.copies_sent is None
+        assert stream.summary().copies_sent is None
+
+    def test_fault_counters_surface_only_when_stats_seen(self):
+        plain = StreamingSummary("x")
+        plain.observe(True, 1.0)
+        summary = plain.summary()
+        assert summary.lost_transfers is None
+        assert "lost" not in summary.as_row()
+
+        from repro.sim.engine import ConstrainedSimulationResult, ResourceStats
+
+        stats = ResourceStats()
+        stats.lost_transfers = 3
+        stats.retransmissions = 2
+        stats.node_crashes = 1
+        faulty = ConstrainedSimulationResult(
+            algorithm="x", trace_name="t", stats=stats, copies_sent=0)
+        stream = StreamingSummary("x")
+        stream.observe_result(faulty)
+        summary = stream.summary()
+        assert (summary.lost_transfers, summary.retransmissions,
+                summary.node_crashes) == (3, 2, 1)
+        row = summary.as_row()
+        assert (row["lost"], row["retx"], row["crashes"]) == (3, 2, 1)
+
+    def test_compressed_summary_stays_close_to_batch(self):
+        """Past exact capacity the summary degrades gracefully: mean is
+        exact (Welford), median/p90 within the rank bound."""
+        rng = np.random.default_rng(7)
+        delays = rng.exponential(scale=600.0, size=20_000)
+        stream = StreamingSummary("big", exact_capacity=1024, buffer_size=256)
+        for delay in delays:
+            stream.observe(True, float(delay))
+        assert not stream.sketch.is_exact
+        summary = stream.summary()
+        assert summary.num_messages == summary.num_delivered == len(delays)
+        assert math.isclose(summary.average_delay, float(delays.mean()),
+                            rel_tol=1e-9)
+        data_sorted = np.sort(delays)
+        for attr, q in (("median_delay", 0.5), ("p90_delay", 0.9)):
+            answer = getattr(summary, attr)
+            lo = np.searchsorted(data_sorted, answer, side="left")
+            hi = np.searchsorted(data_sorted, answer, side="right")
+            target = q * len(delays)
+            error = (0.0 if lo <= target <= hi
+                     else min(abs(lo - target), abs(hi - target)) / len(delays))
+            # buffer_size=256 loosens the bound vs the 1024 default
+            assert error <= 0.04, f"{attr}: rank error {error}"

@@ -1,0 +1,244 @@
+"""Structured trace events: tracer plumbing and engine probe sites.
+
+Pins (a) the tracer API itself — recording, JSONL round-trips, lazy file
+creation; (b) that attaching a tracer never changes a simulation's
+results; (c) the probe vocabulary: both engines narrate contacts,
+creations, forwards, deliveries and drops, and the fault layer adds loss /
+retransmit / crash / reboot, with every ``deliver`` event agreeing with
+the result's outcome stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.contacts import Contact, ContactTrace
+from repro.datasets import PAPER_DATASET_KEYS, load_dataset
+from repro.forwarding import (
+    ForwardingSimulator,
+    Message,
+    PoissonMessageWorkload,
+)
+from repro.forwarding.algorithms import algorithm_by_name
+from repro.obs import (
+    TRACE_EVENTS,
+    JsonlTracer,
+    RecordingTracer,
+    read_trace,
+)
+from repro.sim import (
+    ChannelSpec,
+    ChurnSpec,
+    DesSimulator,
+    ResourceConstraints,
+)
+
+_SCALE = 0.2
+_RATE = 0.01
+
+DROP_REASONS = {"evicted", "rejected", "source_rejected", "expired",
+                "churn", "cancelled"}
+
+
+def _load(dataset_key=PAPER_DATASET_KEYS[0]):
+    trace = load_dataset(dataset_key, scale=_SCALE, contact_scale=_SCALE)
+    messages = PoissonMessageWorkload(rate=_RATE).generate(trace, seed=11)
+    return trace, messages
+
+
+def _assert_results_equal(reference, candidate, context=""):
+    assert candidate.algorithm == reference.algorithm, context
+    assert len(candidate.outcomes) == len(reference.outcomes), context
+    for expected, actual in zip(reference.outcomes, candidate.outcomes):
+        assert actual.message == expected.message, context
+        assert actual.delivered == expected.delivered, context
+        assert actual.delivery_time == expected.delivery_time, context
+        assert actual.hop_count == expected.hop_count, context
+    assert candidate.copies_sent == reference.copies_sent, context
+
+
+# ----------------------------------------------------------------------
+# tracer objects
+# ----------------------------------------------------------------------
+class TestTracers:
+    def test_recording_tracer_buffers_in_order(self):
+        tracer = RecordingTracer()
+        tracer.emit("create", 1.0, msg=1, src="a", dst="b")
+        tracer.emit("deliver", 2.0, msg=1, node="b", hops=1, delay=1.0)
+        assert [record["event"] for record in tracer.events] == \
+            ["create", "deliver"]
+        assert tracer.events[0] == {"event": "create", "t": 1.0,
+                                    "msg": 1, "src": "a", "dst": "b"}
+        assert tracer.by_event("deliver") == [tracer.events[1]]
+        assert tracer.by_event("drop") == []
+
+    def test_jsonl_tracer_round_trips(self, tmp_path):
+        path = tmp_path / "nested" / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit("create", 0.5, msg=7, src=0, dst=3)
+            tracer.emit("drop", 9.0, msg=7, node=0, reason="expired")
+        assert tracer.num_events == 2
+        events = read_trace(path)
+        assert events == [
+            {"event": "create", "t": 0.5, "msg": 7, "src": 0, "dst": 3},
+            {"event": "drop", "t": 9.0, "msg": 7, "node": 0,
+             "reason": "expired"},
+        ]
+        # one canonical JSON object per line (sorted keys, no spaces)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == json.dumps(events[0], sort_keys=True,
+                                        separators=(",", ":"))
+
+    def test_jsonl_tracer_creates_nothing_without_events(self, tmp_path):
+        path = tmp_path / "never" / "trace.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.close()
+        assert not path.exists()
+        assert not path.parent.exists()
+
+    def test_jsonl_close_is_idempotent(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.emit("create", 0.0, msg=1, src=0, dst=1)
+        tracer.close()
+        tracer.close()
+        assert len(read_trace(tracer.path)) == 1
+
+
+# ----------------------------------------------------------------------
+# engine probes: results unchanged, events faithful
+# ----------------------------------------------------------------------
+class TestEngineProbes:
+    @pytest.mark.parametrize("dataset_key", PAPER_DATASET_KEYS)
+    def test_tracer_does_not_change_results(self, dataset_key):
+        trace, messages = _load(dataset_key)
+        for simulator_class in (ForwardingSimulator, DesSimulator):
+            bare = simulator_class(
+                trace, algorithm_by_name("Epidemic")).run(messages)
+            traced = simulator_class(
+                trace, algorithm_by_name("Epidemic"),
+                tracer=RecordingTracer()).run(messages)
+            _assert_results_equal(bare, traced,
+                                  context=f"{dataset_key} "
+                                          f"{simulator_class.__name__}")
+
+    @pytest.mark.parametrize("simulator_class",
+                             [ForwardingSimulator, DesSimulator])
+    def test_event_stream_is_faithful(self, simulator_class):
+        trace, messages = _load()
+        tracer = RecordingTracer()
+        result = simulator_class(trace, algorithm_by_name("Epidemic"),
+                                 tracer=tracer).run(messages)
+        assert tracer.events, "a real run must narrate something"
+        # vocabulary and monotonic time
+        times = [record["t"] for record in tracer.events]
+        assert times == sorted(times)
+        assert {record["event"] for record in tracer.events} <= \
+            set(TRACE_EVENTS)
+        # every message announces itself exactly once
+        creates = tracer.by_event("create")
+        assert len(creates) == len(messages)
+        assert [record["msg"] for record in creates] == \
+            [message.id for message in messages]
+        # deliver events mirror the outcome stream: same ids, times, hops
+        delivered = {outcome.message.id: outcome
+                     for outcome in result.outcomes if outcome.delivered}
+        delivers = tracer.by_event("deliver")
+        assert len(delivers) == len(delivered)
+        for record in delivers:
+            outcome = delivered[record["msg"]]
+            assert record["t"] == outcome.delivery_time
+            assert record["hops"] == outcome.hop_count
+            assert record["delay"] == \
+                outcome.delivery_time - outcome.message.creation_time
+            assert record["node"] == outcome.message.destination
+        # contacts open exactly as often as they close
+        assert len(tracer.by_event("contact_start")) == \
+            len(tracer.by_event("contact_end")) == len(trace)
+
+    def test_engines_agree_on_the_deliver_stream(self):
+        """The equivalence suite pins outcomes; the tracer view of the same
+        runs must agree too."""
+        trace, messages = _load()
+        streams = []
+        for simulator_class in (ForwardingSimulator, DesSimulator):
+            tracer = RecordingTracer()
+            simulator_class(trace, algorithm_by_name("Epidemic"),
+                            tracer=tracer).run(messages)
+            streams.append(tracer.by_event("deliver"))
+        assert streams[0] == streams[1]
+
+    def test_forward_events_count_relay_copies(self):
+        contacts = [Contact(0.0, 10.0, 0, 1), Contact(20.0, 30.0, 1, 2)]
+        trace = ContactTrace(contacts, nodes=range(3), duration=40.0,
+                             name="line")
+        messages = [Message(id=0, source=0, destination=2,
+                            creation_time=0.0)]
+        tracer = RecordingTracer()
+        result = DesSimulator(trace, algorithm_by_name("Epidemic"),
+                              tracer=tracer).run(messages)
+        assert result.outcomes[0].delivered
+        forwards = tracer.by_event("forward")
+        # 0->1 is a relay copy; 1->2 is the delivery, not a forward
+        assert [(record["src"], record["dst"], record["hops"])
+                for record in forwards] == [(0, 1, 1)]
+        assert len(forwards) + len(tracer.by_event("deliver")) == \
+            result.copies_sent
+
+
+# ----------------------------------------------------------------------
+# fault-layer events
+# ----------------------------------------------------------------------
+class TestFaultEvents:
+    def test_lossy_channel_narrates_loss_and_retransmit(self):
+        trace, messages = _load()
+        tracer = RecordingTracer()
+        constraints = ResourceConstraints(channel=ChannelSpec(loss=0.4))
+        DesSimulator(trace, algorithm_by_name("Epidemic"),
+                     constraints=constraints, seed=11,
+                     tracer=tracer).run(messages)
+        losses = tracer.by_event("loss")
+        retx = tracer.by_event("retransmit")
+        assert losses, "a 40% channel must eat transfers"
+        assert retx, "eaten transfers must reschedule"
+        for record in retx:
+            assert record["at"] >= record["t"]
+
+    def test_churn_narrates_crash_reboot_and_truncation(self):
+        trace, messages = _load()
+        tracer = RecordingTracer()
+        constraints = ResourceConstraints(
+            churn=ChurnSpec(crash_rate=2e-4, mean_downtime=1800.0))
+        result = DesSimulator(trace, algorithm_by_name("Epidemic"),
+                              constraints=constraints, seed=11,
+                              tracer=tracer).run(messages)
+        crashes = tracer.by_event("crash")
+        assert crashes, "this crash rate must produce crashes"
+        assert len(crashes) == result.stats.node_crashes
+        assert tracer.by_event("reboot"), "downtime is finite: nodes return"
+        churn_drops = [record for record in tracer.by_event("drop")
+                       if record["reason"] == "churn"]
+        truncated = [record for record in tracer.by_event("contact_end")
+                     if record.get("truncated")]
+        assert churn_drops or truncated
+
+    def test_ttl_and_buffers_narrate_expiry_and_eviction(self):
+        trace, messages = _load()
+        tracer = RecordingTracer()
+        constraints = ResourceConstraints(buffer_capacity=2.0, ttl=900.0)
+        result = DesSimulator(trace, algorithm_by_name("Epidemic"),
+                              constraints=constraints, seed=11,
+                              tracer=tracer).run(messages)
+        drops = tracer.by_event("drop")
+        reasons = {record["reason"] for record in drops}
+        assert reasons <= DROP_REASONS
+        # an expire event fires for every TTL timer (delivered messages
+        # included, with copies possibly 0); the stats counter only counts
+        # undelivered messages that ever held a copy — a subset
+        expires = tracer.by_event("expire")
+        assert len(expires) >= result.stats.expired_messages > 0
+        assert all(record["copies"] >= 0 for record in expires)
+        evictions = [record for record in drops
+                     if record["reason"] == "evicted"]
+        assert len(evictions) == result.stats.buffer_evictions
