@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Tour of the trace analytics layer: journeys, diffs, the explain hook.
+
+Four stops:
+
+1. reconstruct per-message causal :class:`~repro.obs.Journey` objects
+   from a traced run and check they reconcile **byte for byte** with the
+   batch :func:`~repro.forwarding.metrics.summarize` row;
+2. query the journeys (who delivered, who got dropped where) and split a
+   delivery's delay into queue wait vs transfer time;
+3. diff an ideal run against a lossy run of the same workload — the diff
+   names the deliveries the channel cost and why;
+4. run a traced two-protocol tournament and ask the leaderboard to
+   *explain* its own gap from the per-job traces.
+
+Run with::
+
+    PYTHONPATH=src python examples/explain_tournament.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import load_dataset
+from repro.forwarding import ForwardingSimulator, PoissonMessageWorkload
+from repro.forwarding.algorithms import algorithm_by_name
+from repro.forwarding.metrics import summarize
+from repro.obs import ObsConfig, RecordingTracer, build_journeys, diff_traces, query_journeys
+from repro.routing.tournament import run_tournament
+from repro.sim import ChannelSpec, DesSimulator, ResourceConstraints
+
+
+def _workload():
+    trace = load_dataset("infocom06-9-12", scale=0.2, contact_scale=0.2)
+    messages = PoissonMessageWorkload(rate=0.01).generate(trace, seed=11)
+    return trace, messages
+
+
+def journeys_reconcile():
+    print("1. journeys reconcile with the batch summary")
+    trace, messages = _workload()
+    tracer = RecordingTracer()
+    result = ForwardingSimulator(trace, algorithm_by_name("Epidemic"),
+                                 tracer=tracer).run(messages)
+    journeys = build_journeys(tracer.events)
+    journey_row = journeys.performance_summary("Epidemic").as_row()
+    batch_row = summarize(result).as_row()
+    print(f"   journey-derived: {journey_row}")
+    print(f"   batch summary  : {batch_row}")
+    print(f"   identical: {journey_row == batch_row}, "
+          f"invariant violations: {len(journeys.validate())}")
+    return journeys
+
+
+def query_and_decompose(journeys):
+    print("2. query journeys and decompose a delivery's delay")
+    delivered = query_journeys(journeys, kind="delivered")
+    print(f"   {len(delivered)}/{len(journeys)} journeys delivered")
+    journey = delivered[0]
+    path = journey.path()
+    decomposition = journey.delay_decomposition()
+    print(f"   message {journey.message_id} took "
+          f"{' -> '.join(str(node) for node in path)} "
+          f"({journey.hop_count} hops)")
+    print(f"   delay {decomposition['total_s']:.0f}s = "
+          f"{decomposition['wait_s']:.0f}s queue wait + "
+          f"{decomposition['transfer_s']:.0f}s transfer")
+
+
+def diff_ideal_vs_lossy():
+    print("3. diff an ideal run against a lossy run of the same workload")
+    trace, messages = _workload()
+
+    def _journeys(constraints):
+        tracer = RecordingTracer()
+        DesSimulator(trace, algorithm_by_name("Epidemic"),
+                     constraints=constraints, seed=5,
+                     tracer=tracer).run(messages)
+        return build_journeys(tracer.events)
+
+    ideal = _journeys(ResourceConstraints())
+    lossy = _journeys(ResourceConstraints(channel=ChannelSpec(loss=0.4)))
+    diff = diff_traces(ideal, lossy, label_a="ideal", label_b="lossy")
+    print("\n".join("   " + line for line in diff.report().splitlines()))
+    self_diff = diff_traces(ideal, ideal)
+    print(f"   (sanity: self-diff divergences = "
+          f"{self_diff.num_divergences})")
+
+
+def explain_a_leaderboard_gap(workdir: Path):
+    print("4. a traced tournament explains its own leaderboard gap")
+    result = run_tournament(
+        protocols=["Epidemic", "Direct Delivery"],
+        scenarios=["paper-ttl-tight"], seeds=[7],
+        obs=ObsConfig(trace_dir=str(workdir / "traces")))
+    for row in result.leaderboard_rows():
+        print(f"   #{row['rank']} {row['protocol']}: "
+              f"{row['delivered']} delivered")
+    explanation = result.explain("Epidemic", "Direct Delivery",
+                                 trace_dir=workdir / "traces")
+    print("\n".join("   " + line
+                    for line in explanation.report().splitlines()))
+
+
+def main() -> None:
+    journeys = journeys_reconcile()
+    query_and_decompose(journeys)
+    diff_ideal_vs_lossy()
+    with tempfile.TemporaryDirectory(prefix="explain-") as scratch:
+        explain_a_leaderboard_gap(Path(scratch))
+
+
+if __name__ == "__main__":
+    main()

@@ -475,11 +475,14 @@ def _metrics_payload(result: ExperimentResult,
                      timers: Optional[PhaseTimers]) -> Dict[str, object]:
     """The ``metrics.json`` body for one :func:`run_experiment` call."""
     outcome = result.outcome
+    executed = set(outcome.executed)
     engine_runs = []
     for job_hash in outcome.executed:
         telemetry = getattr(outcome.results[job_hash], "telemetry", None)
         if telemetry is not None:
-            engine_runs.append({"job_hash": job_hash, **telemetry})
+            engine_runs.append({"job_hash": job_hash,
+                                "trace": f"trace-{job_hash[:16]}.jsonl",
+                                **telemetry})
     payload: Dict[str, object] = {
         "experiment": result.spec.name,
         "jobs": len(result.plan.jobs),
@@ -488,6 +491,19 @@ def _metrics_payload(result: ExperimentResult,
         "failed": result.num_failed,
         "elapsed_s": round(result.elapsed_s, 6),
         "engine_runs": engine_runs,
+        # job_hash -> grid coordinates and trace filename: what obs diff /
+        # explain needs to pair runs across protocols without re-planning
+        "job_index": [
+            {"job_hash": job.job_hash,
+             "scenario": job.scenario_name,
+             "protocol": job.protocol,
+             "seed": job.seed,
+             "run_index": job.run_index,
+             "sweep_value": job.sweep_value,
+             "executed": job.job_hash in executed,
+             "trace": f"trace-{job.job_hash[:16]}.jsonl"}
+            for job in result.plan.jobs
+        ],
     }
     if engine_runs:
         payload["engine_totals"] = {

@@ -426,7 +426,8 @@ class ForwardingSimulator:
                     self._tracer.emit(
                         "deliver", time, msg=message.id,
                         node=state.node_of[peer], hops=hops + 1,
-                        delay=time - message.creation_time)
+                        delay=time - message.creation_time,
+                        src=state.node_of[carrier])
             return True
         node_of = state.node_of
         if not self._protocol.should_forward(node_of[carrier], node_of[peer],

@@ -12,10 +12,25 @@ Four small layers, all opt-in:
   parent-side phase timers and the ``metrics.json`` artifact writer;
 * :mod:`repro.obs.feed` — incremental experiment status
   (:class:`StatusTracker`, behind ``exp watch``) and the streaming
-  tournament leaderboard (:class:`LiveLeaderboard`).
+  tournament leaderboard (:class:`LiveLeaderboard`);
+* :mod:`repro.obs.journeys` / :mod:`repro.obs.analyze` — per-message
+  causal journey reconstruction from traces, trace queries, cross-run
+  :class:`TraceDiff` and leaderboard-gap explanations;
+* :mod:`repro.obs.bench` — the benchmark regression sentinel comparing
+  ``BENCH_*.json`` results against committed baselines with noise-aware
+  thresholds (``obs bench-check``).
 """
 
+from .analyze import (
+    TraceDiff,
+    diff_traces,
+    explain_protocol_gap,
+    match_protocol_jobs,
+    query_journeys,
+)
+from .bench import BenchComparison, check_bench_files, compare_bench
 from .feed import LiveLeaderboard, StatusTracker
+from .journeys import Hop, Journey, JourneyBuilder, JourneySet, build_journeys
 from .streaming import (
     DEFAULT_BUFFER_SIZE,
     DEFAULT_EXACT_CAPACITY,
@@ -31,11 +46,15 @@ from .telemetry import (
     write_metrics_json,
 )
 from .tracing import (
+    DROP_REASONS,
+    EVENT_FIELDS,
     TRACE_EVENTS,
     JsonlTracer,
     RecordingTracer,
     Tracer,
+    iter_trace,
     read_trace,
+    validate_event,
 )
 
 __all__ = [
@@ -45,9 +64,13 @@ __all__ = [
     "QuantileSketch",
     "StreamingSummary",
     "TRACE_EVENTS",
+    "DROP_REASONS",
+    "EVENT_FIELDS",
+    "validate_event",
     "Tracer",
     "RecordingTracer",
     "JsonlTracer",
+    "iter_trace",
     "read_trace",
     "METRICS_SCHEMA",
     "EngineTelemetry",
@@ -56,4 +79,17 @@ __all__ = [
     "write_metrics_json",
     "StatusTracker",
     "LiveLeaderboard",
+    "Hop",
+    "Journey",
+    "JourneyBuilder",
+    "JourneySet",
+    "build_journeys",
+    "TraceDiff",
+    "diff_traces",
+    "query_journeys",
+    "match_protocol_jobs",
+    "explain_protocol_gap",
+    "BenchComparison",
+    "compare_bench",
+    "check_bench_files",
 ]

@@ -1,0 +1,414 @@
+"""Trace analytics: journey queries, cross-run diffs, leaderboard explains.
+
+Three layers on top of :mod:`repro.obs.journeys`:
+
+* :func:`query_journeys` — filter a :class:`~repro.obs.journeys.JourneySet`
+  by message, node, outcome kind and time window;
+* :class:`TraceDiff` / :func:`diff_traces` — compare two runs of the *same*
+  scenario (different protocols, fault levels, or a run against itself):
+  which deliveries diverge, which drops cost deliveries, and how the delay
+  waterfall (queue wait vs transfer time) shifts;
+* :func:`explain_protocol_gap` — the tournament "explain" hook: pair the
+  plan's jobs of two protocols on identical (scenario, sweep, seed, run)
+  coordinates, diff each pair's traces, and aggregate into one narrative
+  of *why* the leaderboard gap exists.
+
+A diff of a run against itself reports zero divergences (pinned by
+``tests/test_obs_analyze.py``) — the anchor that makes nonzero reports
+meaningful.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .journeys import Journey, JourneySet, build_journeys
+
+__all__ = ["query_journeys", "TraceDiff", "diff_traces",
+           "match_protocol_jobs", "explain_protocol_gap", "GapExplanation"]
+
+#: outcome kinds query_journeys understands
+QUERY_KINDS = ("delivered", "undelivered", "expired", "dropped", "lossy")
+
+
+def _activity_span(journey: Journey) -> Tuple[float, float]:
+    """First/last timestamped activity of a journey."""
+    times = [journey.created_t]
+    times.extend(t for t, _hops in journey.received_at.values())
+    times.extend(t for t, _node, _reason in journey.drops)
+    times.extend(t for t, _src, _dst in journey.losses)
+    if journey.delivery_time is not None:
+        times.append(journey.delivery_time)
+    if journey.expired_t is not None:
+        times.append(journey.expired_t)
+    return min(times), max(times)
+
+
+def _touches_node(journey: Journey, node: str) -> bool:
+    if node in (journey.source, journey.destination):
+        return True
+    if node in journey.received_at:
+        return True
+    return any(drop_node == node for _t, drop_node, _reason in journey.drops)
+
+
+def query_journeys(
+    journeys: JourneySet,
+    message: Optional[int] = None,
+    node: Optional[str] = None,
+    kind: Optional[str] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> List[Journey]:
+    """Filter *journeys*; every given criterion must match (AND).
+
+    *message* selects one id; *node* keeps journeys that touched the node
+    (as source, destination, copy holder or drop site); *kind* is one of
+    ``delivered`` / ``undelivered`` / ``expired`` (TTL killed it first) /
+    ``dropped`` (suffered any drop) / ``lossy`` (suffered channel loss);
+    *since*/*until* keep journeys whose activity span overlaps the window.
+    """
+    if kind is not None and kind not in QUERY_KINDS:
+        raise ValueError(
+            f"unknown journey kind {kind!r} (one of {QUERY_KINDS})")
+    selected = []
+    for journey in journeys:
+        if message is not None and journey.message_id != message:
+            continue
+        if node is not None and not _touches_node(journey, node):
+            continue
+        if kind == "delivered" and not journey.delivered:
+            continue
+        if kind == "undelivered" and journey.delivered:
+            continue
+        if kind == "expired" and not journey.expired_undelivered:
+            continue
+        if kind == "dropped" and not journey.drops:
+            continue
+        if kind == "lossy" and not journey.losses:
+            continue
+        if since is not None or until is not None:
+            start, end = _activity_span(journey)
+            if until is not None and start > until:
+                continue
+            if since is not None and end < since:
+                continue
+        selected.append(journey)
+    return selected
+
+
+def _terminal_reason(journey: Optional[Journey]) -> str:
+    """Why a journey failed to deliver, in one word (for histograms)."""
+    if journey is None:
+        return "absent"
+    if journey.delivered:
+        return "delivered"
+    if journey.source_rejected:
+        return "source_rejected"
+    if journey.expired_undelivered:
+        return "expired"
+    if journey.drops:
+        # the last drop is what finally killed the remaining spread
+        return journey.drops[-1][2]
+    if journey.losses:
+        return "loss"
+    return "never_reached"
+
+
+def _waterfall_side(journeys: JourneySet) -> Dict[str, Optional[float]]:
+    """Mean delivered delay split into wait/transfer for one run."""
+    totals: List[float] = []
+    waits: List[float] = []
+    transfers: List[float] = []
+    for journey in journeys:
+        if not journey.delivered or journey.delay is None:
+            continue
+        totals.append(journey.delay)
+        decomposition = journey.delay_decomposition()
+        if decomposition is not None:
+            waits.append(decomposition["wait_s"])
+            transfers.append(decomposition["transfer_s"])
+    def _mean(values: List[float]) -> Optional[float]:
+        return sum(values) / len(values) if values else None
+    return {"delivered": len(totals), "mean_delay_s": _mean(totals),
+            "mean_wait_s": _mean(waits), "mean_transfer_s": _mean(transfers)}
+
+
+class TraceDiff:
+    """Structured comparison of two runs of the same scenario."""
+
+    def __init__(self, journeys_a: JourneySet, journeys_b: JourneySet,
+                 label_a: str = "A", label_b: str = "B") -> None:
+        self.journeys_a = journeys_a
+        self.journeys_b = journeys_b
+        self.label_a = label_a
+        self.label_b = label_b
+
+        delivered_a = {j.message_id for j in journeys_a if j.delivered}
+        delivered_b = {j.message_id for j in journeys_b if j.delivered}
+        #: delivered only by A / only by B, in message-id order
+        self.only_a = sorted(delivered_a - delivered_b)
+        self.only_b = sorted(delivered_b - delivered_a)
+        #: delivered by both but at different time or hop count:
+        #: (msg, (time_a, hops_a), (time_b, hops_b))
+        self.divergent: List[Tuple[int, Tuple[float, int], Tuple[float, int]]] = []
+        for message_id in sorted(delivered_a & delivered_b):
+            a = journeys_a[message_id]
+            b = journeys_b[message_id]
+            if (abs(a.delivery_time - b.delivery_time) > 1e-9
+                    or a.hop_count != b.hop_count):
+                self.divergent.append(
+                    (message_id, (a.delivery_time, a.hop_count),
+                     (b.delivery_time, b.hop_count)))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_divergences(self) -> int:
+        """Total diverging deliveries; 0 iff the delivery streams agree."""
+        return len(self.only_a) + len(self.only_b) + len(self.divergent)
+
+    def costly_drops(self) -> Dict[str, Dict[str, int]]:
+        """Why each side's exclusive deliveries failed on the *other* side.
+
+        ``{"a_delivered_b_failed": {reason: count}, "b_delivered_a_failed":
+        {...}}`` — the drops/losses/expiries that *cost* deliveries, not
+        background noise that cost nothing.
+        """
+        def _histogram(message_ids, other: JourneySet) -> Dict[str, int]:
+            counts: Dict[str, int] = {}
+            for message_id in message_ids:
+                reason = _terminal_reason(other.get(message_id))
+                counts[reason] = counts.get(reason, 0) + 1
+            return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+        return {
+            "a_delivered_b_failed": _histogram(self.only_a, self.journeys_b),
+            "b_delivered_a_failed": _histogram(self.only_b, self.journeys_a),
+        }
+
+    def delay_waterfall(self) -> Dict[str, object]:
+        """Mean delivered delay per side, decomposed wait vs transfer."""
+        side_a = _waterfall_side(self.journeys_a)
+        side_b = _waterfall_side(self.journeys_b)
+        delta = None
+        if (side_a["mean_delay_s"] is not None
+                and side_b["mean_delay_s"] is not None):
+            delta = side_b["mean_delay_s"] - side_a["mean_delay_s"]
+        return {self.label_a: side_a, self.label_b: side_b,
+                "mean_delay_delta_s": delta}
+
+    def as_dict(self) -> Dict[str, object]:
+        """The whole diff as one JSON-ready dict."""
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "messages_a": len(self.journeys_a),
+            "messages_b": len(self.journeys_b),
+            "delivered_a": self.journeys_a.num_delivered,
+            "delivered_b": self.journeys_b.num_delivered,
+            "num_divergences": self.num_divergences,
+            "only_a": self.only_a,
+            "only_b": self.only_b,
+            "divergent": [
+                {"msg": message_id,
+                 "a": {"t": a[0], "hops": a[1]},
+                 "b": {"t": b[0], "hops": b[1]}}
+                for message_id, a, b in self.divergent
+            ],
+            "costly_drops": self.costly_drops(),
+            "delay_waterfall": self.delay_waterfall(),
+        }
+
+    def report(self) -> str:
+        """A readable multi-line explanation of the differences."""
+        a, b = self.label_a, self.label_b
+        lines = [
+            f"trace diff: {a} vs {b}",
+            f"  deliveries: {a}={self.journeys_a.num_delivered}"
+            f"/{len(self.journeys_a)}, "
+            f"{b}={self.journeys_b.num_delivered}/{len(self.journeys_b)}",
+        ]
+        if self.num_divergences == 0:
+            lines.append("  delivery streams are identical (0 divergences)")
+            return "\n".join(lines)
+        lines.append(f"  divergences: {self.num_divergences} "
+                     f"({len(self.only_a)} only-{a}, "
+                     f"{len(self.only_b)} only-{b}, "
+                     f"{len(self.divergent)} differing time/hops)")
+        costly = self.costly_drops()
+        if costly["a_delivered_b_failed"]:
+            reasons = ", ".join(f"{reason}×{count}" for reason, count
+                                in costly["a_delivered_b_failed"].items())
+            lines.append(f"  {a} delivered but {b} failed because: {reasons}")
+        if costly["b_delivered_a_failed"]:
+            reasons = ", ".join(f"{reason}×{count}" for reason, count
+                                in costly["b_delivered_a_failed"].items())
+            lines.append(f"  {b} delivered but {a} failed because: {reasons}")
+        waterfall = self.delay_waterfall()
+        for label in (a, b):
+            side = waterfall[label]
+            if side["mean_delay_s"] is not None:
+                wait = side["mean_wait_s"]
+                transfer = side["mean_transfer_s"]
+                parts = f"{side['mean_delay_s']:.1f}s mean delay"
+                if wait is not None and transfer is not None:
+                    parts += (f" = {wait:.1f}s queue wait"
+                              f" + {transfer:.1f}s transfer")
+                lines.append(f"  {label}: {parts}")
+        delta = waterfall["mean_delay_delta_s"]
+        if delta is not None:
+            lines.append(f"  mean delay delta ({b} - {a}): {delta:+.1f}s")
+        return "\n".join(lines)
+
+
+def _as_journeys(
+    source: Union[str, Path, JourneySet, Iterable[Dict[str, object]]],
+) -> JourneySet:
+    if isinstance(source, JourneySet):
+        return source
+    return build_journeys(source)
+
+
+def diff_traces(
+    a: Union[str, Path, JourneySet, Iterable[Dict[str, object]]],
+    b: Union[str, Path, JourneySet, Iterable[Dict[str, object]]],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> TraceDiff:
+    """Diff two runs given traces (paths / event iterables) or journey sets.
+
+    The runs must share a workload (same scenario, sweep point and seed) —
+    message ids are only comparable within one workload realisation.
+    """
+    return TraceDiff(_as_journeys(a), _as_journeys(b),
+                     label_a=label_a, label_b=label_b)
+
+
+def match_protocol_jobs(plan, protocol_a: str, protocol_b: str) -> List[Tuple]:
+    """Pair an :class:`~repro.exp.plan.ExperimentPlan`'s jobs of two
+    protocols on identical (scenario, sweep point, seed, run) coordinates.
+
+    Returns ``[(job_a, job_b), ...]`` in plan order — exactly the pairs
+    whose traces are diffable (same workload, different protocol).
+    """
+    def _coordinates(job):
+        return (job.scenario_key, job.sweep_parameter, job.sweep_value,
+                job.seed, job.run_index)
+
+    jobs_a = {_coordinates(job): job for job in plan.jobs
+              if job.protocol == protocol_a}
+    pairs = []
+    for job in plan.jobs:
+        if job.protocol != protocol_b:
+            continue
+        partner = jobs_a.get(_coordinates(job))
+        if partner is not None:
+            pairs.append((partner, job))
+    return pairs
+
+
+class GapExplanation:
+    """Aggregated per-pair diffs explaining one leaderboard gap."""
+
+    def __init__(self, protocol_a: str, protocol_b: str,
+                 diffs: List[Tuple[object, object, TraceDiff]]) -> None:
+        self.protocol_a = protocol_a
+        self.protocol_b = protocol_b
+        #: (job_a, job_b, TraceDiff) per matched coordinate
+        self.diffs = diffs
+
+    @property
+    def deliveries_a(self) -> int:
+        return sum(diff.journeys_a.num_delivered for _, _, diff in self.diffs)
+
+    @property
+    def deliveries_b(self) -> int:
+        return sum(diff.journeys_b.num_delivered for _, _, diff in self.diffs)
+
+    def costly_drops(self) -> Dict[str, Dict[str, int]]:
+        """The per-pair costly-drop histograms, summed."""
+        totals = {"a_delivered_b_failed": {}, "b_delivered_a_failed": {}}
+        for _, _, diff in self.diffs:
+            for side, histogram in diff.costly_drops().items():
+                for reason, count in histogram.items():
+                    totals[side][reason] = totals[side].get(reason, 0) + count
+        for side in totals:
+            totals[side] = dict(sorted(totals[side].items(),
+                                       key=lambda kv: -kv[1]))
+        return totals
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "protocol_a": self.protocol_a,
+            "protocol_b": self.protocol_b,
+            "pairs": len(self.diffs),
+            "deliveries_a": self.deliveries_a,
+            "deliveries_b": self.deliveries_b,
+            "costly_drops": self.costly_drops(),
+            "per_pair": [
+                {"scenario": job_a.scenario_name, "seed": job_a.seed,
+                 "run_index": job_a.run_index, **diff.as_dict()}
+                for job_a, _job_b, diff in self.diffs
+            ],
+        }
+
+    def report(self) -> str:
+        """The tournament-gap narrative, one scenario pair at a time."""
+        a, b = self.protocol_a, self.protocol_b
+        lines = [
+            f"explaining the {a!r} vs {b!r} gap over "
+            f"{len(self.diffs)} matched run(s):",
+            f"  total deliveries: {a}={self.deliveries_a}, "
+            f"{b}={self.deliveries_b}",
+        ]
+        costly = self.costly_drops()
+        if costly["a_delivered_b_failed"]:
+            reasons = ", ".join(f"{reason}×{count}" for reason, count
+                                in costly["a_delivered_b_failed"].items())
+            lines.append(f"  {a}-only deliveries failed under {b} "
+                         f"because: {reasons}")
+        if costly["b_delivered_a_failed"]:
+            reasons = ", ".join(f"{reason}×{count}" for reason, count
+                                in costly["b_delivered_a_failed"].items())
+            lines.append(f"  {b}-only deliveries failed under {a} "
+                         f"because: {reasons}")
+        for job_a, _job_b, diff in self.diffs:
+            header = (f"- {job_a.scenario_name} (seed {job_a.seed}, "
+                      f"run {job_a.run_index})")
+            lines.append(header)
+            lines.extend("  " + line for line in diff.report().splitlines())
+        return "\n".join(lines)
+
+
+def explain_protocol_gap(plan, trace_dir: Union[str, Path],
+                         protocol_a: str, protocol_b: str) -> GapExplanation:
+    """Explain a leaderboard gap from a traced run's artifacts.
+
+    *plan* is the executed :class:`~repro.exp.plan.ExperimentPlan` (a
+    :class:`~repro.routing.tournament.TournamentResult` keeps its own);
+    *trace_dir* is the ``--trace-dir`` the run wrote per-job traces into.
+    Each matched (scenario, sweep, seed, run) pair is diffed on its own —
+    message ids are never compared across pairs, only within one workload.
+    """
+    from .telemetry import ObsConfig
+
+    obs = ObsConfig(trace_dir=str(trace_dir))
+    pairs = match_protocol_jobs(plan, protocol_a, protocol_b)
+    if not pairs:
+        raise ValueError(
+            f"no matched jobs for protocols {protocol_a!r} and "
+            f"{protocol_b!r} in the plan")
+    diffs = []
+    for job_a, job_b in pairs:
+        path_a = obs.trace_path(job_a.job_hash)
+        path_b = obs.trace_path(job_b.job_hash)
+        for path, job in ((path_a, job_a), (path_b, job_b)):
+            if not Path(path).exists():
+                raise FileNotFoundError(
+                    f"no trace for job {job.job_hash[:16]} "
+                    f"({job.protocol} on {job.scenario_name}) in "
+                    f"{trace_dir} — was the run traced?")
+        diffs.append((job_a, job_b,
+                      diff_traces(path_a, path_b,
+                                  label_a=protocol_a, label_b=protocol_b)))
+    return GapExplanation(protocol_a, protocol_b, diffs)

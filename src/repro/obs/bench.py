@@ -1,0 +1,320 @@
+"""Benchmark regression sentinel over the repo's ``BENCH_*.json`` artifacts.
+
+Every benchmark harness in ``benchmarks/`` writes a JSON artifact whose
+schemas differ (enumeration speedups, per-engine records with sample
+arrays, fault sweeps with row lists, obs overhead pins).  Rather than one
+parser per schema, the sentinel flattens any artifact into dotted metric
+paths and classifies each metric by *name*:
+
+* ``…speedup``                      — higher is better, **enforced**;
+* ``…overhead`` / ``…ratio`` /
+  ``…vs_baseline``                  — lower is better, **enforced**
+  (dimensionless, so they compare across machines);
+* ``…_s`` / ``…_ms``                — wall-clock times, lower is better,
+  informational by default (absolute times are machine-bound; pass
+  ``enforce_times=True`` on a pinned runner);
+* ``…_per_s``                       — throughput, higher is better,
+  informational;
+* sample arrays (``samples``, ``*_samples_s``, ``paired_*``) — not
+  metrics; they feed the **noise model**;
+* everything else (counts, rates, config) — skipped.
+
+The per-metric regression threshold is *noise-aware*:
+``max(rel_tol, noise_factor × rel_noise)`` where ``rel_noise`` is the
+robust IQR/median spread of the sample arrays adjacent to the metric
+(falling back to the artifact's median spread).  A 20% slowdown on an
+enforced metric fails under the defaults (``rel_tol=0.1``,
+``noise_factor=2``) unless the samples themselves are noisier than that —
+in which case failing would be a coin flip, exactly what the noise model
+exists to avoid.
+
+``python -m repro obs bench-check`` wires this into CI: exit 1 on any
+enforced regression, with a JSON comparison report artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["MetricRow", "BenchComparison", "compare_bench",
+           "check_bench_files", "DEFAULT_REL_TOL", "DEFAULT_NOISE_FACTOR"]
+
+#: relative-change floor below which nothing is ever flagged
+DEFAULT_REL_TOL = 0.10
+#: how many noise widths a change must exceed to be a real regression
+DEFAULT_NOISE_FACTOR = 2.0
+#: spread assumed for artifacts that carry no sample arrays at all
+FALLBACK_REL_NOISE = 0.05
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_sample_key(key: str) -> bool:
+    return "samples" in key or key.startswith("paired_")
+
+
+def _rel_spread(samples: Sequence[float]) -> Optional[float]:
+    """Robust relative spread of one sample array: IQR / |median|."""
+    values = [float(v) for v in samples if _is_number(v)]
+    if len(values) < 2:
+        return None
+    median = statistics.median(values)
+    if median == 0:
+        return None
+    if len(values) >= 4:
+        q1, _q2, q3 = statistics.quantiles(values, n=4)
+        spread = q3 - q1
+    else:
+        spread = max(values) - min(values)
+    return abs(spread / median)
+
+
+def _flatten(node: object, prefix: str, metrics: Dict[str, float],
+             spreads: Dict[str, List[float]]) -> None:
+    """Walk an artifact; collect numeric leaves and per-scope sample noise.
+
+    ``spreads[scope]`` accumulates the relative spreads of every sample
+    array found under the object at dotted path *scope* — the noise pool a
+    metric at that scope draws from.
+    """
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if _is_sample_key(str(key)):
+                arrays = []
+                if isinstance(value, list):
+                    arrays = [value]
+                elif isinstance(value, dict):
+                    arrays = [v for v in value.values()
+                              if isinstance(v, list)]
+                for array in arrays:
+                    spread = _rel_spread(array)
+                    if spread is not None:
+                        spreads.setdefault(prefix, []).append(spread)
+                continue
+            _flatten(value, path, metrics, spreads)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            _flatten(value, f"{prefix}[{index}]", metrics, spreads)
+    elif _is_number(node):
+        metrics[prefix] = float(node)
+
+
+def _classify(path: str) -> Optional[Tuple[str, bool]]:
+    """(direction, enforced) of the metric at *path*, or None to skip."""
+    leaf = path.rsplit(".", 1)[-1]
+    if "speedup" in leaf:
+        return ("higher", True)
+    if "overhead" in leaf or "ratio" in leaf or "vs_baseline" in leaf:
+        return ("lower", True)
+    if leaf.endswith("_per_s"):
+        return ("higher", False)
+    if leaf.endswith("_s") or leaf.endswith("_ms"):
+        return ("lower", False)
+    return None
+
+
+def _scope_noise(path: str, spreads: Dict[str, List[float]],
+                 floor: float) -> float:
+    """The noise estimate for a metric: nearest enclosing scope that has
+    sample arrays, else the artifact-wide floor."""
+    scope = path
+    while scope:
+        scope = scope.rsplit(".", 1)[0] if "." in scope else ""
+        pool = spreads.get(scope)
+        if pool:
+            return statistics.median(pool)
+        if not scope:
+            break
+    return floor
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One compared metric."""
+
+    path: str
+    direction: str           # "lower" | "higher" (which way is better)
+    enforced: bool
+    baseline: Optional[float]
+    current: Optional[float]
+    threshold: float
+    #: relative change (current - baseline) / |baseline|, when defined
+    rel_change: Optional[float]
+    #: ok | improved | regression | info | new | missing | zero-baseline
+    status: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "direction": self.direction,
+                "enforced": self.enforced, "baseline": self.baseline,
+                "current": self.current, "threshold": self.threshold,
+                "rel_change": self.rel_change, "status": self.status}
+
+
+class BenchComparison:
+    """The sentinel's verdict on one baseline/current artifact pair."""
+
+    def __init__(self, name: str, rows: List[MetricRow],
+                 noise_floor: float) -> None:
+        self.name = name
+        self.rows = rows
+        self.noise_floor = noise_floor
+
+    @property
+    def regressions(self) -> List[MetricRow]:
+        return [row for row in self.rows if row.status == "regression"]
+
+    @property
+    def improvements(self) -> List[MetricRow]:
+        return [row for row in self.rows if row.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no enforced metric regressed."""
+        return not self.regressions
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "ok": self.ok,
+                "noise_floor": self.noise_floor,
+                "num_metrics": len(self.rows),
+                "regressions": len(self.regressions),
+                "improvements": len(self.improvements),
+                "rows": [row.as_dict() for row in self.rows]}
+
+    def report(self) -> str:
+        """A readable verdict, regressions first."""
+        verdict = "OK" if self.ok else "REGRESSION"
+        lines = [f"bench-check {self.name}: {verdict} "
+                 f"({len(self.rows)} metrics, "
+                 f"{len(self.regressions)} regressed, "
+                 f"{len(self.improvements)} improved)"]
+        def _describe(row: MetricRow) -> str:
+            return (f"  {row.status.upper():>10}  {row.path}: "
+                    f"{row.baseline:.6g} -> {row.current:.6g} "
+                    f"({row.rel_change:+.1%}, threshold "
+                    f"±{row.threshold:.1%}, "
+                    f"{row.direction} is better)")
+        for row in self.rows:
+            if row.status == "regression":
+                lines.append(_describe(row))
+        for row in self.rows:
+            if row.status == "improved":
+                lines.append(_describe(row))
+        return "\n".join(lines)
+
+
+def _load(source: Union[str, Path, Dict]) -> Dict:
+    if isinstance(source, (str, Path)):
+        return json.loads(Path(source).read_text())
+    return source
+
+
+def compare_bench(
+    baseline: Union[str, Path, Dict],
+    current: Union[str, Path, Dict],
+    name: str = "bench",
+    rel_tol: float = DEFAULT_REL_TOL,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+    enforce_times: bool = False,
+) -> BenchComparison:
+    """Compare one current benchmark artifact against its baseline.
+
+    Both sides may be paths or already-loaded dicts.  The *baseline*'s
+    sample arrays drive the noise model (the committed baseline is the
+    stable reference; the current run's noise is what is under test).
+    """
+    baseline_metrics: Dict[str, float] = {}
+    baseline_spreads: Dict[str, List[float]] = {}
+    _flatten(_load(baseline), "", baseline_metrics, baseline_spreads)
+    current_metrics: Dict[str, float] = {}
+    _flatten(_load(current), "", current_metrics, {})
+
+    all_spreads = [s for pool in baseline_spreads.values() for s in pool]
+    floor = (statistics.median(all_spreads) if all_spreads
+             else FALLBACK_REL_NOISE)
+
+    rows: List[MetricRow] = []
+    for path in sorted(set(baseline_metrics) | set(current_metrics)):
+        classified = _classify(path)
+        if classified is None:
+            continue
+        direction, enforced = classified
+        if not enforced and enforce_times and (path.endswith("_s")
+                                               or path.endswith("_ms")):
+            enforced = True
+        noise = _scope_noise(path, baseline_spreads, floor)
+        threshold = max(rel_tol, noise_factor * noise)
+        base = baseline_metrics.get(path)
+        cur = current_metrics.get(path)
+        if base is None:
+            rows.append(MetricRow(path, direction, enforced, None, cur,
+                                  threshold, None, "new"))
+            continue
+        if cur is None:
+            rows.append(MetricRow(path, direction, enforced, base, None,
+                                  threshold, None, "missing"))
+            continue
+        if base == 0:
+            rows.append(MetricRow(path, direction, enforced, base, cur,
+                                  threshold, None, "zero-baseline"))
+            continue
+        rel_change = (cur - base) / abs(base)
+        if not enforced:
+            status = "info"
+        else:
+            worse = rel_change > threshold if direction == "lower" \
+                else rel_change < -threshold
+            better = rel_change < -threshold if direction == "lower" \
+                else rel_change > threshold
+            status = ("regression" if worse
+                      else "improved" if better else "ok")
+        rows.append(MetricRow(path, direction, enforced, base, cur,
+                              threshold, rel_change, status))
+    return BenchComparison(name=name, rows=rows, noise_floor=floor)
+
+
+def check_bench_files(
+    baseline: Union[str, Path],
+    current: Union[str, Path],
+    rel_tol: float = DEFAULT_REL_TOL,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+    enforce_times: bool = False,
+) -> List[BenchComparison]:
+    """Run the sentinel over files or directories.
+
+    Two files compare directly; two directories pair their ``BENCH_*.json``
+    by filename (a baseline with no current counterpart yields a
+    comparison whose metrics are all ``missing`` — visible, not fatal).
+    """
+    baseline = Path(baseline)
+    current = Path(current)
+    if baseline.is_file() and current.is_file():
+        pairs = [(baseline.name, baseline, current)]
+    elif baseline.is_dir() and current.is_dir():
+        pairs = []
+        for base_path in sorted(baseline.glob("BENCH_*.json")):
+            pairs.append((base_path.name, base_path,
+                          current / base_path.name))
+        if not pairs:
+            raise FileNotFoundError(
+                f"no BENCH_*.json baselines in {baseline}")
+    else:
+        raise ValueError(
+            "baseline and current must both be files or both directories "
+            f"(got {baseline} and {current})")
+    comparisons = []
+    for name, base_path, current_path in pairs:
+        if not Path(current_path).exists():
+            raise FileNotFoundError(
+                f"baseline {base_path} has no current counterpart "
+                f"{current_path}")
+        comparisons.append(compare_bench(
+            base_path, current_path, name=name, rel_tol=rel_tol,
+            noise_factor=noise_factor, enforce_times=enforce_times))
+    return comparisons

@@ -1,0 +1,252 @@
+"""The ``python -m repro obs`` subcommands: trace analytics + sentinel.
+
+Wired into the main parser by :mod:`repro.sim.cli`::
+
+    python -m repro obs journeys TRACE             # per-message journeys
+    python -m repro obs query TRACE --kind dropped # filter journeys
+    python -m repro obs diff A.jsonl B.jsonl       # cross-run diff
+    python -m repro obs explain --scenarios ... \\
+        --protocols A,B --trace-dir DIR            # leaderboard-gap report
+    python -m repro obs bench-check \\
+        --baseline DIR --current DIR               # regression sentinel
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from ..analysis.tables import format_table
+
+__all__ = ["add_obs_commands", "dispatch_obs_command"]
+
+
+def add_obs_commands(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``obs`` command tree to the main parser."""
+    obs = commands.add_parser(
+        "obs", help="trace analytics, cross-run diffs and the benchmark "
+                    "regression sentinel")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    journeys = obs_commands.add_parser(
+        "journeys", help="reconstruct per-message causal journeys from a "
+                         "JSONL trace")
+    journeys.add_argument("trace", help="a trace-*.jsonl file")
+    journeys.add_argument("--json", metavar="PATH", default=None,
+                          help="also write the journey rows as JSON")
+
+    query = obs_commands.add_parser(
+        "query", help="filter a trace's journeys by message/node/kind/"
+                      "time window")
+    query.add_argument("trace", help="a trace-*.jsonl file")
+    query.add_argument("--message", type=int, default=None,
+                       help="one message id")
+    query.add_argument("--node", default=None,
+                       help="journeys touching this node (source, "
+                            "destination, holder or drop site)")
+    query.add_argument("--kind", default=None,
+                       choices=["delivered", "undelivered", "expired",
+                                "dropped", "lossy"],
+                       help="outcome kind filter")
+    query.add_argument("--since", type=float, default=None,
+                       help="keep journeys active at or after this time")
+    query.add_argument("--until", type=float, default=None,
+                       help="keep journeys active at or before this time")
+    query.add_argument("--json", metavar="PATH", default=None)
+
+    diff = obs_commands.add_parser(
+        "diff", help="diff two runs of the same scenario (same workload, "
+                     "e.g. two protocols or fault levels)")
+    diff.add_argument("trace_a", help="first trace-*.jsonl file")
+    diff.add_argument("trace_b", help="second trace-*.jsonl file")
+    diff.add_argument("--label-a", default="A")
+    diff.add_argument("--label-b", default="B")
+    diff.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the structured diff as JSON")
+
+    explain = obs_commands.add_parser(
+        "explain", help="explain a tournament leaderboard gap from a "
+                        "traced run's artifacts")
+    explain.add_argument("--protocols", required=True, metavar="A,B",
+                         help="the two protocols to compare")
+    explain.add_argument("--scenarios", default="all",
+                         help="the tournament's scenario list (must match "
+                              "the traced run)")
+    explain.add_argument("--seeds", "--seed", dest="seeds", default="7",
+                         help="the tournament's seeds (must match)")
+    explain.add_argument("--runs", type=int, default=None,
+                         help="the tournament's --runs override, if used")
+    explain.add_argument("--lossy", nargs="?", const=0.1, default=None,
+                         type=float, metavar="LOSS",
+                         help="the tournament's --lossy value, if used")
+    explain.add_argument("--trace-dir", required=True, metavar="DIR",
+                         help="the traced run's --trace-dir")
+    explain.add_argument("--json", metavar="PATH", default=None)
+
+    bench = obs_commands.add_parser(
+        "bench-check", help="compare current BENCH_*.json artifacts "
+                            "against a committed baseline; exit 1 on "
+                            "regression")
+    bench.add_argument("--baseline", required=True,
+                       help="baseline BENCH_*.json file or directory")
+    bench.add_argument("--current", required=True,
+                       help="current BENCH_*.json file or directory")
+    bench.add_argument("--rel-tol", type=float, default=None,
+                       help="relative-change floor below which nothing is "
+                            "flagged (default: 0.1)")
+    bench.add_argument("--noise-factor", type=float, default=None,
+                       help="noise widths a change must exceed "
+                            "(default: 2.0)")
+    bench.add_argument("--enforce-times", action="store_true",
+                       help="also fail on wall-clock time regressions "
+                            "(only meaningful on a pinned runner)")
+    bench.add_argument("--report", metavar="PATH", default=None,
+                       help="write the full comparison report as JSON")
+
+
+def _journey_rows(journeys) -> List[dict]:
+    rows = []
+    for journey in journeys:
+        decomposition = journey.delay_decomposition()
+        rows.append({
+            "msg": journey.message_id,
+            "src": journey.source,
+            "dst": journey.destination,
+            "created_t": round(journey.created_t, 1),
+            "status": ("delivered" if journey.delivered
+                       else "expired" if journey.expired_undelivered
+                       else "undelivered"),
+            "hops": journey.hop_count,
+            "delay_s": (None if journey.delay is None
+                        else round(journey.delay, 1)),
+            "wait_s": (None if decomposition is None
+                       else round(decomposition["wait_s"], 1)),
+            "transfer_s": (None if decomposition is None
+                           else round(decomposition["transfer_s"], 1)),
+            "copies": journey.num_copies,
+            "drops": len(journey.drops),
+            "losses": len(journey.losses),
+        })
+    return rows
+
+
+def _print_journeys(journeys, write_json, json_path) -> None:
+    rows = _journey_rows(journeys)
+    if rows:
+        print(format_table(rows))
+    print(f"\n{len(rows)} journey(s): "
+          f"{sum(1 for r in rows if r['status'] == 'delivered')} delivered, "
+          f"{sum(1 for r in rows if r['status'] == 'expired')} expired, "
+          f"{sum(r['drops'] for r in rows)} drops, "
+          f"{sum(r['losses'] for r in rows)} losses")
+    write_json(json_path, {"journeys": rows})
+
+
+def _cmd_obs_journeys(args: argparse.Namespace, write_json) -> int:
+    from .journeys import build_journeys
+
+    journeys = build_journeys(args.trace)
+    problems = journeys.validate()
+    _print_journeys(journeys, write_json, args.json)
+    if problems:
+        print(f"\nWARNING: {len(problems)} invariant violation(s):")
+        for problem in problems[:20]:
+            print(f"  {problem}")
+        return 1
+    return 0
+
+
+def _cmd_obs_query(args: argparse.Namespace, write_json) -> int:
+    from .analyze import query_journeys
+    from .journeys import build_journeys
+
+    selected = query_journeys(build_journeys(args.trace),
+                              message=args.message, node=args.node,
+                              kind=args.kind, since=args.since,
+                              until=args.until)
+    _print_journeys(selected, write_json, args.json)
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace, write_json) -> int:
+    from .analyze import diff_traces
+
+    diff = diff_traces(args.trace_a, args.trace_b,
+                       label_a=args.label_a, label_b=args.label_b)
+    print(diff.report())
+    write_json(args.json, diff.as_dict())
+    return 0
+
+
+def _cmd_obs_explain(args: argparse.Namespace, write_json) -> int:
+    from ..exp.plan import build_plan
+    from ..exp.spec import ExperimentSpec
+    from ..routing.registry import protocol_by_name
+    from ..routing.tournament import lossy_variant
+    from ..sim.scenarios import scenario_names
+    from .analyze import explain_protocol_gap
+
+    pair = [token.strip() for token in args.protocols.split(",")
+            if token.strip()]
+    if len(pair) != 2:
+        raise SystemExit("--protocols takes exactly two names, "
+                         "e.g. --protocols Epidemic,PRoPHET")
+    protocol_a, protocol_b = (protocol_by_name(name).name for name in pair)
+    if args.scenarios.strip().lower() == "all":
+        scenarios = list(scenario_names())
+    else:
+        scenarios = [token.strip() for token in args.scenarios.split(",")
+                     if token.strip()]
+    if args.lossy is not None:
+        scenarios = [lossy_variant(name, loss=args.lossy)
+                     for name in scenarios]
+    try:
+        seeds = tuple(int(token) for token in args.seeds.split(","))
+    except ValueError:
+        raise SystemExit(f"--seeds must be integers, got {args.seeds!r}")
+    # rebuild the traced tournament's plan for just the two protocols —
+    # job hashes are content-addressed per (scenario, protocol, run), not
+    # per grid, so the subset plan names exactly the same trace files the
+    # full tournament wrote
+    spec = ExperimentSpec(name="tournament", scenarios=tuple(scenarios),
+                          protocols=(protocol_a, protocol_b),
+                          seeds=seeds, num_runs=args.runs)
+    explanation = explain_protocol_gap(build_plan(spec), args.trace_dir,
+                                       protocol_a, protocol_b)
+    print(explanation.report())
+    write_json(args.json, explanation.as_dict())
+    return 0
+
+
+def _cmd_obs_bench_check(args: argparse.Namespace, write_json) -> int:
+    from .bench import DEFAULT_NOISE_FACTOR, DEFAULT_REL_TOL, \
+        check_bench_files
+
+    comparisons = check_bench_files(
+        args.baseline, args.current,
+        rel_tol=DEFAULT_REL_TOL if args.rel_tol is None else args.rel_tol,
+        noise_factor=(DEFAULT_NOISE_FACTOR if args.noise_factor is None
+                      else args.noise_factor),
+        enforce_times=args.enforce_times)
+    for comparison in comparisons:
+        print(comparison.report())
+    failed = [c for c in comparisons if not c.ok]
+    print(f"\nbench-check: {len(comparisons)} artifact(s) compared, "
+          f"{len(failed)} with regressions")
+    write_json(args.report,
+               {"ok": not failed,
+                "comparisons": [c.as_dict() for c in comparisons]})
+    return 1 if failed else 0
+
+
+def dispatch_obs_command(args: argparse.Namespace, write_json) -> int:
+    """Route a parsed ``obs`` command to its handler."""
+    if args.obs_command == "journeys":
+        return _cmd_obs_journeys(args, write_json)
+    if args.obs_command == "query":
+        return _cmd_obs_query(args, write_json)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args, write_json)
+    if args.obs_command == "explain":
+        return _cmd_obs_explain(args, write_json)
+    return _cmd_obs_bench_check(args, write_json)

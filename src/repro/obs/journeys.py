@@ -1,0 +1,491 @@
+"""Causal per-message journeys reconstructed from a trace-event stream.
+
+A :class:`Journey` is everything one message did: the copy tree grown from
+its ``create`` event through every ``forward``, the first ``deliver`` (or
+the lack of one), and every way copies died — ``drop`` (with its
+:data:`~repro.obs.tracing.DROP_REASONS` reason), channel ``loss`` /
+``retransmit``, node ``crash`` wipes, TTL ``expire``.  The
+:class:`JourneyBuilder` folds a *stream* of events (one dict at a time,
+e.g. from :func:`~repro.obs.tracing.iter_trace`) into journeys without
+ever materializing the trace, so arbitrarily long runs analyze in
+constant-ish memory (proportional to the number of messages, not events).
+
+Two reconciliation guarantees anchor the reconstruction (pinned by
+``tests/test_obs_journeys.py``):
+
+* on unconstrained runs, :meth:`JourneySet.performance_summary` routes the
+  journey-derived aggregates through the shared
+  :meth:`~repro.forwarding.metrics.PerformanceSummary.from_delays`, so its
+  ``as_row()`` is byte-identical to the batch ``summarize(result)`` row;
+* under faults, per-reason drop counts, losses, retransmissions, crashes
+  and expiries reconcile exactly with the engine's
+  :class:`~repro.sim.engine.ResourceStats` counters
+  (:meth:`JourneySet.reconcile`).
+
+``copies`` counts one per ``forward`` plus one per ``deliver`` — exactly
+the engines' ``copies_sent`` (every received copy emits one of the two).
+
+Each delivered hop is decomposed into **queue wait** (creation/reception
+at the carrier until the pair's contact opened) and **transfer time**
+(contact open — or reception, whichever is later — until arrival), using
+the most recent ``contact_start`` of the hop's pair; the two telescope to
+the journey's end-to-end delay.  Unconstrained runs transfer instantly,
+so their delay is pure wait — the paper's contact-driven regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .tracing import DROP_REASONS, TRACE_EVENTS
+
+__all__ = ["Hop", "Journey", "JourneyBuilder", "JourneySet",
+           "build_journeys"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One edge of a journey's copy tree: *src* handed a copy to *node*.
+
+    ``wait_s`` is how long the copy sat queued at *src* before the pair's
+    contact opened; ``transfer_s`` is the on-the-air time (zero on
+    instantaneous, unconstrained transfers).  ``wait_s + transfer_s`` is
+    the hop's full latency contribution.
+    """
+
+    src: str
+    node: str
+    t: float
+    hops: int
+    wait_s: float
+    transfer_s: float
+
+
+@dataclass
+class Journey:
+    """The causal record of one message."""
+
+    message_id: int
+    source: str
+    destination: str
+    created_t: float
+    #: node -> the Hop that first handed it a copy (absent for the source)
+    hop_to: Dict[str, Hop] = field(default_factory=dict)
+    #: node -> (first reception time, hop count); the source is hop 0
+    received_at: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    #: (time, node, reason) for every drop event, in order
+    drops: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: (time, src, dst) for every channel loss
+    losses: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: (time, src, dst, retry_at) for every retransmission
+    retransmits: List[Tuple[float, str, str, float]] = field(default_factory=list)
+    delivered: bool = False
+    delivery_time: Optional[float] = None
+    hop_count: Optional[int] = None
+    delay: Optional[float] = None
+    #: time the message's TTL fired, if it did (delivered or not)
+    expired_t: Optional[float] = None
+    #: copies freed by the expiry (the expire event's own count)
+    expired_copies: int = 0
+    #: live copy holders (maintained by the builder)
+    holders: set = field(default_factory=set)
+    #: the source's buffer refused the message at creation
+    source_rejected: bool = False
+    #: invariant violations observed while streaming (empty = valid tree)
+    problems: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def expired_undelivered(self) -> bool:
+        """TTL fired before any delivery — the journey that *failed* by
+        expiry (matches the engine's ``expired_messages`` counter, which
+        skips source-rejected messages that never launched)."""
+        return (self.expired_t is not None and not self.delivered
+                and not self.source_rejected)
+
+    @property
+    def num_copies(self) -> int:
+        """Copy transfers in this journey (forwards + the delivery hop)."""
+        return len(self.hop_to)
+
+    def path(self) -> Optional[List[str]]:
+        """The delivering path source → … → destination, or ``None``.
+
+        ``None`` when undelivered, or when the trace predates the
+        ``deliver`` event's ``src`` field (the final parent is unknown).
+        """
+        if not self.delivered or self.destination not in self.hop_to:
+            return None
+        nodes = [self.destination]
+        while nodes[-1] != self.source:
+            hop = self.hop_to.get(nodes[-1])
+            if hop is None:  # broken chain — recorded in problems already
+                return None
+            nodes.append(hop.src)
+        nodes.reverse()
+        return nodes
+
+    def delivery_hops(self) -> List[Hop]:
+        """The hops along :meth:`path`, in travel order (empty if none)."""
+        nodes = self.path()
+        if nodes is None:
+            return []
+        return [self.hop_to[node] for node in nodes[1:]]
+
+    def delay_decomposition(self) -> Optional[Dict[str, float]]:
+        """Split the end-to-end delay into queue wait vs transfer time.
+
+        ``{"wait_s": ..., "transfer_s": ..., "total_s": ...}`` summed over
+        the delivering path (the two components telescope to the total up
+        to float round-off); ``None`` when the path is unknown.
+        """
+        hops = self.delivery_hops()
+        if not hops:
+            return None
+        wait = sum(hop.wait_s for hop in hops)
+        transfer = sum(hop.transfer_s for hop in hops)
+        return {"wait_s": wait, "transfer_s": transfer,
+                "total_s": self.delay if self.delay is not None
+                else wait + transfer}
+
+    def validate(self) -> List[str]:
+        """Invariant check: problems found, empty when the tree is valid.
+
+        Beyond the streaming-time checks in :attr:`problems`, verifies
+        that every hop's parent already held a copy no later than the hop
+        and that hop counts increase by exactly one along every edge.
+        """
+        problems = list(self.problems)
+        for node, hop in self.hop_to.items():
+            parent = self.received_at.get(hop.src)
+            if parent is None:
+                problems.append(
+                    f"msg {self.message_id}: {node} received from "
+                    f"{hop.src}, which never held a copy")
+                continue
+            parent_t, parent_hops = parent
+            if parent_t > hop.t + 1e-9:
+                problems.append(
+                    f"msg {self.message_id}: {node} received at t={hop.t} "
+                    f"from {hop.src}, which only received at t={parent_t}")
+            if hop.hops != parent_hops + 1:
+                problems.append(
+                    f"msg {self.message_id}: hop count {hop.hops} at "
+                    f"{node} != parent {hop.src}'s {parent_hops} + 1")
+        if self.delivered and self.delay is not None:
+            if abs((self.delivery_time - self.created_t) - self.delay) > 1e-9:
+                problems.append(
+                    f"msg {self.message_id}: deliver delay {self.delay} != "
+                    f"delivery_time - created_t "
+                    f"{self.delivery_time - self.created_t}")
+        return problems
+
+
+#: journey drop-reason / event tallies -> the ResourceStats counter each
+#: must reconcile with (see JourneySet.reconcile)
+_STATS_COUNTERS = {
+    "evicted": "buffer_evictions",
+    "rejected": "buffer_rejections",
+    "source_rejected": "source_rejections",
+    "churn": "churn_dropped_copies",
+    "cancelled": "cancelled_transfers",
+    "loss": "lost_transfers",
+    "retransmit": "retransmissions",
+}
+
+
+class JourneySet:
+    """All journeys of one run, in create order, plus run-wide tallies."""
+
+    def __init__(self) -> None:
+        self.journeys: Dict[int, Journey] = {}  # insertion = create order
+        self.drop_counts: Dict[str, int] = {reason: 0
+                                            for reason in DROP_REASONS}
+        self.num_losses = 0
+        self.num_retransmits = 0
+        self.num_crashes = 0
+        self.num_reboots = 0
+        self.num_contacts = 0
+        self.num_truncated_contacts = 0
+        self.num_events = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.journeys)
+
+    def __iter__(self) -> Iterator[Journey]:
+        return iter(self.journeys.values())
+
+    def __getitem__(self, message_id: int) -> Journey:
+        return self.journeys[message_id]
+
+    def get(self, message_id: int) -> Optional[Journey]:
+        return self.journeys.get(message_id)
+
+    @property
+    def num_delivered(self) -> int:
+        return sum(1 for journey in self if journey.delivered)
+
+    @property
+    def num_expired(self) -> int:
+        return sum(1 for journey in self if journey.expired_undelivered)
+
+    @property
+    def copies_sent(self) -> int:
+        """Total copy transfers — matches the engines' ``copies_sent``."""
+        return sum(journey.num_copies for journey in self)
+
+    def delays(self) -> List[float]:
+        """Delivered delays in create (= message) order, as the batch
+        ``SimulationResult.delays()`` orders them."""
+        return [journey.delay for journey in self
+                if journey.delivered and journey.delay is not None]
+
+    # ------------------------------------------------------------------
+    def performance_summary(self, algorithm: str,
+                            with_fault_counters: bool = False):
+        """The run's :class:`~repro.forwarding.metrics.PerformanceSummary`
+        rebuilt purely from journeys.
+
+        Routed through the shared ``from_delays`` batch computation, so on
+        a faithful trace ``performance_summary(...).as_row()`` is
+        byte-identical to ``summarize(result).as_row()`` (pass
+        ``with_fault_counters=True`` against DES results, whose rows carry
+        the lost/retx/crashes columns).
+        """
+        from ..forwarding.metrics import PerformanceSummary
+
+        fault_counters = {}
+        if with_fault_counters:
+            fault_counters = {"lost_transfers": self.num_losses,
+                              "retransmissions": self.num_retransmits,
+                              "node_crashes": self.num_crashes}
+        return PerformanceSummary.from_delays(
+            algorithm=algorithm,
+            num_messages=len(self),
+            num_delivered=self.num_delivered,
+            delays=self.delays(),
+            copies_sent=self.copies_sent,
+            **fault_counters,
+        )
+
+    def validate(self) -> List[str]:
+        """Every journey's invariant problems, pooled (empty = all valid)."""
+        problems: List[str] = []
+        for journey in self:
+            problems.extend(journey.validate())
+        return problems
+
+    def reconcile(self, stats) -> List[str]:
+        """Check journey tallies against a run's
+        :class:`~repro.sim.engine.ResourceStats`; mismatch descriptions,
+        empty when everything reconciles.
+        """
+        observed = {
+            "evicted": self.drop_counts["evicted"],
+            "rejected": self.drop_counts["rejected"],
+            "source_rejected": self.drop_counts["source_rejected"],
+            "churn": self.drop_counts["churn"],
+            "cancelled": self.drop_counts["cancelled"],
+            "loss": self.num_losses,
+            "retransmit": self.num_retransmits,
+        }
+        mismatches = []
+        for tally, counter in _STATS_COUNTERS.items():
+            expected = getattr(stats, counter)
+            if observed[tally] != expected:
+                mismatches.append(
+                    f"{tally}: journeys saw {observed[tally]}, "
+                    f"stats.{counter} = {expected}")
+        pairs = [
+            ("copies_sent", self.copies_sent, stats.copies_sent),
+            ("node_crashes", self.num_crashes, stats.node_crashes),
+            ("expired_messages", self.num_expired, stats.expired_messages),
+            ("expired_copies",
+             sum(journey.expired_copies for journey in self),
+             stats.expired_copies),
+        ]
+        for name, journeys_value, stats_value in pairs:
+            if journeys_value != stats_value:
+                mismatches.append(
+                    f"{name}: journeys saw {journeys_value}, "
+                    f"stats.{name} = {stats_value}")
+        # the stat additionally counts contacts skipped because an endpoint
+        # was down at their start — those emit no events, so the trace's
+        # truncated contact_ends can only lower-bound it
+        if self.num_truncated_contacts > stats.truncated_contacts:
+            mismatches.append(
+                f"truncated_contacts: journeys saw "
+                f"{self.num_truncated_contacts}, stats.truncated_contacts "
+                f"= {stats.truncated_contacts}")
+        return mismatches
+
+
+class JourneyBuilder:
+    """Streaming fold: feed trace events one at a time, read journeys out.
+
+    Events must arrive in time order (traces are written that way); feed
+    accepts the dict shape :func:`~repro.obs.tracing.iter_trace` yields.
+    Contact lifetimes are tracked only as "last open time per pair" — the
+    single value the hop decomposition needs — so state stays small.
+    """
+
+    def __init__(self) -> None:
+        self.journeys = JourneySet()
+        self._last_open: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    def feed(self, event: Dict[str, object]) -> None:
+        """Fold one trace event into the journey set."""
+        kind = event.get("event")
+        if kind not in TRACE_EVENTS:
+            raise ValueError(f"unknown trace event {kind!r}")
+        self.journeys.num_events += 1
+        handler = getattr(self, f"_on_{kind}")
+        handler(event)
+
+    def feed_all(self, events: Iterable[Dict[str, object]]) -> "JourneyBuilder":
+        for event in events:
+            self.feed(event)
+        return self
+
+    def result(self) -> JourneySet:
+        return self.journeys
+
+    # ------------------------------------------------------------------
+    def _journey(self, event: Dict[str, object]) -> Optional[Journey]:
+        journey = self.journeys.get(event["msg"])
+        if journey is None:
+            # an event for a message with no create — a trace cut mid-run;
+            # tolerated (journeys of the lost prefix are unknowable)
+            return None
+        return journey
+
+    @staticmethod
+    def _pair(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if str(a) <= str(b) else (b, a)
+
+    def _record_hop(self, journey: Journey, src: str, node: str,
+                    t: float, hops: int) -> None:
+        if node in journey.received_at:
+            journey.problems.append(
+                f"msg {journey.message_id}: {node} received a second copy "
+                f"at t={t}")
+            return
+        src_entry = journey.received_at.get(src)
+        queued_from = src_entry[0] if src_entry is not None else t
+        contact_open = self._last_open.get(self._pair(src, node), t)
+        wait = max(0.0, contact_open - queued_from)
+        transfer = t - max(queued_from, contact_open)
+        journey.received_at[node] = (t, hops)
+        journey.hop_to[node] = Hop(src=src, node=node, t=t, hops=hops,
+                                   wait_s=wait, transfer_s=max(0.0, transfer))
+        journey.holders.add(node)
+
+    # -- event handlers -------------------------------------------------
+    def _on_contact_start(self, event) -> None:
+        self.journeys.num_contacts += 1
+        self._last_open[self._pair(event["a"], event["b"])] = event["t"]
+
+    def _on_contact_end(self, event) -> None:
+        if event.get("truncated"):
+            self.journeys.num_truncated_contacts += 1
+
+    def _on_create(self, event) -> None:
+        message_id = event["msg"]
+        if message_id in self.journeys.journeys:
+            raise ValueError(f"duplicate create for message {message_id}")
+        journey = Journey(message_id=message_id, source=event["src"],
+                          destination=event["dst"], created_t=event["t"])
+        journey.received_at[event["src"]] = (event["t"], 0)
+        journey.holders.add(event["src"])
+        self.journeys.journeys[message_id] = journey
+
+    def _on_forward(self, event) -> None:
+        journey = self._journey(event)
+        if journey is not None:
+            self._record_hop(journey, event["src"], event["dst"],
+                             event["t"], event["hops"])
+
+    def _on_deliver(self, event) -> None:
+        journey = self._journey(event)
+        if journey is None:
+            return
+        if journey.delivered:
+            journey.problems.append(
+                f"msg {journey.message_id}: second deliver at t={event['t']}")
+            return
+        src = event.get("src")
+        if src is not None:
+            self._record_hop(journey, src, event["node"], event["t"],
+                             event["hops"])
+        else:  # legacy trace without the carrier field: no hop edge
+            journey.received_at.setdefault(event["node"],
+                                           (event["t"], event["hops"]))
+            journey.holders.add(event["node"])
+        journey.delivered = True
+        journey.delivery_time = event["t"]
+        journey.hop_count = event["hops"]
+        journey.delay = event["delay"]
+
+    def _on_drop(self, event) -> None:
+        reason = event["reason"]
+        if reason not in DROP_REASONS:
+            raise ValueError(f"unknown drop reason {reason!r}")
+        self.journeys.drop_counts[reason] += 1
+        journey = self._journey(event)
+        if journey is None:
+            return
+        node = event["node"]
+        journey.drops.append((event["t"], node, reason))
+        if reason == "source_rejected":
+            journey.source_rejected = True
+            journey.holders.discard(node)
+        elif reason in ("evicted", "churn"):
+            # these wipe a live copy; rejected/cancelled copies never landed
+            if node not in journey.holders:
+                journey.problems.append(
+                    f"msg {journey.message_id}: {reason} drop at {node}, "
+                    f"which held no copy")
+            journey.holders.discard(node)
+
+    def _on_loss(self, event) -> None:
+        self.journeys.num_losses += 1
+        journey = self._journey(event)
+        if journey is not None:
+            journey.losses.append((event["t"], event["src"], event["dst"]))
+
+    def _on_retransmit(self, event) -> None:
+        self.journeys.num_retransmits += 1
+        journey = self._journey(event)
+        if journey is not None:
+            journey.retransmits.append(
+                (event["t"], event["src"], event["dst"], event["at"]))
+
+    def _on_crash(self, event) -> None:
+        self.journeys.num_crashes += 1
+
+    def _on_reboot(self, event) -> None:
+        self.journeys.num_reboots += 1
+
+    def _on_expire(self, event) -> None:
+        journey = self._journey(event)
+        if journey is not None:
+            journey.expired_t = event["t"]
+            journey.expired_copies = event["copies"]
+            journey.holders.clear()
+
+
+def build_journeys(
+    events: Union[str, Path, Iterable[Dict[str, object]]],
+) -> JourneySet:
+    """Reconstruct journeys from a trace: a path (streamed via
+    :func:`~repro.obs.tracing.iter_trace`) or any iterable of event dicts
+    (e.g. ``RecordingTracer.events``)."""
+    if isinstance(events, (str, Path)):
+        from .tracing import iter_trace
+
+        events = iter_trace(events)
+    return JourneyBuilder().feed_all(events).result()

@@ -77,6 +77,15 @@ def add_routing_commands(commands: argparse._SubParsersAction) -> None:
     tournament.add_argument("--json", metavar="PATH", default=None,
                             help="also write leaderboard + per-cell rows "
                                  "as JSON")
+    tournament.add_argument("--leaderboard-json", metavar="PATH",
+                            default=None,
+                            help="write just the final ranked leaderboard "
+                                 "rows as JSON (machine-readable, for CI "
+                                 "assertions and the explain report)")
+    tournament.add_argument("--explain", metavar="A,B", default=None,
+                            help="after the run, explain the leaderboard "
+                                 "gap between two protocols from their "
+                                 "traces (requires --trace-dir)")
     tournament.add_argument("--live", action="store_true",
                             help="print live standings as grid cells "
                                  "complete, not only the final leaderboard")
@@ -164,6 +173,16 @@ def _cmd_routing_tournament(args: argparse.Namespace, write_json) -> int:
         seeds = [int(token) for token in _parse_names(args.seeds)]
     except ValueError:
         raise SystemExit(f"--seeds must be integers, got {args.seeds!r}")
+    explain_pair = None
+    if args.explain is not None:
+        explain_pair = _parse_names(args.explain)
+        if len(explain_pair) != 2:
+            raise SystemExit("--explain takes exactly two protocol names, "
+                             "e.g. --explain Epidemic,PRoPHET")
+        explain_pair = [protocol_by_name(name).name for name in explain_pair]
+        if not args.trace_dir:
+            raise SystemExit("--explain needs per-job traces: "
+                             "pass --trace-dir as well")
     obs = None
     if args.trace_dir or args.metrics_json or args.profile:
         from ..obs.telemetry import ObsConfig
@@ -214,12 +233,20 @@ def _cmd_routing_tournament(args: argparse.Namespace, write_json) -> int:
     print()
     print(result.leaderboard_table())
     print(f"\ncompleted in {elapsed:.2f}s")
+    if explain_pair is not None:
+        explanation = result.explain(explain_pair[0], explain_pair[1],
+                                     trace_dir=args.trace_dir)
+        print()
+        print(explanation.report())
     write_json(args.json, {
         "protocols": result.protocols,
         "scenarios": result.scenarios,
         "seeds": result.seeds,
         "leaderboard": result.leaderboard_rows(),
         "cells": result.cell_rows(),
+    })
+    write_json(args.leaderboard_json, {
+        "leaderboard": result.leaderboard_rows(),
     })
     return 0
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..analysis.tables import format_table
@@ -48,6 +49,10 @@ class TournamentResult:
     num_runs: int
     #: pooled result of each (protocol, scenario, seed) cell
     cells: Dict[CellKey, ConstrainedSimulationResult] = field(default_factory=dict)
+    #: the executed :class:`~repro.exp.plan.ExperimentPlan` — carries the
+    #: job hashes that name per-job trace files, so leaderboard gaps can
+    #: be explained from a traced run's artifacts
+    plan: Optional[object] = None
 
     # ------------------------------------------------------------------
     def pooled(self, protocol: str) -> List[ConstrainedSimulationResult]:
@@ -103,6 +108,31 @@ class TournamentResult:
     def leaderboard_table(self) -> str:
         """The leaderboard as an aligned text table."""
         return format_table(self.leaderboard_rows())
+
+    def explain(self, protocol_a: str, protocol_b: str,
+                trace_dir: Union[str, Path]):
+        """Explain the leaderboard gap between two protocols from traces.
+
+        Requires the tournament to have run with tracing on (an
+        :class:`~repro.obs.ObsConfig` whose ``trace_dir`` matches) — the
+        per-job traces are diffed pairwise on identical (scenario, seed,
+        run) coordinates via
+        :func:`repro.obs.analyze.explain_protocol_gap`, and the returned
+        :class:`~repro.obs.analyze.GapExplanation` narrates which drops
+        and delays produced the standings.
+        """
+        if self.plan is None:
+            raise ValueError(
+                "this TournamentResult carries no plan (it predates the "
+                "explain hook); re-run the tournament")
+        for protocol in (protocol_a, protocol_b):
+            if protocol not in self.protocols:
+                raise ValueError(f"protocol {protocol!r} was not in this "
+                                 f"tournament ({self.protocols})")
+        from ..obs.analyze import explain_protocol_gap
+
+        return explain_protocol_gap(self.plan, trace_dir,
+                                    protocol_a, protocol_b)
 
     def cell_rows(self) -> List[Dict[str, object]]:
         """One row per (protocol, scenario, seed) cell, for JSON exports."""
@@ -286,7 +316,8 @@ def run_tournament(
             timers=timers))
 
     result = TournamentResult(protocols=protocol_list, scenarios=scenario_list,
-                              seeds=seed_list, num_runs=num_runs or 0)
+                              seeds=seed_list, num_runs=num_runs or 0,
+                              plan=plan)
     per_cell: Dict[CellKey, List[ConstrainedSimulationResult]] = {}
     for job in plan.jobs:
         key = (job.protocol, job.scenario_name, job.seed)

@@ -17,6 +17,8 @@ Commands::
     python -m repro exp resume <spec.json> [...]  # continue an interrupted run
     python -m repro exp status <spec.json> [...]  # done/pending without running
     python -m repro bench [...]                   # engine timing comparison
+    python -m repro obs journeys <trace> [...]    # causal trace analytics
+    python -m repro obs bench-check [...]         # perf-regression sentinel
 
 Every command prints an aligned text table; ``--json PATH`` additionally
 writes the raw rows for scripting.  Scenarios are small by construction
@@ -33,6 +35,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.tables import format_table
 from ..exp.cli import add_exp_commands, dispatch_exp_command
+from ..obs.cli import add_obs_commands, dispatch_obs_command
 from ..routing.cli import add_routing_commands, dispatch_routing_command
 from ..scenario import SPEC_CATEGORIES, ScenarioSpec, spec_kinds
 from .engine import DesSimulator, ResourceConstraints
@@ -110,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_routing_commands(commands)
     add_exp_commands(commands)
+    add_obs_commands(commands)
 
     bench = commands.add_parser(
         "bench", help="time the DES engine against the trace-driven simulator")
@@ -399,6 +403,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return dispatch_routing_command(args, _write_json)
     if args.command == "exp":
         return dispatch_exp_command(args, _write_json)
+    if args.command == "obs":
+        return dispatch_obs_command(args, _write_json)
     if args.sim_command == "list":
         return _cmd_sim_list()
     if args.sim_command == "run":

@@ -748,7 +748,7 @@ class DesSimulator:
                 self._tracer.emit("drop", time, msg=message.id,
                                   node=state.node_of[peer], reason="cancelled")
             return
-        received = self._receive(message, peer, time, hops)
+        received = self._receive(message, peer, time, hops, carrier)
         if not received:
             return
         node_of = state.node_of
@@ -812,7 +812,7 @@ class DesSimulator:
             self._schedule_transfer(message, carrier, peer, time, hops + 1)
             return False
         # instantaneous transfer
-        received = self._receive(message, peer, time, hops + 1)
+        received = self._receive(message, peer, time, hops + 1, carrier)
         if not received:
             return False
         if is_destination:
@@ -928,8 +928,8 @@ class DesSimulator:
         self._queue.push(arrival, TRANSFER_DONE, (message, carrier, peer, hops))
 
     def _receive(self, message: Message, peer: int, time: float,
-                 hops: int) -> bool:
-        """Hand a copy to *peer*; returns True if the copy was received.
+                 hops: int, carrier: int) -> bool:
+        """Hand a copy from *carrier* to *peer*; True if it was received.
 
         Delivery at the destination always succeeds; a relaying copy is
         stored only if the buffer admits it.
@@ -956,7 +956,8 @@ class DesSimulator:
             if self._tracer is not None:
                 self._tracer.emit("deliver", time, msg=message_id,
                                   node=state.node_of[peer], hops=hops,
-                                  delay=time - message.creation_time)
+                                  delay=time - message.creation_time,
+                                  src=state.node_of[carrier])
         if admitted:
             holders = state.holdings.get(message_id)
             if holders is not None:

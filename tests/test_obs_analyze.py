@@ -1,0 +1,251 @@
+"""Trace analytics: queries, cross-run diffs and the tournament explain.
+
+Pins the ISSUE 8 acceptance anchor: diffing a run against **itself**
+reports zero divergences — without that anchor a nonzero diff between two
+protocols would be meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import PAPER_DATASET_KEYS, load_dataset
+from repro.forwarding import ForwardingSimulator, PoissonMessageWorkload
+from repro.forwarding.algorithms import algorithm_by_name
+from repro.obs import (
+    RecordingTracer,
+    build_journeys,
+    diff_traces,
+    explain_protocol_gap,
+    match_protocol_jobs,
+    query_journeys,
+)
+from repro.obs.analyze import QUERY_KINDS
+from repro.sim import ChannelSpec, DesSimulator, ResourceConstraints
+
+_SCALE = 0.2
+_RATE = 0.01
+
+
+def _workload(dataset_key=PAPER_DATASET_KEYS[0]):
+    trace = load_dataset(dataset_key, scale=_SCALE, contact_scale=_SCALE)
+    messages = PoissonMessageWorkload(rate=_RATE).generate(trace, seed=11)
+    return trace, messages
+
+
+def _journeys_for(algorithm, constraints=None, seed=5):
+    trace, messages = _workload()
+    tracer = RecordingTracer()
+    if constraints is None:
+        ForwardingSimulator(trace, algorithm_by_name(algorithm),
+                            tracer=tracer).run(messages)
+    else:
+        DesSimulator(trace, algorithm_by_name(algorithm),
+                     constraints=constraints, seed=seed,
+                     tracer=tracer).run(messages)
+    return build_journeys(tracer.events)
+
+
+@pytest.fixture(scope="module")
+def epidemic_journeys():
+    return _journeys_for("Epidemic")
+
+
+class TestQuery:
+    def test_no_filters_returns_everything(self, epidemic_journeys):
+        assert len(query_journeys(epidemic_journeys)) == \
+            len(epidemic_journeys)
+
+    def test_kind_partitions_delivered_undelivered(self, epidemic_journeys):
+        delivered = query_journeys(epidemic_journeys, kind="delivered")
+        undelivered = query_journeys(epidemic_journeys, kind="undelivered")
+        assert len(delivered) + len(undelivered) == len(epidemic_journeys)
+        assert all(j.delivered for j in delivered)
+        assert not any(j.delivered for j in undelivered)
+        assert len(delivered) == epidemic_journeys.num_delivered
+
+    def test_message_filter_selects_one(self, epidemic_journeys):
+        target = next(iter(epidemic_journeys))
+        selected = query_journeys(epidemic_journeys,
+                                  message=target.message_id)
+        assert [j.message_id for j in selected] == [target.message_id]
+
+    def test_node_filter_matches_touchpoints(self, epidemic_journeys):
+        target = next(j for j in epidemic_journeys if j.delivered)
+        for node in (target.source, target.destination):
+            selected = query_journeys(epidemic_journeys, node=node)
+            assert target.message_id in {j.message_id for j in selected}
+
+    def test_filters_are_anded(self, epidemic_journeys):
+        delivered = query_journeys(epidemic_journeys, kind="delivered")
+        target = delivered[0]
+        both = query_journeys(epidemic_journeys, kind="delivered",
+                              node=target.destination,
+                              message=target.message_id)
+        assert [j.message_id for j in both] == [target.message_id]
+
+    def test_time_window_uses_activity_overlap(self, epidemic_journeys):
+        target = next(j for j in epidemic_journeys if j.delivered)
+        inside = query_journeys(epidemic_journeys,
+                                message=target.message_id,
+                                since=target.created_t,
+                                until=target.created_t)
+        assert len(inside) == 1
+        after_everything = query_journeys(
+            epidemic_journeys, message=target.message_id,
+            since=target.delivery_time + 1.0)
+        assert after_everything == []
+
+    def test_lossy_and_dropped_kinds(self):
+        journeys = _journeys_for(
+            "Epidemic",
+            ResourceConstraints(buffer_capacity=3,
+                                channel=ChannelSpec(loss=0.3)))
+        lossy = query_journeys(journeys, kind="lossy")
+        dropped = query_journeys(journeys, kind="dropped")
+        assert all(j.losses for j in lossy)
+        assert all(j.drops for j in dropped)
+        assert len(lossy) > 0 and len(dropped) > 0
+
+    def test_unknown_kind_rejected(self, epidemic_journeys):
+        with pytest.raises(ValueError, match="unknown journey kind"):
+            query_journeys(epidemic_journeys, kind="teleported")
+        assert "delivered" in QUERY_KINDS
+
+
+class TestTraceDiff:
+    def test_self_diff_reports_zero_divergences(self, epidemic_journeys):
+        """ISSUE 8 acceptance pin: a run diffed against itself is clean."""
+        diff = diff_traces(epidemic_journeys, epidemic_journeys)
+        assert diff.num_divergences == 0
+        assert diff.only_a == [] and diff.only_b == []
+        assert diff.divergent == []
+        assert "0 divergences" in diff.report()
+
+    def test_self_diff_from_jsonl_files(self, tmp_path):
+        from repro.obs import JsonlTracer
+
+        trace, messages = _workload()
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            ForwardingSimulator(trace, algorithm_by_name("Epidemic"),
+                                tracer=tracer).run(messages)
+        diff = diff_traces(path, path)
+        assert diff.num_divergences == 0
+
+    def test_cross_protocol_diff_finds_gap(self, epidemic_journeys):
+        greedy = _journeys_for("Greedy")
+        diff = diff_traces(epidemic_journeys, greedy,
+                           label_a="Epidemic", label_b="Greedy")
+        # Epidemic floods, so it dominates Greedy's delivery set here
+        assert greedy.num_delivered < epidemic_journeys.num_delivered
+        assert len(diff.only_a) >= (epidemic_journeys.num_delivered
+                                    - greedy.num_delivered)
+        costly = diff.costly_drops()
+        assert sum(costly["a_delivered_b_failed"].values()) == \
+            len(diff.only_a)
+        assert "Epidemic" in diff.report()
+
+    def test_lossy_diff_blames_losses(self, epidemic_journeys):
+        lossy = _journeys_for(
+            "Epidemic", ResourceConstraints(channel=ChannelSpec(loss=0.4)))
+        diff = diff_traces(epidemic_journeys, lossy,
+                           label_a="ideal", label_b="lossy")
+        assert lossy.num_delivered <= epidemic_journeys.num_delivered
+        costly = diff.costly_drops()["a_delivered_b_failed"]
+        # the ideal-only deliveries must be explained by channel faults,
+        # not by invented reasons outside the taxonomy
+        allowed = {"loss", "never_reached", "expired", "evicted",
+                   "rejected", "source_rejected", "churn", "cancelled"}
+        assert set(costly) <= allowed
+        assert sum(costly.values()) == len(diff.only_a)
+
+    def test_delay_waterfall_decomposes_means(self, epidemic_journeys):
+        diff = diff_traces(epidemic_journeys, epidemic_journeys,
+                           label_a="L", label_b="R")
+        waterfall = diff.delay_waterfall()
+        side = waterfall["L"]
+        assert side == waterfall["R"]
+        assert side["delivered"] == epidemic_journeys.num_delivered
+        assert side["mean_delay_s"] == pytest.approx(
+            side["mean_wait_s"] + side["mean_transfer_s"])
+        assert waterfall["mean_delay_delta_s"] == pytest.approx(0.0)
+
+    def test_as_dict_is_json_ready(self, epidemic_journeys):
+        import json
+
+        diff = diff_traces(epidemic_journeys,
+                           _journeys_for("Greedy"))
+        payload = json.loads(json.dumps(diff.as_dict()))
+        assert payload["num_divergences"] == diff.num_divergences
+        assert payload["delivered_a"] == epidemic_journeys.num_delivered
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def traced_tournament(self, tmp_path_factory):
+        from repro.obs.telemetry import ObsConfig
+        from repro.routing.tournament import run_tournament
+
+        trace_dir = tmp_path_factory.mktemp("traces")
+        result = run_tournament(
+            protocols=["Epidemic", "Direct Delivery"],
+            scenarios=["paper-ttl-tight"], seeds=[7],
+            obs=ObsConfig(trace_dir=str(trace_dir)))
+        return result, trace_dir
+
+    def test_match_protocol_jobs_pairs_coordinates(self, traced_tournament):
+        result, _trace_dir = traced_tournament
+        pairs = match_protocol_jobs(result.plan, "Epidemic",
+                                    "Direct Delivery")
+        assert pairs
+        for job_a, job_b in pairs:
+            assert job_a.protocol == "Epidemic"
+            assert job_b.protocol == "Direct Delivery"
+            assert job_a.scenario_key == job_b.scenario_key
+            assert job_a.seed == job_b.seed
+            assert job_a.run_index == job_b.run_index
+            assert job_a.job_hash != job_b.job_hash
+
+    def test_explain_matches_leaderboard(self, traced_tournament):
+        result, trace_dir = traced_tournament
+        explanation = result.explain("Epidemic", "Direct Delivery",
+                                     trace_dir=trace_dir)
+        by_name = {row["protocol"]: row
+                   for row in result.leaderboard_rows()}
+        assert explanation.deliveries_a == \
+            by_name["Epidemic"]["delivered"]
+        assert explanation.deliveries_b == \
+            by_name["Direct Delivery"]["delivered"]
+        report = explanation.report()
+        assert "Epidemic" in report and "Direct Delivery" in report
+
+    def test_explain_from_rebuilt_plan(self, traced_tournament):
+        """obs explain rebuilds the plan after the fact: job hashes are
+        content-addressed, so a fresh 2-protocol plan names exactly the
+        trace files the tournament wrote."""
+        from repro.exp.plan import build_plan
+        from repro.exp.spec import ExperimentSpec
+
+        result, trace_dir = traced_tournament
+        spec = ExperimentSpec(name="tournament",
+                              scenarios=("paper-ttl-tight",),
+                              protocols=("Epidemic", "Direct Delivery"),
+                              seeds=(7,))
+        explanation = explain_protocol_gap(build_plan(spec), trace_dir,
+                                           "Epidemic", "Direct Delivery")
+        assert explanation.deliveries_a == \
+            result.explain("Epidemic", "Direct Delivery",
+                           trace_dir=trace_dir).deliveries_a
+
+    def test_missing_trace_raises_with_job_context(self, traced_tournament,
+                                                   tmp_path):
+        result, _trace_dir = traced_tournament
+        with pytest.raises(FileNotFoundError, match="was the run traced"):
+            result.explain("Epidemic", "Direct Delivery",
+                           trace_dir=tmp_path)  # empty dir
+
+    def test_unmatched_protocols_raise(self, traced_tournament):
+        result, trace_dir = traced_tournament
+        with pytest.raises(ValueError):
+            result.explain("Epidemic", "PRoPHET", trace_dir=trace_dir)

@@ -1,0 +1,222 @@
+"""Benchmark regression sentinel: noise-aware BENCH_*.json comparison.
+
+Pins the ISSUE 8 acceptance criteria: the sentinel passes on the current
+committed artifacts compared against themselves, and demonstrably fails
+when a 20% regression is injected into an enforced metric.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import BenchComparison, check_bench_files, compare_bench
+from repro.obs.bench import (
+    DEFAULT_NOISE_FACTOR,
+    DEFAULT_REL_TOL,
+    FALLBACK_REL_NOISE,
+    MetricRow,
+    _classify,
+    _rel_spread,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO / "benchmarks" / "baselines"
+
+#: a miniature artifact exercising every metric class the sentinel knows
+ARTIFACT = {
+    "schema": "bench/1",
+    "trace_cache": {
+        "speedup": 40.0,
+        "cold_s": 2.0,
+        "warm_s": 0.05,
+        "samples": {"cold_s": [1.9, 2.0, 2.0, 2.1],
+                    "warm_s": [0.049, 0.050, 0.050, 0.051]},
+    },
+    "orchestration_overhead": {
+        "overhead": 1.08,
+        "engine_only_s": 3.0,
+    },
+    "throughput": {"events_per_s": 50_000.0},
+    "config": {"quick": True, "num_messages": 200},
+}
+
+
+def _with(path, value, artifact=ARTIFACT):
+    """A deep copy of *artifact* with the dotted *path* leaf replaced."""
+    payload = copy.deepcopy(artifact)
+    node = payload
+    *scopes, leaf = path.split(".")
+    for scope in scopes:
+        node = node[scope]
+    node[leaf] = value
+    return payload
+
+
+class TestClassification:
+    @pytest.mark.parametrize("path,expected", [
+        ("trace_cache.speedup", ("higher", True)),
+        ("orchestration_overhead.overhead", ("lower", True)),
+        ("rows[3].delivery_ratio", ("lower", True)),
+        ("obs.tracing_vs_baseline", ("lower", True)),
+        ("throughput.events_per_s", ("higher", False)),
+        ("trace_cache.cold_s", ("lower", False)),
+        ("step.elapsed_ms", ("lower", False)),
+        ("config.num_messages", None),
+        ("schema", None),
+    ])
+    def test_metric_classes(self, path, expected):
+        assert _classify(path) == expected
+
+    def test_rel_spread_is_iqr_over_median(self):
+        assert _rel_spread([1.9, 2.0, 2.0, 2.1]) == pytest.approx(
+            0.15 / 2.0, rel=1e-6)
+        assert _rel_spread([2.0]) is None  # too few samples
+        assert _rel_spread([0.0, 0.0]) is None  # degenerate median
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        comparison = compare_bench(ARTIFACT, ARTIFACT)
+        assert comparison.ok
+        assert comparison.regressions == []
+        assert comparison.improvements == []
+        assert all(row.rel_change == 0.0 for row in comparison.rows
+                   if row.rel_change is not None)
+        assert "OK" in comparison.report()
+
+    def test_injected_20pct_regression_fails(self):
+        """The acceptance pin: a 20% hit on an enforced metric trips it."""
+        slower = _with("trace_cache.speedup", 40.0 / 1.25)
+        comparison = compare_bench(ARTIFACT, slower)
+        assert not comparison.ok
+        paths = [row.path for row in comparison.regressions]
+        assert paths == ["trace_cache.speedup"]
+        assert "REGRESSION" in comparison.report()
+
+    def test_overhead_regression_direction(self):
+        worse = _with("orchestration_overhead.overhead", 1.08 * 1.25)
+        comparison = compare_bench(ARTIFACT, worse)
+        assert [row.path for row in comparison.regressions] == \
+            ["orchestration_overhead.overhead"]
+        # and the opposite move is an improvement, not a regression
+        better = _with("orchestration_overhead.overhead", 1.08 / 1.25)
+        comparison = compare_bench(ARTIFACT, better)
+        assert comparison.ok
+        assert [row.path for row in comparison.improvements] == \
+            ["orchestration_overhead.overhead"]
+
+    def test_small_changes_stay_under_threshold(self):
+        wobble = _with("trace_cache.speedup", 40.0 * 1.05)
+        comparison = compare_bench(ARTIFACT, wobble)
+        assert comparison.ok and comparison.improvements == []
+
+    def test_times_are_informational_by_default(self):
+        slow = _with("trace_cache.cold_s", 4.0)  # 2x slower wall clock
+        comparison = compare_bench(ARTIFACT, slow)
+        assert comparison.ok
+        row = next(r for r in comparison.rows
+                   if r.path == "trace_cache.cold_s")
+        assert row.status == "info" and not row.enforced
+
+    def test_enforce_times_flips_them_to_enforced(self):
+        slow = _with("trace_cache.cold_s", 4.0)
+        comparison = compare_bench(ARTIFACT, slow, enforce_times=True)
+        assert [row.path for row in comparison.regressions] == \
+            ["trace_cache.cold_s"]
+
+    def test_noise_widens_the_threshold(self):
+        """A metric inside a noisy scope needs a larger move to trip."""
+        noisy = _with("trace_cache.samples",
+                      {"cold_s": [1.0, 2.0, 2.0, 4.0]})  # rel spread 1.0
+        comparison = compare_bench(noisy, _with("trace_cache.speedup",
+                                                40.0 / 1.25, noisy))
+        row = next(r for r in comparison.rows
+                   if r.path == "trace_cache.speedup")
+        assert row.threshold > DEFAULT_REL_TOL
+        assert row.status == "ok"  # -20% is inside 2x the noise now
+
+    def test_sampleless_artifact_uses_fallback_noise(self):
+        bare = {"stage": {"speedup": 10.0}}
+        comparison = compare_bench(bare, bare)
+        assert comparison.noise_floor == FALLBACK_REL_NOISE
+        row = comparison.rows[0]
+        assert row.threshold == max(DEFAULT_REL_TOL,
+                                    DEFAULT_NOISE_FACTOR
+                                    * FALLBACK_REL_NOISE)
+
+    def test_new_missing_and_zero_baseline_are_not_fatal(self):
+        baseline = {"a": {"speedup": 5.0}, "b": {"speedup": 0.0}}
+        current = {"b": {"speedup": 1.0}, "c": {"speedup": 2.0}}
+        comparison = compare_bench(baseline, current)
+        statuses = {row.path: row.status for row in comparison.rows}
+        assert statuses == {"a.speedup": "missing",
+                            "b.speedup": "zero-baseline",
+                            "c.speedup": "new"}
+        assert comparison.ok
+
+    def test_as_dict_roundtrips_to_json(self):
+        comparison = compare_bench(ARTIFACT, ARTIFACT, name="mini")
+        payload = json.loads(json.dumps(comparison.as_dict()))
+        assert payload["name"] == "mini" and payload["ok"]
+        assert payload["num_metrics"] == len(comparison.rows)
+
+
+class TestCommittedBaselines:
+    def test_baselines_exist_for_every_bench_harness(self):
+        names = {path.name for path in BASELINE_DIR.glob("BENCH_*.json")}
+        assert names == {"BENCH_enumeration.json", "BENCH_sim.json",
+                         "BENCH_routing.json", "BENCH_exp.json",
+                         "BENCH_faults.json", "BENCH_obs.json"}
+
+    def test_self_check_passes_on_committed_baselines(self):
+        comparisons = check_bench_files(BASELINE_DIR, BASELINE_DIR)
+        assert len(comparisons) == 6
+        assert all(c.ok for c in comparisons)
+        assert all(isinstance(c, BenchComparison) for c in comparisons)
+
+    def test_injected_regression_in_committed_baseline_fails(self, tmp_path):
+        """End-to-end acceptance pin over the real committed artifact."""
+        baseline_path = BASELINE_DIR / "BENCH_exp.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["records"]["trace_cache"]["speedup"] /= 1.25
+        worse_path = tmp_path / "BENCH_exp.json"
+        worse_path.write_text(json.dumps(payload))
+        comparisons = check_bench_files(baseline_path, worse_path)
+        assert len(comparisons) == 1
+        assert not comparisons[0].ok
+        assert any(row.path.endswith("speedup")
+                   for row in comparisons[0].regressions)
+
+
+class TestFileMatching:
+    def test_dir_pair_requires_counterparts(self, tmp_path):
+        baseline_dir = tmp_path / "base"
+        current_dir = tmp_path / "cur"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text(
+            json.dumps({"stage": {"speedup": 2.0}}))
+        with pytest.raises(FileNotFoundError, match="no current counterpart"):
+            check_bench_files(baseline_dir, current_dir)
+
+    def test_empty_baseline_dir_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError, match="no BENCH"):
+            check_bench_files(empty, empty)
+
+    def test_mixed_file_and_dir_rejected(self, tmp_path):
+        artifact = tmp_path / "BENCH_x.json"
+        artifact.write_text(json.dumps({"stage": {"speedup": 2.0}}))
+        with pytest.raises(ValueError, match="both be files or both"):
+            check_bench_files(artifact, tmp_path)
+
+    def test_metric_row_is_frozen(self):
+        row = MetricRow("x.speedup", "higher", True, 1.0, 1.0,
+                        0.1, 0.0, "ok")
+        with pytest.raises(AttributeError):
+            row.status = "regression"

@@ -1,0 +1,228 @@
+"""Journey reconstruction: causal copy trees from trace-event streams.
+
+The contract under test (see :mod:`repro.obs.journeys`):
+
+* journeys reconstructed from an engine's trace reconcile **exactly** with
+  that run's batch results — on the four paper stand-ins the
+  journey-derived ``PerformanceSummary.as_row()`` is byte-identical to
+  ``summarize(result).as_row()`` (the ISSUE 8 acceptance pin);
+* every journey is a valid copy tree (parents held a copy first, hop
+  counts increment along edges, nobody receives twice);
+* under seeded loss/churn/buffer faults, journey tallies reconcile with
+  the engine's :class:`~repro.sim.engine.ResourceStats` counters
+  (hypothesis property over fault configurations);
+* the per-hop wait/transfer decomposition telescopes to the end-to-end
+  delay.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import PAPER_DATASET_KEYS, load_dataset
+from repro.forwarding import ForwardingSimulator, PoissonMessageWorkload
+from repro.forwarding.algorithms import algorithm_by_name
+from repro.forwarding.metrics import summarize
+from repro.obs import JourneyBuilder, RecordingTracer, build_journeys
+from repro.sim import ChannelSpec, ChurnSpec, DesSimulator, ResourceConstraints
+
+_SCALE = 0.2
+_RATE = 0.01
+
+
+def _load(dataset_key=PAPER_DATASET_KEYS[0]):
+    trace = load_dataset(dataset_key, scale=_SCALE, contact_scale=_SCALE)
+    messages = PoissonMessageWorkload(rate=_RATE).generate(trace, seed=11)
+    return trace, messages
+
+
+def _traced_forwarding(dataset_key, algorithm="Epidemic"):
+    trace, messages = _load(dataset_key)
+    tracer = RecordingTracer()
+    simulator = ForwardingSimulator(trace, algorithm_by_name(algorithm),
+                                    tracer=tracer)
+    return simulator.run(messages), tracer
+
+
+def _traced_des(constraints, algorithm="Epidemic", seed=5):
+    trace, messages = _load()
+    tracer = RecordingTracer()
+    simulator = DesSimulator(trace, algorithm_by_name(algorithm),
+                             constraints=constraints, seed=seed,
+                             tracer=tracer)
+    return simulator.run(messages), tracer
+
+
+# ----------------------------------------------------------------------
+# the acceptance pin: byte-identical batch reconciliation
+# ----------------------------------------------------------------------
+class TestBatchReconciliation:
+    @pytest.mark.parametrize("dataset_key", PAPER_DATASET_KEYS)
+    def test_as_row_byte_identical_on_paper_standins(self, dataset_key):
+        result, tracer = _traced_forwarding(dataset_key)
+        journeys = build_journeys(tracer.events)
+        journey_row = journeys.performance_summary("Epidemic").as_row()
+        batch_row = summarize(result).as_row()
+        assert journey_row == batch_row
+        assert journeys.validate() == []
+
+    def test_per_message_outcomes_match(self):
+        result, tracer = _traced_forwarding(PAPER_DATASET_KEYS[0])
+        journeys = build_journeys(tracer.events)
+        assert len(journeys) == result.num_messages
+        for outcome in result.outcomes:
+            journey = journeys[outcome.message.id]
+            assert journey.delivered == outcome.delivered
+            assert journey.delivery_time == outcome.delivery_time
+            assert journey.hop_count == outcome.hop_count
+            assert journey.source == outcome.message.source
+            assert journey.destination == outcome.message.destination
+
+    def test_des_row_identical_with_fault_counters(self):
+        constraints = ResourceConstraints(channel=ChannelSpec(loss=0.3))
+        result, tracer = _traced_des(constraints)
+        journeys = build_journeys(tracer.events)
+        journey_row = journeys.performance_summary(
+            "Epidemic", with_fault_counters=True).as_row()
+        assert journey_row == summarize(result).as_row()
+
+
+# ----------------------------------------------------------------------
+# copy-tree structure
+# ----------------------------------------------------------------------
+class TestCopyTree:
+    def test_paths_start_at_source_and_end_at_destination(self):
+        result, tracer = _traced_forwarding(PAPER_DATASET_KEYS[0])
+        journeys = build_journeys(tracer.events)
+        delivered = [j for j in journeys if j.delivered]
+        assert delivered
+        for journey in delivered:
+            path = journey.path()
+            assert path is not None
+            assert path[0] == journey.source
+            assert path[-1] == journey.destination
+            assert len(path) == journey.hop_count + 1
+            assert len(set(path)) == len(path)  # simple path, no cycles
+
+    def test_decomposition_telescopes_to_total_delay(self):
+        constraints = ResourceConstraints(
+            bandwidth=5_000.0, channel=ChannelSpec(delay=1.0, jitter=0.5))
+        result, tracer = _traced_des(constraints)
+        journeys = build_journeys(tracer.events)
+        checked = 0
+        for journey in journeys:
+            decomposition = journey.delay_decomposition()
+            if decomposition is None:
+                continue
+            checked += 1
+            assert math.isclose(
+                decomposition["wait_s"] + decomposition["transfer_s"],
+                journey.delay, rel_tol=1e-9, abs_tol=1e-6)
+            assert decomposition["wait_s"] >= 0
+            assert decomposition["transfer_s"] >= 0
+        assert checked > 0
+
+    def test_unconstrained_transfers_are_instant(self):
+        """In the paper's idealized regime delay is pure contact wait."""
+        result, tracer = _traced_forwarding(PAPER_DATASET_KEYS[0])
+        journeys = build_journeys(tracer.events)
+        for journey in journeys:
+            decomposition = journey.delay_decomposition()
+            if decomposition is not None:
+                assert decomposition["transfer_s"] == 0.0
+
+    def test_streaming_feed_equals_bulk_build(self):
+        _result, tracer = _traced_forwarding(PAPER_DATASET_KEYS[0])
+        builder = JourneyBuilder()
+        for event in tracer.events:  # one at a time, as a tail -f would
+            builder.feed(event)
+        streamed = builder.result()
+        bulk = build_journeys(tracer.events)
+        assert len(streamed) == len(bulk)
+        assert streamed.delays() == bulk.delays()
+        assert streamed.copies_sent == bulk.copies_sent
+
+    def test_build_from_jsonl_file(self, tmp_path):
+        from repro.obs import JsonlTracer
+
+        trace, messages = _load()
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            result = ForwardingSimulator(
+                trace, algorithm_by_name("Epidemic"),
+                tracer=tracer).run(messages)
+        journeys = build_journeys(path)
+        row = journeys.performance_summary("Epidemic").as_row()
+        assert row == summarize(result).as_row()
+
+    def test_invalid_tree_is_reported(self):
+        builder = JourneyBuilder()
+        builder.feed({"event": "create", "t": 0.0, "msg": 1,
+                      "src": "a", "dst": "z"})
+        # a forward from a node that never held a copy
+        builder.feed({"event": "forward", "t": 1.0, "msg": 1,
+                      "src": "ghost", "dst": "b", "hops": 3})
+        problems = builder.result().validate()
+        assert any("never held" in problem for problem in problems)
+
+
+# ----------------------------------------------------------------------
+# fault reconciliation (satellite: hypothesis property)
+# ----------------------------------------------------------------------
+class TestFaultReconciliation:
+    @given(
+        loss=st.sampled_from([0.0, 0.15, 0.4]),
+        crash_rate=st.sampled_from([0.0, 0.0002, 0.0006]),
+        buffer_capacity=st.sampled_from([None, 3, 8]),
+        ttl=st.sampled_from([None, 20000.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_any_seeded_faulty_run_reconciles(self, loss, crash_rate,
+                                              buffer_capacity, ttl, seed):
+        """ISSUE 8 satellite: any seeded lossy/churn run yields journeys
+        whose delivered/dropped/expired tallies reconcile with the
+        engine's telemetry counters, and a valid copy tree."""
+        constraints = ResourceConstraints(
+            buffer_capacity=buffer_capacity, ttl=ttl,
+            channel=(ChannelSpec(loss=loss) if loss else None),
+            churn=(ChurnSpec(crash_rate=crash_rate) if crash_rate
+                   else None))
+        result, tracer = _traced_des(constraints, seed=seed)
+        journeys = build_journeys(tracer.events)
+        assert journeys.reconcile(result.stats) == []
+        assert journeys.validate() == []
+        assert journeys.num_delivered == result.num_delivered
+        assert len(journeys) == result.num_messages
+
+    def test_drop_reason_tallies_match_stats(self):
+        constraints = ResourceConstraints(
+            buffer_capacity=3, ttl=20000.0,
+            channel=ChannelSpec(loss=0.2),
+            churn=ChurnSpec(crash_rate=0.0003))
+        result, tracer = _traced_des(constraints)
+        journeys = build_journeys(tracer.events)
+        stats = result.stats
+        assert journeys.drop_counts["evicted"] == stats.buffer_evictions
+        assert journeys.drop_counts["rejected"] == stats.buffer_rejections
+        assert journeys.drop_counts["churn"] == stats.churn_dropped_copies
+        assert journeys.drop_counts["cancelled"] == stats.cancelled_transfers
+        assert journeys.num_losses == stats.lost_transfers
+        assert journeys.num_retransmits == stats.retransmissions
+        assert journeys.num_crashes == stats.node_crashes
+        assert journeys.num_expired == stats.expired_messages
+
+    def test_expired_journeys_are_annotated(self):
+        constraints = ResourceConstraints(ttl=20000.0)
+        result, tracer = _traced_des(constraints)
+        journeys = build_journeys(tracer.events)
+        expired = [j for j in journeys if j.expired_undelivered]
+        assert len(expired) == result.stats.expired_messages
+        for journey in expired:
+            assert not journey.delivered
+            assert journey.expired_t is not None
+            assert journey.holders == set()  # the expiry wiped every copy

@@ -242,3 +242,125 @@ class TestFaultEvents:
         evictions = [record for record in drops
                      if record["reason"] == "evicted"]
         assert len(evictions) == result.stats.buffer_evictions
+
+
+# ----------------------------------------------------------------------
+# streaming reader + payload validation (PR 8)
+# ----------------------------------------------------------------------
+class TestIterTrace:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines))
+        return path
+
+    def test_streams_lazily_and_matches_read_trace(self, tmp_path):
+        from repro.obs import iter_trace
+
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            for i in range(5):
+                tracer.emit("create", float(i), msg=i, src="a", dst="b")
+        iterator = iter_trace(path)
+        assert iter(iterator) is iterator  # a generator, not a list
+        assert list(iterator) == read_trace(path)
+        assert len(read_trace(path)) == 5
+
+    def test_truncated_final_line_is_silently_ignored(self, tmp_path):
+        import warnings
+
+        from repro.obs import iter_trace
+
+        good = json.dumps({"event": "create", "t": 0.0, "msg": 1,
+                           "src": "a", "dst": "b"})
+        path = self._write(tmp_path, [good, '{"event": "deliv'])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            events = list(iter_trace(path))
+        assert len(events) == 1
+
+    def test_corrupt_midfile_line_warns_and_skips(self, tmp_path):
+        from repro.obs import iter_trace
+
+        good = json.dumps({"event": "crash", "t": 1.0, "node": "a"})
+        path = self._write(tmp_path, [good, "{broken", good])
+        with pytest.warns(UserWarning, match="line 2"):
+            events = list(iter_trace(path))
+        assert len(events) == 2
+
+    def test_read_trace_is_the_materialized_iterator(self, tmp_path):
+        good = json.dumps({"event": "reboot", "t": 2.0, "node": "x"})
+        path = self._write(tmp_path, [good, '{"event": "cr'])
+        assert read_trace(path) == [{"event": "reboot", "t": 2.0,
+                                     "node": "x"}]
+
+
+class TestEventValidation:
+    def test_taxonomy_constant_matches_engine_reasons(self):
+        from repro.obs import DROP_REASONS as TAXONOMY
+
+        assert set(TAXONOMY) == DROP_REASONS
+
+    def test_every_event_has_a_schema(self):
+        from repro.obs import EVENT_FIELDS
+
+        assert set(EVENT_FIELDS) == set(TRACE_EVENTS)
+
+    def test_validate_event_accepts_engine_payloads(self):
+        from repro.obs import validate_event
+
+        assert validate_event("create", {"msg": 1, "src": "a",
+                                         "dst": "b"}) is None
+        assert validate_event("deliver", {"msg": 1, "node": "b", "hops": 2,
+                                          "delay": 5.0, "src": "a"}) is None
+        assert validate_event("drop", {"msg": 1, "node": "b",
+                                       "reason": "evicted"}) is None
+
+    def test_validate_event_flags_problems(self):
+        from repro.obs import validate_event
+
+        assert "unknown event" in validate_event("teleport", {})
+        assert "missing" in validate_event("create", {"msg": 1, "src": "a"})
+        assert "unknown field" in validate_event(
+            "crash", {"node": "a", "why": "?"})
+        assert "taxonomy" in validate_event(
+            "drop", {"msg": 1, "node": "b", "reason": "gremlins"})
+
+    def test_jsonl_tracer_rejects_malformed_with_line_number(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.emit("create", 0.0, msg=1, src="a", dst="b")
+        with pytest.raises(ValueError, match="line 2"):
+            tracer.emit("drop", 1.0, msg=1, node="a", reason="gremlins")
+        tracer.close()
+        # the malformed event never reached the file
+        assert len(read_trace(tmp_path / "t.jsonl")) == 1
+
+    def test_jsonl_tracer_validation_opt_out(self, tmp_path):
+        with JsonlTracer(tmp_path / "t.jsonl", validate=False) as tracer:
+            tracer.emit("freeform", 0.0, anything="goes")
+        assert read_trace(tmp_path / "t.jsonl") == [
+            {"event": "freeform", "t": 0.0, "anything": "goes"}]
+
+    @pytest.mark.parametrize("fault", ["lossy", "churn", "tight"])
+    def test_engine_event_streams_validate(self, fault):
+        """Every event either engine emits passes the payload schema."""
+        from repro.obs import validate_event
+
+        trace, messages = _load()
+        constraints = {
+            "lossy": ResourceConstraints(
+                channel=ChannelSpec(loss=0.3, delay=1.0, jitter=0.5)),
+            "churn": ResourceConstraints(
+                churn=ChurnSpec(crash_rate=0.0005)),
+            "tight": ResourceConstraints(
+                buffer_capacity=3, ttl=20000.0,
+                channel=ChannelSpec(loss=0.2),
+                churn=ChurnSpec(crash_rate=0.0003)),
+        }[fault]
+        tracer = RecordingTracer()
+        DesSimulator(trace, algorithm_by_name("Epidemic"),
+                     constraints=constraints, seed=5,
+                     tracer=tracer).run(messages)
+        for record in tracer.events:
+            fields = {k: v for k, v in record.items()
+                      if k not in ("event", "t")}
+            assert validate_event(record["event"], fields) is None, record
