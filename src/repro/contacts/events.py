@@ -176,6 +176,7 @@ class ContactTrace:
             self._duration = float(duration)
         self.name = name
         self._starts: List[float] = [c.start for c in self._contacts]
+        self._arrays: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # basic container protocol
@@ -212,6 +213,30 @@ class ContactTrace:
     def contacts(self) -> Sequence[Contact]:
         """The contacts, sorted by start time."""
         return tuple(self._contacts)
+
+    def as_arrays(self) -> tuple:
+        """Columnar ``(starts, ends, a, b)`` numpy arrays, built once.
+
+        Four parallel arrays over the contacts in trace order, for
+        array-native consumers (the vector simulation kernel, bulk
+        statistics).  Endpoint dtype is whatever numpy infers from the
+        node labels (``int64`` for the library's integer ids).  The
+        arrays are cached on the trace and shared between callers; treat
+        them as read-only.
+        """
+        arrays = self._arrays
+        if arrays is None:
+            import numpy as np  # local: keep the core data model light
+
+            count = len(self._contacts)
+            starts = np.fromiter((c.start for c in self._contacts),
+                                 dtype=np.float64, count=count)
+            ends = np.fromiter((c.end for c in self._contacts),
+                               dtype=np.float64, count=count)
+            a = np.asarray([c.a for c in self._contacts])
+            b = np.asarray([c.b for c in self._contacts])
+            self._arrays = arrays = (starts, ends, a, b)
+        return arrays
 
     @property
     def nodes(self) -> FrozenSet[NodeId]:

@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..analysis.tables import format_table
-from .spec import ExperimentSpec
+from .spec import ENGINES, ExperimentSpec
 from .store import DEFAULT_STORE_ROOT
 
 __all__ = ["add_exp_commands", "dispatch_exp_command"]
@@ -66,6 +66,9 @@ def add_exp_commands(commands: argparse._SubParsersAction) -> None:
         command.add_argument("--fresh", action="store_true",
                              help="ignore stored records and re-run every "
                                   "job (new records still persist)")
+        command.add_argument("--engine", choices=ENGINES, default=None,
+                             help="override the spec's simulation kernel "
+                                  "(default: the spec's own engine field)")
         command.add_argument("--json", metavar="PATH", default=None,
                              help="also write the pooled rows as JSON")
         command.add_argument("--timeout", type=float, default=None,
@@ -141,6 +144,8 @@ def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
     from .plan import build_plan
 
     spec = _load_spec(args.spec)
+    if args.engine is not None:
+        spec = spec.with_overrides(engine=args.engine)
     store = None if args.no_store else args.store
     if args.retries < 0:
         raise SystemExit("--retries must be >= 0")

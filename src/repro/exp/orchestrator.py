@@ -99,6 +99,15 @@ def _run_exp_job(payload: _JobPayload) -> ConstrainedSimulationResult:
                 stats=ResourceStats(copies_sent=ideal.copies_sent or 0),
                 copies_sent=ideal.copies_sent)
             result.outcomes.extend(ideal.outcomes)
+        elif engine == "vector":
+            from ..sim.vector import VectorSimulator
+
+            simulator = VectorSimulator(trace, protocol_by_name(protocol),
+                                        constraints=scenario.constraints,
+                                        copy_semantics=scenario.copy_semantics,
+                                        seed=scenario.seed,
+                                        tracer=tracer, telemetry=telemetry)
+            result = simulator.run(messages)
         else:
             simulator = DesSimulator(trace, protocol_by_name(protocol),
                                      constraints=scenario.constraints,

@@ -49,6 +49,7 @@ from .tracing import (
     DROP_REASONS,
     EVENT_FIELDS,
     TRACE_EVENTS,
+    BufferedTracer,
     JsonlTracer,
     RecordingTracer,
     Tracer,
@@ -70,6 +71,7 @@ __all__ = [
     "Tracer",
     "RecordingTracer",
     "JsonlTracer",
+    "BufferedTracer",
     "iter_trace",
     "read_trace",
     "METRICS_SCHEMA",

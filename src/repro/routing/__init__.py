@@ -20,6 +20,7 @@ Command line::
 
 from .base import RoutingProtocol
 from .compat import AlgorithmProtocol, ensure_protocol
+from .vector import VectorProtocol
 from .protocols import (
     BinarySprayAndWaitProtocol,
     DirectDeliveryProtocol,
@@ -41,6 +42,7 @@ __all__ = [
     "RoutingProtocol",
     "AlgorithmProtocol",
     "ensure_protocol",
+    "VectorProtocol",
     "BinarySprayAndWaitProtocol",
     "DirectDeliveryProtocol",
     "FirstContactProtocol",

@@ -65,6 +65,16 @@ class RoutingProtocol(ABC):
     #: What the protocol knows ("none", "history", "oracle", "learned").
     knowledge: str = "none"
 
+    #: Whether the vector engine may skip history recording and the
+    #: per-contact hooks for this protocol (it neither reads the online
+    #: contact history nor implements ``on_contact_start``/``end``).
+    #: Opt in via :class:`repro.routing.vector.VectorProtocol`.
+    vector_fastpath: bool = False
+
+    #: Optional batch twin of ``should_forward`` used by the vector
+    #: engine; ``None`` keeps the protocol on the scalar decision path.
+    vector_approvals = None
+
     def prepare(self, trace: ContactTrace) -> None:
         """Reset per-run state and precompute any oracle state.
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Union
 
 from ..contacts import ContactTrace, NodeId
-from ..forwarding.algorithms import ForwardingAlgorithm
+from ..forwarding.algorithms import EpidemicForwarding, ForwardingAlgorithm
 from ..forwarding.history import OnlineContactHistory
 from ..forwarding.messages import Message
 from .base import RoutingProtocol
@@ -36,6 +36,17 @@ class AlgorithmProtocol(RoutingProtocol):
                             else "utility")
         self.knowledge = ("oracle" if algorithm.uses_future_knowledge
                           else "history")
+        # Epidemic is the one paper algorithm that consults neither the
+        # contact history nor any hook, so the vector engine may run it on
+        # the fast path; the other five read the history on every decision
+        # and stay on the per-contact fallback.
+        if isinstance(algorithm, EpidemicForwarding):
+            self.vector_fastpath = True
+            self.vector_approvals = self._approve_all
+
+    @staticmethod
+    def _approve_all(carrier, peer, messages, now):
+        return [True] * len(messages)
 
     def prepare(self, trace: ContactTrace) -> None:
         self.algorithm.prepare(trace)

@@ -35,6 +35,7 @@ from ..contacts import ContactTrace, NodeId
 from ..forwarding.history import OnlineContactHistory
 from ..forwarding.messages import Message
 from .base import RoutingProtocol
+from .vector import VectorProtocol
 
 __all__ = [
     "DirectDeliveryProtocol",
@@ -46,7 +47,7 @@ __all__ = [
 ]
 
 
-class DirectDeliveryProtocol(RoutingProtocol):
+class DirectDeliveryProtocol(VectorProtocol, RoutingProtocol):
     """Hold the message until the source meets the destination itself.
 
     The cheapest possible protocol (exactly one copy, zero transfers) and
@@ -62,8 +63,11 @@ class DirectDeliveryProtocol(RoutingProtocol):
     def should_forward(self, carrier, peer, message, now, history) -> bool:
         return False  # minimal progress already covers the destination
 
+    def vector_approvals(self, carrier, peer, messages, now):
+        return [False] * len(messages)
 
-class FirstContactProtocol(RoutingProtocol):
+
+class FirstContactProtocol(VectorProtocol, RoutingProtocol):
     """Single-copy relay: the token moves to the first *new* peer met.
 
     The current owner hands the (logical) single copy to the first
@@ -92,8 +96,12 @@ class FirstContactProtocol(RoutingProtocol):
         if self._owner.get(message.id) == carrier:
             self._owner[message.id] = peer
 
+    def vector_approvals(self, carrier, peer, messages, now):
+        owner = self._owner
+        return [owner.get(m.id) == carrier for m in messages]
 
-class _SprayAndWaitBase(RoutingProtocol):
+
+class _SprayAndWaitBase(VectorProtocol, RoutingProtocol):
     """Shared copy-budget bookkeeping of the two spray-and-wait variants.
 
     ``copies`` maps message id -> {node: logical copies held}.  The budget
@@ -128,6 +136,10 @@ class _SprayAndWaitBase(RoutingProtocol):
 
     def should_forward(self, carrier, peer, message, now, history) -> bool:
         return self.copies_held(message.id, carrier) > 1
+
+    def vector_approvals(self, carrier, peer, messages, now):
+        copies = self._copies
+        return [copies.get(m.id, {}).get(carrier, 0) > 1 for m in messages]
 
 
 class BinarySprayAndWaitProtocol(_SprayAndWaitBase):
@@ -167,6 +179,12 @@ class SourceSprayAndWaitProtocol(_SprayAndWaitBase):
     def should_forward(self, carrier, peer, message, now, history) -> bool:
         return (carrier == message.source
                 and self.copies_held(message.id, carrier) > 1)
+
+    def vector_approvals(self, carrier, peer, messages, now):
+        copies = self._copies
+        return [carrier == m.source
+                and copies.get(m.id, {}).get(carrier, 0) > 1
+                for m in messages]
 
     def on_forwarded(self, message, carrier, peer, now) -> None:
         holders = self._copies.get(message.id)
@@ -265,7 +283,7 @@ class ProphetProtocol(RoutingProtocol):
                 > self.predictability(carrier, destination, now))
 
 
-class HypergossipProtocol(RoutingProtocol):
+class HypergossipProtocol(VectorProtocol, RoutingProtocol):
     """Hypergossip-style probabilistic flooding.
 
     Epidemic forwarding where every (message, carrier, peer) offer passes a
@@ -298,3 +316,9 @@ class HypergossipProtocol(RoutingProtocol):
         if self.p >= 1.0:
             return True
         return self._coin(message.id, carrier, peer) < self.p
+
+    def vector_approvals(self, carrier, peer, messages, now):
+        if self.p >= 1.0:
+            return [True] * len(messages)
+        coin = self._coin
+        return [coin(m.id, carrier, peer) < self.p for m in messages]

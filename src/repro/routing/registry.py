@@ -93,6 +93,8 @@ def protocol_catalogue() -> List[Dict[str, object]]:
             "replication": protocol.replication,
             "knowledge": protocol.knowledge,
             "oracle": "yes" if protocol.uses_future_knowledge else "no",
+            "vector": ("fast-path" if getattr(protocol, "vector_fastpath",
+                                              False) else "hooks"),
         })
     return rows
 

@@ -35,6 +35,7 @@ _EXPORTS = {
     "spec_kinds": ".base",
     "spec_from_dict": ".base",
     "DatasetTraceSpec": ".traces",
+    "GridRandomWaypointTraceSpec": ".traces",
     "RandomWaypointTraceSpec": ".traces",
     "TwoClassTraceSpec": ".traces",
     "FileTraceSpec": ".traces",
@@ -67,6 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .traces import (
         DatasetTraceSpec,
         FileTraceSpec,
+        GridRandomWaypointTraceSpec,
         RandomWaypointTraceSpec,
         TwoClassTraceSpec,
     )

@@ -30,6 +30,7 @@ from .engine import (
     simulate_des,
 )
 from .faults import ChannelSpec, ChurnSpec
+from .vector import VectorSimulator, simulate_vector
 from .runner import ScenarioRunResult, SweepResult, run_scenario, sweep_scenario
 from .scenarios import (
     DatasetTraceSpec,
@@ -59,6 +60,8 @@ __all__ = [
     "ResourceConstraints",
     "ResourceStats",
     "simulate_des",
+    "VectorSimulator",
+    "simulate_vector",
     "ChannelSpec",
     "ChurnSpec",
     "ScenarioRunResult",

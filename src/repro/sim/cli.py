@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.tables import format_table
 from ..exp.cli import add_exp_commands, dispatch_exp_command
+from ..exp.spec import ENGINES
 from ..obs.cli import add_obs_commands, dispatch_obs_command
 from ..routing.cli import add_routing_commands, dispatch_routing_command
 from ..scenario import SPEC_CATEGORIES, ScenarioSpec, spec_kinds
@@ -67,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the scenario's number of workload runs")
     run.add_argument("--seed", type=int, default=None,
                      help="override the scenario's master seed")
+    run.add_argument("--engine", choices=ENGINES, default=None,
+                     help="simulation kernel (default: des; 'vector' is the "
+                          "array-native kernel for city-scale scenarios)")
     run.add_argument("--parallel", action="store_true",
                      help="fan (run x algorithm) simulations over a process pool")
     run.add_argument("--workers", type=int, default=None,
@@ -89,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "('inf' or 'none' = unlimited)")
     sweep.add_argument("--runs", type=int, default=None)
     sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument("--engine", choices=ENGINES, default=None,
+                       help="simulation kernel (default: des)")
     sweep.add_argument("--parallel", action="store_true")
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--json", metavar="PATH", default=None)
@@ -234,7 +240,7 @@ def _cmd_sim_run(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     result = run_scenario(scenario, num_runs=args.runs, seed=args.seed,
                           parallel=args.parallel, n_workers=args.workers,
-                          obs=obs)
+                          obs=obs, engine=args.engine)
     elapsed = time.perf_counter() - started
     print(f"scenario: {scenario.name} — {scenario.description}")
     print(f"trace: {result.trace_name}  ({result.num_nodes} nodes, "
@@ -256,7 +262,7 @@ def _cmd_sim_sweep(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     sweep = sweep_scenario(scenario, args.param, values, num_runs=args.runs,
                            seed=args.seed, parallel=args.parallel,
-                           n_workers=args.workers)
+                           n_workers=args.workers, engine=args.engine)
     elapsed = time.perf_counter() - started
     print(f"scenario: {scenario.name} — sweeping {args.param} over "
           f"{[('inf' if v is None else v) for v in values]}")

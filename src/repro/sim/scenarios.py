@@ -22,6 +22,7 @@ from ..scenario.spec import ScenarioSpec
 from ..scenario.traces import (
     DatasetTraceSpec,
     FileTraceSpec,
+    GridRandomWaypointTraceSpec,
     RandomWaypointTraceSpec,
     TwoClassTraceSpec,
 )
@@ -30,6 +31,7 @@ from .engine import UNCONSTRAINED, ResourceConstraints
 
 __all__ = [
     "DatasetTraceSpec",
+    "GridRandomWaypointTraceSpec",
     "RandomWaypointTraceSpec",
     "TwoClassTraceSpec",
     "FileTraceSpec",
@@ -165,6 +167,37 @@ register_scenario(Scenario(
                                     hotspot_share=0.8, mode="source"),
     constraints=ResourceConstraints(buffer_capacity=5.0),
     seed=607,
+))
+
+register_scenario(Scenario(
+    name="rwp-city-1k",
+    description="1000-node random-waypoint city district (1.1 km square, "
+                "20 m radio, 90 minutes) with an early message burst: the "
+                "vector engine's quick benchmark arena, idealized resources",
+    trace=GridRandomWaypointTraceSpec(num_nodes=1000, duration=5400.0,
+                                      step=30.0, width=1100.0, height=1100.0,
+                                      radio_range=20.0, name="rwp-city-1k"),
+    workload=PoissonMessageWorkload(rate=0.1,
+                                    generation_window=(0.0, 600.0)),
+    constraints=UNCONSTRAINED,
+    algorithms=("Epidemic", "Binary Spray-and-Wait"),
+    seed=609,
+))
+
+register_scenario(Scenario(
+    name="rwp-city-10k",
+    description="10000-node random-waypoint city (3.5 km square, 20 m "
+                "radio, 90 minutes) with an early message burst: the "
+                "engine=\"vector\" headline scale — run it with the vector "
+                "engine; the DES engine needs minutes here",
+    trace=GridRandomWaypointTraceSpec(num_nodes=10000, duration=5400.0,
+                                      step=30.0, width=3500.0, height=3500.0,
+                                      radio_range=20.0, name="rwp-city-10k"),
+    workload=PoissonMessageWorkload(rate=0.25,
+                                    generation_window=(0.0, 600.0)),
+    constraints=UNCONSTRAINED,
+    algorithms=("Epidemic",),
+    seed=610,
 ))
 
 register_scenario(Scenario(

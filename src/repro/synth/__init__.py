@@ -13,7 +13,12 @@ master seed with :func:`repro.synth.seeding.derive_rng`.
 
 from .heterogeneous import ConferenceTraceGenerator
 from .homogeneous import HomogeneousPoissonGenerator
-from .mobility import RandomWaypointModel, contacts_from_positions
+from .mobility import (
+    GridRandomWaypointModel,
+    RandomWaypointModel,
+    contacts_from_positions,
+    grid_pairs_in_range,
+)
 from .profiles import (
     ActivityProfile,
     ConstantProfile,
@@ -27,8 +32,10 @@ from .workloads import AllPairsBurstWorkload, HotspotMessageWorkload
 __all__ = [
     "ConferenceTraceGenerator",
     "HomogeneousPoissonGenerator",
+    "GridRandomWaypointModel",
     "RandomWaypointModel",
     "contacts_from_positions",
+    "grid_pairs_in_range",
     "ActivityProfile",
     "ConstantProfile",
     "PiecewiseConstantProfile",

@@ -19,6 +19,7 @@ from repro.scenario import (
     ConstraintSpec,
     DatasetTraceSpec,
     FileTraceSpec,
+    GridRandomWaypointTraceSpec,
     RandomWaypointTraceSpec,
     ScenarioSpec,
     TraceSpec,
@@ -65,6 +66,20 @@ rwp_traces = st.builds(
     max_speed=st.floats(min_value=1.0, max_value=5.0, **finite),
     radio_range=st.floats(min_value=1.0, max_value=50.0, **finite),
     name=st.sampled_from(["", "campus", "atrium"]),
+)
+
+grid_rwp_traces = st.builds(
+    GridRandomWaypointTraceSpec,
+    num_nodes=st.integers(min_value=2, max_value=80),
+    duration=st.floats(min_value=60.0, max_value=3600.0, **finite),
+    step=st.floats(min_value=5.0, max_value=60.0, **finite),
+    width=st.floats(min_value=50.0, max_value=1000.0, **finite),
+    height=st.floats(min_value=50.0, max_value=1000.0, **finite),
+    min_speed=st.floats(min_value=0.1, max_value=1.0, **finite),
+    max_speed=st.floats(min_value=1.0, max_value=5.0, **finite),
+    max_pause=st.floats(min_value=0.0, max_value=120.0, **finite),
+    radio_range=st.floats(min_value=5.0, max_value=60.0, **finite),
+    name=st.sampled_from(["", "city"]),
 )
 
 two_class_traces = st.builds(
@@ -162,6 +177,7 @@ constraint_specs = st.builds(
 SPEC_STRATEGIES = {
     ("trace", "dataset"): dataset_traces,
     ("trace", "rwp"): rwp_traces,
+    ("trace", "rwp-grid"): grid_rwp_traces,
     ("trace", "two-class"): two_class_traces,
     ("trace", "file"): file_traces,
     ("workload", "poisson"): poisson_workloads,
@@ -220,6 +236,8 @@ class TestRoundTrips:
 
     @pytest.mark.parametrize("trace_spec", [
         RandomWaypointTraceSpec(num_nodes=6, duration=300.0),
+        GridRandomWaypointTraceSpec(num_nodes=40, duration=300.0,
+                                    width=200.0, height=200.0),
         TwoClassTraceSpec(num_high=2, num_low=4, duration=600.0,
                           mean_contacts_per_node=10.0),
         DatasetTraceSpec(key="infocom05", scale=0.1, contact_scale=0.1),

@@ -41,6 +41,11 @@ def test_registry_meets_acceptance_criteria():
 
 def test_every_scenario_runs_end_to_end():
     for name in scenario_names():
+        nodes = get_scenario(name).node_count()
+        if nodes is not None and nodes > 500:
+            # city-scale scenarios (rwp-city-*) exist for the vector
+            # engine's benchmarks; the DES pass here would take minutes
+            continue
         result = run_scenario(name)
         assert result.num_messages > 0, name
         summaries = result.summaries()

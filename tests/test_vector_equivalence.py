@@ -1,0 +1,272 @@
+"""Engine equivalence: the vector kernel vs the DES engine.
+
+``engine="vector"`` promises *delivery-stream equivalence*: the same
+delivery set, the same delivery times, the same hop counts, the same copy
+counts and the same resource-stat counters as :class:`repro.sim.
+DesSimulator` on identical inputs.  This suite enforces that on all four
+paper dataset stand-ins for every fast-path protocol, across the
+constraint space the kernel handles natively (buffers with all three drop
+policies, ttl, message sizes, hand-off semantics, continued flooding),
+through the lifecycle-hook fallback for protocols without a fast path,
+and through the wholesale delegation to DES for bandwidth/fault
+configurations.  Hypothesis drives the timing edge cases: batches of
+same-timestamp contacts must tie-break exactly like the DES event heap.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.contacts import Contact, ContactTrace
+from repro.datasets import PAPER_DATASET_KEYS, load_dataset
+from repro.forwarding import Message, PoissonMessageWorkload
+from repro.obs import JsonlTracer
+from repro.routing.registry import protocol_by_name, protocol_catalogue, protocol_names
+from repro.sim import (
+    DesSimulator,
+    ResourceConstraints,
+    UNCONSTRAINED,
+    VectorSimulator,
+    run_scenario,
+    simulate_vector,
+)
+from repro.sim.faults import ChannelSpec
+
+_SCALE = 0.15
+_RATE = 0.01
+
+FASTPATH_PROTOCOLS = [name for name in protocol_names()
+                      if protocol_by_name(name).vector_fastpath]
+HOOK_ONLY_PROTOCOLS = [name for name in protocol_names()
+                       if not protocol_by_name(name).vector_fastpath]
+
+
+def _assert_results_equal(reference, candidate, context=""):
+    assert candidate.algorithm == reference.algorithm, context
+    assert candidate.trace_name == reference.trace_name, context
+    assert len(candidate.outcomes) == len(reference.outcomes), context
+    for position, (expected, actual) in enumerate(
+            zip(reference.outcomes, candidate.outcomes)):
+        where = f"{context} message {expected.message.id} (#{position})"
+        assert actual.message == expected.message, where
+        assert actual.delivered == expected.delivered, where
+        assert actual.delivery_time == expected.delivery_time, where
+        assert actual.hop_count == expected.hop_count, where
+    assert candidate.copies_sent == reference.copies_sent, context
+    assert candidate.stats.as_dict() == reference.stats.as_dict(), context
+
+
+def _run_both(trace, messages, protocol_name, **options):
+    reference = DesSimulator(trace, protocol_by_name(protocol_name),
+                             **options).run(messages)
+    candidate = VectorSimulator(trace, protocol_by_name(protocol_name),
+                                **options).run(messages)
+    return reference, candidate
+
+
+def _workload(trace, seed=11):
+    return PoissonMessageWorkload(rate=_RATE).generate(trace, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# the paper stand-ins
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dataset_key", PAPER_DATASET_KEYS)
+def test_vector_equals_des_on_paper_standins(dataset_key):
+    """Delivery streams match on every stand-in, every fast-path protocol."""
+    trace = load_dataset(dataset_key, scale=_SCALE, contact_scale=_SCALE)
+    messages = _workload(trace)
+    assert messages, "workload must not be empty for the test to mean anything"
+    for protocol_name in FASTPATH_PROTOCOLS:
+        reference, candidate = _run_both(trace, messages, protocol_name)
+        _assert_results_equal(reference, candidate,
+                              context=f"{dataset_key} {protocol_name}")
+
+
+@pytest.mark.parametrize("constraints", [
+    ResourceConstraints(buffer_capacity=3.0),
+    ResourceConstraints(buffer_capacity=3.0, drop_policy="drop-youngest"),
+    ResourceConstraints(buffer_capacity=120.0, message_size=30.0,
+                        drop_policy="drop-largest"),
+    ResourceConstraints(ttl=900.0),
+    ResourceConstraints(buffer_capacity=4.0, ttl=1200.0),
+], ids=["drop-oldest", "drop-youngest", "drop-largest", "ttl", "buffer+ttl"])
+def test_vector_equals_des_under_native_constraints(constraints):
+    """Buffers (all drop policies), sizes and ttl run natively, not via
+    delegation — the streams and stat counters must still match."""
+    trace = load_dataset("conext06-9-12", scale=_SCALE, contact_scale=_SCALE)
+    messages = _workload(trace, seed=23)
+    for protocol_name in ("Epidemic", "Binary Spray-and-Wait"):
+        reference, candidate = _run_both(trace, messages, protocol_name,
+                                         constraints=constraints)
+        _assert_results_equal(reference, candidate,
+                              context=f"{constraints} {protocol_name}")
+
+
+def test_vector_equals_des_with_handoff_and_no_stop():
+    trace = load_dataset("infocom06-3-6", scale=_SCALE, contact_scale=_SCALE)
+    messages = _workload(trace, seed=31)
+    for options in ({"copy_semantics": "handoff"},
+                    {"stop_on_delivery": False},
+                    {"copy_semantics": "handoff", "stop_on_delivery": False}):
+        for protocol_name in ("Epidemic", "First Contact"):
+            reference, candidate = _run_both(trace, messages, protocol_name,
+                                             **options)
+            _assert_results_equal(reference, candidate,
+                                  context=f"{options} {protocol_name}")
+
+
+def test_vector_falls_back_to_hooks_for_stateful_protocols():
+    """Protocols without a fast path (PRoPHET et al.) run through the
+    lifecycle-hook API inside the vector kernel — same streams as DES."""
+    trace = load_dataset("infocom06-9-12", scale=_SCALE, contact_scale=_SCALE)
+    messages = _workload(trace, seed=41)
+    assert "PRoPHET" in HOOK_ONLY_PROTOCOLS
+    for protocol_name in ("PRoPHET", "Greedy"):
+        reference, candidate = _run_both(trace, messages, protocol_name)
+        _assert_results_equal(reference, candidate, context=protocol_name)
+
+
+def test_vector_delegates_bandwidth_and_fault_runs_to_des():
+    """Bandwidth/channel constraints delegate wholesale — the vector
+    entry point must produce DES's exact results there too."""
+    trace = load_dataset("conext06-3-6", scale=_SCALE, contact_scale=_SCALE)
+    messages = _workload(trace, seed=47)
+    for constraints in (
+            ResourceConstraints(bandwidth=2.0, message_size=300.0),
+            ResourceConstraints(channel=ChannelSpec(loss=0.2, delay=1.0)),
+    ):
+        reference = DesSimulator(trace, protocol_by_name("Epidemic"),
+                                 constraints=constraints, seed=9).run(messages)
+        candidate = VectorSimulator(trace, protocol_by_name("Epidemic"),
+                                    constraints=constraints, seed=9).run(messages)
+        _assert_results_equal(reference, candidate, context=str(constraints))
+
+
+# ----------------------------------------------------------------------
+# hypothesis: timing edge cases
+# ----------------------------------------------------------------------
+@st.composite
+def tie_heavy_workloads(draw):
+    """A small trace plus messages whose timestamps all land on a coarse
+    grid, so same-instant contact starts/ends/creations are the norm."""
+    num_nodes = draw(st.integers(min_value=3, max_value=8))
+    contacts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=20))):
+        a = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        b = draw(st.integers(min_value=0, max_value=num_nodes - 2))
+        if b >= a:
+            b += 1
+        start = 10.0 * draw(st.integers(min_value=0, max_value=8))
+        length = 10.0 * draw(st.integers(min_value=0, max_value=3))
+        contacts.append(Contact(start, start + length, a, b))
+    messages = []
+    for index in range(draw(st.integers(min_value=1, max_value=6))):
+        source = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        destination = draw(st.integers(min_value=0, max_value=num_nodes - 2))
+        if destination >= source:
+            destination += 1
+        messages.append(Message(
+            id=index, source=source, destination=destination,
+            creation_time=10.0 * draw(st.integers(min_value=0, max_value=10)),
+            ttl=draw(st.sampled_from([None, 20.0, 40.0]))))
+    trace = ContactTrace(contacts, nodes=range(num_nodes), duration=120.0,
+                         name="hyp")
+    return trace, messages
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(payload=tie_heavy_workloads())
+def test_same_timestamp_batches_tie_break_like_the_des_heap(payload):
+    """Simultaneous contact starts/ends and creations must process in the
+    DES event-heap order — deliveries, hops and copies all agree."""
+    trace, messages = payload
+    for protocol_name in ("Epidemic", "Binary Spray-and-Wait"):
+        reference, candidate = _run_both(trace, messages, protocol_name)
+        _assert_results_equal(reference, candidate, context=protocol_name)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(payload=tie_heavy_workloads())
+def test_hook_fallback_agrees_with_des_on_random_workloads(payload):
+    """The lifecycle-hook fallback path, property-tested on a protocol
+    with real inter-contact state."""
+    trace, messages = payload
+    reference, candidate = _run_both(trace, messages, "PRoPHET")
+    _assert_results_equal(reference, candidate, context="PRoPHET")
+
+
+# ----------------------------------------------------------------------
+# tracing, catalogue, plumbing
+# ----------------------------------------------------------------------
+def test_traced_vector_run_is_byte_identical_to_des(tmp_path):
+    """The buffered tracer preserves the exact event stream: JSONL files
+    from both engines match byte for byte."""
+    trace = load_dataset("conext06-9-12", scale=_SCALE, contact_scale=_SCALE)
+    messages = _workload(trace, seed=53)
+    des_path = tmp_path / "des.jsonl"
+    vec_path = tmp_path / "vec.jsonl"
+    with JsonlTracer(des_path) as tracer:
+        DesSimulator(trace, protocol_by_name("Epidemic"),
+                     tracer=tracer).run(messages)
+    with JsonlTracer(vec_path) as tracer:
+        VectorSimulator(trace, protocol_by_name("Epidemic"),
+                        tracer=tracer).run(messages)
+    assert des_path.read_bytes() == vec_path.read_bytes()
+
+
+def test_protocol_catalogue_reports_vector_support():
+    rows = protocol_catalogue()
+    by_name = {row["protocol"]: row["vector"] for row in rows}
+    assert by_name["Epidemic"] == "fast-path"
+    assert by_name["Binary Spray-and-Wait"] == "fast-path"
+    assert by_name["PRoPHET"] != "fast-path"
+
+
+def test_experiment_spec_rejects_unknown_engine_naming_vector():
+    from repro.exp import ExperimentSpec
+
+    with pytest.raises(ValueError, match="des, trace, vector"):
+        ExperimentSpec(name="x", scenarios=("paper-ideal",), engine="warp")
+
+
+def test_run_scenario_with_vector_engine_matches_des():
+    vector_run = run_scenario("rwp-courtyard", engine="vector")
+    des_run = run_scenario("rwp-courtyard")
+    assert vector_run.table_rows() == des_run.table_rows()
+
+
+def test_simulate_vector_one_shot_wrapper():
+    trace = ContactTrace([Contact(0.0, 10.0, 0, 1), Contact(20.0, 30.0, 1, 2)],
+                         nodes=range(3), duration=60.0, name="tiny")
+    messages = [Message(id=0, source=0, destination=2, creation_time=0.0)]
+    result = simulate_vector(trace, protocol_by_name("Epidemic"), messages)
+    assert result.outcomes[0].delivered
+    assert result.outcomes[0].delivery_time == 20.0
+    assert result.outcomes[0].hop_count == 2
+
+
+# ----------------------------------------------------------------------
+# the columnar trace view the kernel builds on
+# ----------------------------------------------------------------------
+def test_contact_trace_as_arrays_matches_contacts_and_caches():
+    import numpy as np
+
+    contacts = [Contact(5.0, 15.0, 2, 0), Contact(0.0, 10.0, 1, 3),
+                Contact(0.0, 0.0, 0, 3)]
+    trace = ContactTrace(contacts, nodes=range(4), duration=60.0, name="a")
+    starts, ends, a, b = trace.as_arrays()
+    # columns follow the trace's canonical (start, end, a, b) sort order
+    assert starts.tolist() == [c.start for c in trace]
+    assert ends.tolist() == [c.end for c in trace]
+    assert a.tolist() == [c.a for c in trace]
+    assert b.tolist() == [c.b for c in trace]
+    assert np.all(a <= b)  # Contact stores endpoints canonically
+    # built once, then cached
+    assert trace.as_arrays()[0] is starts
