@@ -29,6 +29,9 @@ The library is organised in layers (see DESIGN.md):
 * :mod:`repro.obs` — observability: streaming metric accumulators,
   structured engine trace events, run telemetry (``metrics.json``) and the
   live experiment feeds behind ``exp watch``;
+* :mod:`repro.svc` — the experiment service: sharded result store, async
+  job daemon and the stdlib HTTP query/submission API behind
+  ``python -m repro svc``;
 * :mod:`repro.analysis` — experiment runners and per-figure data builders.
 
 Quickstart
@@ -41,7 +44,7 @@ Quickstart
 True
 """
 
-from . import analysis, contacts, core, datasets, exp, forwarding, model, obs, routing, scenario, sim, synth
+from . import analysis, contacts, core, datasets, exp, forwarding, model, obs, routing, scenario, sim, svc, synth
 
 __version__ = "1.4.0"
 
@@ -57,6 +60,7 @@ __all__ = [
     "routing",
     "scenario",
     "sim",
+    "svc",
     "synth",
     "__version__",
 ]

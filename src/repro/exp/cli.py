@@ -14,7 +14,9 @@ scenario — it never simulates; ``status --live`` / ``watch`` poll the store
 incrementally and redraw the counts until the grid settles.  ``run`` and
 ``resume`` take the shared observability flags: ``--trace-dir`` writes one
 JSONL trace per executed job, ``--metrics-json`` a run-telemetry artifact,
-``--profile`` adds parent-side phase timings to it.  See
+``--profile`` adds parent-side phase timings to it.  ``run``/``resume``
+with ``--remote URL`` submit the spec to a running experiment service
+(:mod:`repro.svc`) and wait, instead of executing locally.  See
 :mod:`repro.exp.spec` for the JSON spec format;
 ``examples/exp_quickstart.json`` is a runnable starter and
 ``examples/exp_inline_scenario.json`` shows an inline scenario definition
@@ -91,6 +93,13 @@ def add_exp_commands(commands: argparse._SubParsersAction) -> None:
         command.add_argument("--profile", action="store_true",
                              help="time the plan/execute phases and include "
                                   "them in --metrics-json")
+        command.add_argument("--remote", default=None, metavar="URL",
+                             help="submit the spec to a running experiment "
+                                  "service (`svc serve`) instead of "
+                                  "executing locally, and wait for it")
+        command.add_argument("--priority", type=int, default=0,
+                             help="submission priority for --remote "
+                                  "(higher runs first; default: 0)")
 
     status = exp_commands.add_parser(
         "status", parents=[common],
@@ -137,12 +146,39 @@ def _obs_config(args: argparse.Namespace):
                      profile=args.profile)
 
 
+def _cmd_exp_run_remote(args: argparse.Namespace, write_json) -> int:
+    """``exp run --remote URL``: submit instead of executing locally."""
+    from ..svc.client import ServiceClient, ServiceError
+
+    spec = _load_spec(args.spec)  # validate locally for a friendly error
+    try:
+        client = ServiceClient(args.remote)
+        info = client.submit(spec.to_dict(), priority=args.priority)
+        print(f"submitted {spec.name} to {client.url} as {info['id']} "
+              f"({info['total_jobs']} jobs, "
+              f"{info['already_stored']} already stored)")
+        payload = client.wait(info["id"])
+    except ServiceError as error:
+        raise SystemExit(str(error))
+    except ValueError as error:
+        raise SystemExit(f"bad --remote url: {error}")
+    submission = payload["submission"]
+    print(f"submission {submission['id']} settled: {submission['state']} — "
+          f"{submission['executed']} executed, {submission['reused']} "
+          f"deduped, {submission['failed']} failed")
+    print(f"{payload['done']}/{payload['total_jobs']} jobs done in store")
+    write_json(args.json, payload)
+    return 0 if submission["state"] == "done" else 1
+
+
 def _cmd_exp_run(args: argparse.Namespace, write_json) -> int:
     from .executor import FaultPolicy
     from .orchestrator import run_experiment
 
     from .plan import build_plan
 
+    if args.remote is not None:
+        return _cmd_exp_run_remote(args, write_json)
     spec = _load_spec(args.spec)
     if args.engine is not None:
         spec = spec.with_overrides(engine=args.engine)

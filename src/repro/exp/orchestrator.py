@@ -39,7 +39,7 @@ from .records import (
     is_failure_record,
 )
 from .spec import ExperimentSpec
-from .store import ResultStore
+from .store import BaseResultStore, ResultStore
 
 __all__ = [
     "ExecutionOutcome",
@@ -414,11 +414,15 @@ class ExperimentResult:
 
 
 def _resolve_store(
-    store: Union[ResultStore, str, None],
-) -> Optional[ResultStore]:
-    if store is None or isinstance(store, ResultStore):
+    store: Union["BaseResultStore", str, None],
+) -> Optional["BaseResultStore"]:
+    if store is None or isinstance(store, BaseResultStore):
         return store
-    return ResultStore(store)
+    # a path: auto-detect the layout so `--store DIR` works against both
+    # flat and sharded (repro.svc) stores
+    from ..svc.store import open_store
+
+    return open_store(store)
 
 
 def run_experiment(

@@ -54,18 +54,20 @@ class StatusTracker:
 
     # ------------------------------------------------------------------
     def _classify(self, job_hash: str,
-                  record: Optional[Dict[str, object]]) -> None:
-        from ..exp.records import is_decodable, is_failure_record
-
-        if record is not None and is_decodable(record):
+                  entry: Optional[Dict[str, object]]) -> None:
+        # classification consumes the store's lightweight entry view
+        # (repro.exp.store.record_entry), which both the flat store (from
+        # its in-memory index) and the sharded store (straight from index
+        # lines, no record body reads) provide
+        if entry is not None and entry.get("decodable"):
             self._classified[job_hash] = "done"
             self._failure_info.pop(job_hash, None)
-        elif record is not None and is_failure_record(record):
+        elif entry is not None and entry.get("failed"):
             self._classified[job_hash] = "failed"
             self._failure_info[job_hash] = {
-                "error_kind": record.get("error_kind", "Unknown"),
-                "error": record.get("error", ""),
-                "attempts": record.get("attempts", 1),
+                "error_kind": entry.get("error_kind", "Unknown"),
+                "error": entry.get("error", ""),
+                "attempts": entry.get("attempts", 1),
             }
         else:
             self._classified[job_hash] = "pending"
@@ -85,13 +87,13 @@ class StatusTracker:
         elif not self._primed:
             self.store.load()
             for job_hash in self._watched:
-                self._classify(job_hash, self.store.get(job_hash))
+                self._classify(job_hash, self.store.entry_for(job_hash))
             self._primed = True
         else:
-            for record in self.store.refresh():
-                job_hash = record.get("job_hash")
+            for entry in self.store.refresh_entries():
+                job_hash = entry.get("job_hash")
                 if job_hash in self._watched:
-                    self._classify(job_hash, record)
+                    self._classify(job_hash, entry)
         return self._assemble()
 
     def _assemble(self) -> Dict[str, object]:

@@ -19,6 +19,10 @@ Commands::
     python -m repro bench [...]                   # engine timing comparison
     python -m repro obs journeys <trace> [...]    # causal trace analytics
     python -m repro obs bench-check [...]         # perf-regression sentinel
+    python -m repro svc serve [...]               # experiment service daemon
+    python -m repro svc submit <spec.json> [...]  # remote-submit a grid
+    python -m repro svc query|leaderboard [...]   # indexed store queries
+    python -m repro svc migrate|compact [...]     # sharded-store tooling
 
 Every command prints an aligned text table; ``--json PATH`` additionally
 writes the raw rows for scripting.  Scenarios are small by construction
@@ -38,6 +42,7 @@ from ..exp.cli import add_exp_commands, dispatch_exp_command
 from ..exp.spec import ENGINES
 from ..obs.cli import add_obs_commands, dispatch_obs_command
 from ..routing.cli import add_routing_commands, dispatch_routing_command
+from ..svc.cli import add_svc_commands, dispatch_svc_command
 from ..scenario import SPEC_CATEGORIES, ScenarioSpec, spec_kinds
 from .engine import DesSimulator, ResourceConstraints
 from .runner import SWEEPABLE_PARAMETERS, run_scenario, sweep_scenario
@@ -120,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_routing_commands(commands)
     add_exp_commands(commands)
     add_obs_commands(commands)
+    add_svc_commands(commands)
 
     bench = commands.add_parser(
         "bench", help="time the DES engine against the trace-driven simulator")
@@ -411,6 +417,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return dispatch_exp_command(args, _write_json)
     if args.command == "obs":
         return dispatch_obs_command(args, _write_json)
+    if args.command == "svc":
+        return dispatch_svc_command(args, _write_json)
     if args.sim_command == "list":
         return _cmd_sim_list()
     if args.sim_command == "run":

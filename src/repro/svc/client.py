@@ -1,0 +1,136 @@
+"""``http.client`` wrapper for the experiment service API.
+
+:class:`ServiceClient` is the programmatic face of a running
+``svc serve`` daemon — the ``svc submit|status|query|...`` subcommands and
+``exp run --remote URL`` all go through it.  Errors come back as
+:class:`ServiceError` carrying the HTTP status and the server's JSON error
+payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.parse import urlencode, urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or transport failure) from the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 payload: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Synchronous client for one experiment-service endpoint."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r}; the "
+                             f"service speaks plain http")
+        if not split.hostname:
+            raise ValueError(f"no host in service url {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None) -> object:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            raw = (None if body is None else
+                   json.dumps(body).encode("utf-8"))
+            headers = {"Content-Type": "application/json"} if raw else {}
+            connection.request(method, path, body=raw, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        except (ConnectionError, OSError, http.client.HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach experiment service at {self.url}: {error}")
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(data.decode("utf-8")) if data else None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = None
+        if response.status >= 300:
+            message = (payload.get("error")
+                       if isinstance(payload, dict) else None) or \
+                f"HTTP {response.status}"
+            raise ServiceError(f"{method} {path}: {message}",
+                               status=response.status, payload=payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/health")
+
+    def submit(self, spec: Dict[str, object],
+               priority: int = 0) -> Dict[str, object]:
+        return self._request("POST", "/submit",
+                             {"spec": spec, "priority": priority})
+
+    def status(self, submission_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/status/{submission_id}")
+
+    def submissions(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/submissions")
+
+    def cancel(self, submission_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/cancel/{submission_id}")
+
+    def query(self, scenario: Optional[str] = None,
+              protocol: Optional[str] = None,
+              seed: Optional[int] = None,
+              status: Optional[str] = None,
+              experiment: Optional[str] = None,
+              limit: Optional[int] = None,
+              bodies: bool = False) -> List[Dict[str, object]]:
+        params = {key: value for key, value in (
+            ("scenario", scenario), ("protocol", protocol), ("seed", seed),
+            ("status", status), ("experiment", experiment), ("limit", limit),
+        ) if value is not None}
+        if bodies:
+            params["bodies"] = "1"
+        query = f"?{urlencode(params)}" if params else ""
+        return self._request("GET", f"/query{query}")
+
+    def leaderboard(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/leaderboard")
+
+    def summary(self) -> Dict[str, object]:
+        return self._request("GET", "/summary")
+
+    # ------------------------------------------------------------------
+    def wait(self, submission_id: str, interval: float = 0.5,
+             timeout: Optional[float] = None) -> Dict[str, object]:
+        """Poll ``/status`` until the submission leaves queued/running.
+
+        Returns the final status payload; raises :class:`ServiceError` on
+        timeout so callers distinguish "slow" from "finished degraded".
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            payload = self.status(submission_id)
+            state = payload.get("submission", {}).get("state")
+            if state not in ("queued", "running"):
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"submission {submission_id} still {state} after "
+                    f"{timeout:g}s")
+            time.sleep(interval)

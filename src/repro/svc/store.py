@@ -1,0 +1,804 @@
+"""The sharded result store: job-hash-prefix shards + offset indexes.
+
+A flat :class:`repro.exp.ResultStore` re-parses every record line to
+answer anything, which stops scaling somewhere around 10^5 RunRecords.
+:class:`ShardedResultStore` keeps the same append-only JSONL durability
+contract but fans records out by job-hash prefix::
+
+    <root>/store.json                   # layout metadata (shard width)
+    <root>/shards/<prefix>/records.jsonl
+    <root>/shards/<prefix>/index.jsonl  # one entry line per record line
+    <root>/aggregates.json              # write-behind leaderboard cache
+
+Each ``records.jsonl`` append is followed by an ``index.jsonl`` append
+carrying the record's byte ``offset``/``length`` plus the lightweight
+:func:`repro.exp.store.record_entry` summary (grid coordinates,
+done/failed classification, delivery counts).  Everything except fetching
+a specific record body — status tracking, filtered queries, leaderboards,
+resume planning — is answered from index lines alone, which are an order
+of magnitude smaller than record lines; record bodies are read by
+``seek(offset); read(length)``, never by scanning.
+
+Crash safety mirrors the flat store: record appends are single unbuffered
+``O_APPEND`` writes (concurrent writers cannot interleave inside a line,
+and POSIX appends make ``tell()`` after the write name our line's exact
+offset even under contention).  The index is *advisory*: on load, any
+record bytes past the index's coverage (a writer killed between the two
+appends, a truncated index tail) are rescanned from the records file and
+the index self-heals by appending the recovered lines.  Losing an index
+entirely costs one shard rescan, never data.
+
+Leaderboard/summary aggregates are maintained incrementally — every
+append folds the new entry in (and unfolds the entry it supersedes) —
+and persisted write-behind to ``aggregates.json``; they are never rebuilt
+by re-reading record bodies.
+
+:func:`open_store` auto-detects the layout at a root so every existing
+``--store DIR`` code path (``exp run``, ``exp status``, the daemon)
+transparently works against either format; :func:`migrate_store` converts
+a flat store, and :meth:`ShardedResultStore.compact` rewrites shards
+dropping superseded records while preserving query results byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..exp.store import (
+    BaseResultStore,
+    ResultStore,
+    _entry_matches,
+    aggregate_leaderboard,
+    record_entry,
+)
+
+__all__ = ["ShardedResultStore", "open_store", "create_store",
+           "migrate_store", "encode_index_line", "decode_index_line",
+           "INDEX_SCHEMA", "DEFAULT_SHARD_WIDTH"]
+
+INDEX_SCHEMA = 1
+DEFAULT_SHARD_WIDTH = 2
+STORE_META_FILENAME = "store.json"
+AGGREGATES_FILENAME = "aggregates.json"
+SHARDS_DIRNAME = "shards"
+STORE_FORMAT = "sharded-jsonl"
+
+#: in-memory entry key <-> compact on-disk index key
+_INDEX_KEYS: Tuple[Tuple[str, str], ...] = (
+    ("job_hash", "h"),
+    ("offset", "o"),
+    ("length", "l"),
+    ("status", "st"),
+    ("decodable", "d"),
+    ("failed", "f"),
+    ("experiment", "ex"),
+    ("scenario", "sc"),
+    ("protocol", "pr"),
+    ("seed", "se"),
+    ("run_index", "ri"),
+    ("error_kind", "ek"),
+    ("error", "er"),
+    ("attempts", "at"),
+    ("messages", "nm"),
+    ("delivered", "nd"),
+    ("delay_sum", "ds"),
+    ("copies", "cs"),
+)
+_TO_DISK = dict(_INDEX_KEYS)
+_FROM_DISK = {short: full for full, short in _INDEX_KEYS}
+
+
+def encode_index_line(entry: Dict[str, object]) -> bytes:
+    """One index entry as a compact JSONL line (with trailing newline).
+
+    Only the keys present in *entry* are emitted (failure fields only on
+    failed records, delivery summaries only on decodable ones), keeping
+    index lines an order of magnitude smaller than the record lines they
+    describe.  Booleans shrink to 0/1.
+    """
+    payload = {}
+    for full, short in _INDEX_KEYS:
+        if full in entry:
+            value = entry[full]
+            payload[short] = int(value) if isinstance(value, bool) else value
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_index_line(raw: bytes) -> Optional[Dict[str, object]]:
+    """The entry an index line encodes, or ``None`` for a damaged line."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict) or "h" not in payload:
+        return None
+    entry: Dict[str, object] = {}
+    for short, value in payload.items():
+        full = _FROM_DISK.get(short)
+        if full is None:
+            continue  # forward compatibility: unknown index fields skip
+        if full in ("decodable", "failed"):
+            value = bool(value)
+        entry[full] = value
+    entry.setdefault("decodable", False)
+    entry.setdefault("failed", False)
+    return entry
+
+
+class _Shard:
+    """Load/refresh bookkeeping for one shard directory."""
+
+    __slots__ = ("prefix", "directory", "records_path", "index_path",
+                 "index_size", "covered")
+
+    def __init__(self, prefix: str, directory: Path) -> None:
+        self.prefix = prefix
+        self.directory = directory
+        self.records_path = directory / "records.jsonl"
+        self.index_path = directory / "index.jsonl"
+        #: bytes of index.jsonl consumed so far (complete lines only)
+        self.index_size = 0
+        #: records.jsonl bytes known to be described by consumed index
+        #: lines (max offset+length+newline seen)
+        self.covered = 0
+
+
+class ShardedResultStore(BaseResultStore):
+    """Sharded, indexed ``job_hash -> RunRecord`` store (see module doc)."""
+
+    def __init__(self, root: Union[str, Path],
+                 shard_width: int = DEFAULT_SHARD_WIDTH) -> None:
+        self.root = Path(root)
+        self.path = self.root / SHARDS_DIRNAME
+        meta = self._read_meta()
+        if meta is not None:
+            shard_width = int(meta.get("shard_width", shard_width))
+        if shard_width < 1:
+            raise ValueError("shard_width must be >= 1")
+        self.shard_width = shard_width
+        self._shards: Dict[str, _Shard] = {}
+        self._entries: Dict[str, Dict[str, object]] = {}
+        #: (protocol, scenario) -> {job_hash: entry}, for filtered queries
+        self._buckets: Dict[Tuple[object, object], Dict[str, Dict]] = {}
+        self._aggregates: Dict[str, Dict[str, float]] = {}
+        self._loaded = False
+        self._dirty_puts = 0
+        #: store.json generation at load time; compaction bumps it so
+        #: other handles know their byte offsets are void
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def _read_meta(self) -> Optional[Dict[str, object]]:
+        meta_path = self.root / STORE_META_FILENAME
+        try:
+            payload = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _ensure_layout(self) -> None:
+        self.path.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / STORE_META_FILENAME
+        if not meta_path.exists():
+            meta_path.write_text(json.dumps(
+                {"format": STORE_FORMAT, "schema": INDEX_SCHEMA,
+                 "shard_width": self.shard_width}, sort_keys=True) + "\n",
+                encoding="utf-8")
+
+    def _prefix_of(self, job_hash: str) -> str:
+        prefix = str(job_hash)[:self.shard_width].lower()
+        # keep shard names filesystem-safe whatever the hash alphabet is
+        cleaned = "".join(c if c.isalnum() else "_" for c in prefix)
+        return cleaned or "_"
+
+    def _shard(self, prefix: str) -> _Shard:
+        shard = self._shards.get(prefix)
+        if shard is None:
+            shard = self._shards[prefix] = _Shard(prefix, self.path / prefix)
+        return shard
+
+    # ------------------------------------------------------------------
+    # loading: index lines first, records-file tail recovery second
+    # ------------------------------------------------------------------
+    def load(self, refresh: bool = False) -> None:
+        if self._loaded and not refresh:
+            return
+        self._shards = {}
+        self._entries = {}
+        self._buckets = {}
+        self._aggregates = {}
+        meta = self._read_meta()
+        self._generation = int(meta.get("generation", 0)) if meta else 0
+        if self.path.is_dir():
+            for directory in sorted(self.path.iterdir()):
+                if directory.is_dir():
+                    self._load_shard(self._shard(directory.name))
+        self._loaded = True
+
+    def _load_shard(self, shard: _Shard) -> None:
+        raw = b""
+        if shard.index_path.exists():
+            raw = shard.index_path.read_bytes()
+        consumed = 0
+        for chunk in raw.split(b"\n"):
+            if chunk.strip():
+                entry = decode_index_line(chunk)
+                if entry is None:
+                    # a killed writer leaves at most a partial final line;
+                    # anything it described is recovered from the records
+                    # file below, so just stop consuming here
+                    break
+                self._absorb(entry)
+                shard.covered = max(shard.covered,
+                                    int(entry["offset"]) +
+                                    int(entry["length"]) + 1)
+            consumed += len(chunk) + 1
+        shard.index_size = min(consumed, len(raw))
+        self._recover_tail(shard)
+
+    def _recover_tail(self, shard: _Shard) -> None:
+        """Index any record bytes the index does not cover (self-heal)."""
+        try:
+            size = shard.records_path.stat().st_size
+        except OSError:
+            return
+        if size <= shard.covered:
+            return
+        with open(shard.records_path, "rb") as handle:
+            handle.seek(shard.covered)
+            raw = handle.read(size - shard.covered)
+        offset = shard.covered
+        chunks = raw.split(b"\n")
+        recovered: List[Dict[str, object]] = []
+        for position, chunk in enumerate(chunks):
+            is_last = position == len(chunks) - 1
+            if chunk.strip():
+                try:
+                    record = json.loads(chunk.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    if is_last:
+                        break  # partial tail: a writer died (or is) mid-append
+                    warnings.warn(
+                        f"skipping corrupt record in {shard.records_path}",
+                        stacklevel=2)
+                else:
+                    job_hash = record.get("job_hash")
+                    if job_hash:
+                        entry = record_entry(record)
+                        entry["offset"] = offset
+                        entry["length"] = len(chunk)
+                        recovered.append(entry)
+            if not is_last:
+                offset += len(chunk) + 1
+        if not recovered:
+            return
+        with open(shard.index_path, "ab", buffering=0) as handle:
+            for entry in recovered:
+                handle.write(encode_index_line(entry))
+                self._absorb(entry)
+                shard.covered = max(shard.covered,
+                                    int(entry["offset"]) +
+                                    int(entry["length"]) + 1)
+        try:
+            shard.index_size = shard.index_path.stat().st_size
+        except OSError:
+            pass
+
+    def _absorb(self, entry: Dict[str, object]) -> bool:
+        """Fold one index entry into the in-memory maps (last write per
+        hash wins, ordered by record offset so concurrent writers whose
+        index lines landed out of order still resolve consistently).
+        Returns False for stale entries that lost to an existing one."""
+        job_hash = str(entry["job_hash"])
+        previous = self._entries.get(job_hash)
+        if previous is not None and \
+                int(previous.get("offset", -1)) >= int(entry.get("offset", 0)):
+            return False
+        self._entries[job_hash] = entry
+        if previous is not None:
+            self._aggregate(previous, -1)
+            old_key = (previous.get("protocol"), previous.get("scenario"))
+            bucket = self._buckets.get(old_key)
+            if bucket is not None:
+                bucket.pop(job_hash, None)
+        self._aggregate(entry, +1)
+        key = (entry.get("protocol"), entry.get("scenario"))
+        self._buckets.setdefault(key, {})[job_hash] = entry
+        return True
+
+    def _aggregate(self, entry: Dict[str, object], sign: int) -> None:
+        if not entry.get("decodable"):
+            return
+        pool = self._aggregates.setdefault(str(entry.get("protocol")), {
+            "jobs": 0, "messages": 0, "delivered": 0,
+            "copies": 0, "delay_sum": 0.0})
+        pool["jobs"] += sign
+        pool["messages"] += sign * int(entry.get("messages", 0))
+        pool["delivered"] += sign * int(entry.get("delivered", 0))
+        pool["copies"] += sign * int(entry.get("copies", 0))
+        pool["delay_sum"] += sign * float(entry.get("delay_sum", 0.0))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, job_hash: str) -> Optional[Dict[str, object]]:
+        self.load()
+        entry = self._entries.get(job_hash)
+        if entry is None:
+            return None
+        record = self._read_body(entry)
+        if record is not None and record.get("job_hash") == job_hash:
+            return record
+        # a stale or damaged index entry: rebuild this shard from its
+        # records file (authoritative) and retry once
+        self._rescan_shard(self._prefix_of(job_hash))
+        entry = self._entries.get(job_hash)
+        return None if entry is None else self._read_body(entry)
+
+    def _read_body(self, entry: Dict[str, object]) -> \
+            Optional[Dict[str, object]]:
+        shard = self._shard(self._prefix_of(str(entry["job_hash"])))
+        try:
+            with open(shard.records_path, "rb") as handle:
+                handle.seek(int(entry["offset"]))
+                raw = handle.read(int(entry["length"]))
+            return json.loads(raw.decode("utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    def _rescan_shard(self, prefix: str) -> None:
+        shard = self._shard(prefix)
+        # drop this shard's entries, then rebuild the index from scratch
+        for job_hash in [h for h in self._entries
+                         if self._prefix_of(h) == prefix]:
+            entry = self._entries.pop(job_hash)
+            self._aggregate(entry, -1)
+            bucket = self._buckets.get(
+                (entry.get("protocol"), entry.get("scenario")))
+            if bucket is not None:
+                bucket.pop(job_hash, None)
+        try:
+            shard.index_path.unlink()
+        except OSError:
+            pass
+        shard.index_size = 0
+        shard.covered = 0
+        self._recover_tail(shard)
+
+    def hashes(self) -> List[str]:
+        self.load()
+        return list(self._entries)
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        self.load()
+        for job_hash in sorted(self._entries):
+            record = self.get(job_hash)
+            if record is not None:
+                yield record
+
+    def entries(self) -> List[Dict[str, object]]:
+        self.load()
+        return list(self._entries.values())
+
+    def entry_for(self, job_hash: str) -> Optional[Dict[str, object]]:
+        self.load()
+        return self._entries.get(job_hash)
+
+    def __contains__(self, job_hash: str) -> bool:
+        self.load()
+        return job_hash in self._entries
+
+    def __len__(self) -> int:
+        self.load()
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # incremental refresh: only index bytes appended since the last poll
+    # ------------------------------------------------------------------
+    def refresh_entries(self) -> List[Dict[str, object]]:
+        if not self._loaded:
+            self.load()
+            return list(self._entries.values())
+        meta = self._read_meta()
+        if meta and int(meta.get("generation", 0)) != self._generation:
+            # the store was compacted by another handle: every byte
+            # offset this handle consumed is void, start over
+            self.load(refresh=True)
+            return list(self._entries.values())
+        fresh: List[Dict[str, object]] = []
+        known = set(self._shards)
+        if self.path.is_dir():
+            for directory in sorted(self.path.iterdir()):
+                if directory.is_dir() and directory.name not in known:
+                    before = len(self._entries)
+                    self._load_shard(self._shard(directory.name))
+                    if len(self._entries) != before:
+                        fresh.extend(
+                            entry for entry in self._entries.values()
+                            if self._prefix_of(str(entry["job_hash"]))
+                            == directory.name)
+        for shard in list(self._shards.values()):
+            try:
+                size = shard.index_path.stat().st_size
+            except OSError:
+                continue
+            if size < shard.index_size:
+                # the shard was rewritten (compaction by another process):
+                # fall back to a full reload of everything
+                self.load(refresh=True)
+                return list(self._entries.values())
+            if size == shard.index_size:
+                continue
+            with open(shard.index_path, "rb") as handle:
+                handle.seek(shard.index_size)
+                raw = handle.read(size - shard.index_size)
+            consumed = shard.index_size
+            chunks = raw.split(b"\n")
+            for position, chunk in enumerate(chunks):
+                is_last = position == len(chunks) - 1
+                if chunk.strip():
+                    entry = decode_index_line(chunk)
+                    if entry is None:
+                        if is_last:
+                            break  # writer mid-append: retry next poll
+                    elif self._absorb(entry):
+                        shard.covered = max(shard.covered,
+                                            int(entry["offset"]) +
+                                            int(entry["length"]) + 1)
+                        fresh.append(entry)
+                if not is_last:
+                    consumed += len(chunk) + 1
+                elif not chunk:
+                    consumed += 0  # trailing newline already counted
+            shard.index_size = consumed
+        return fresh
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, record: Dict[str, object]) -> None:
+        self.put_many([record])
+
+    def put_many(self, records) -> None:
+        """Append *records* (batched per shard, one index append each).
+
+        The batch API exists for migration and synthetic-store generation:
+        file handles are opened once per touched shard, not once per
+        record, while each record line is still written in a single
+        unbuffered ``O_APPEND`` call.
+        """
+        records = list(records)
+        self.load()
+        self._ensure_layout()
+        by_shard: Dict[str, List[Dict[str, object]]] = {}
+        for record in records:
+            job_hash = record.get("job_hash")
+            if not job_hash:
+                raise ValueError("a RunRecord needs a job_hash")
+            by_shard.setdefault(self._prefix_of(str(job_hash)),
+                                []).append(record)
+        for prefix, batch in by_shard.items():
+            shard = self._shard(prefix)
+            shard.directory.mkdir(parents=True, exist_ok=True)
+            # live probe of the final byte before the batch: if another
+            # writer died mid-line, close that line first so records never
+            # glue together (load() skips the resulting blank line);
+            # within the batch our own appends always end with a newline
+            pad_first = self._last_byte_is_not_newline(shard.records_path)
+            new_entries: List[Dict[str, object]] = []
+            with open(shard.records_path, "ab", buffering=0) as handle:
+                for record in batch:
+                    line = json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")).encode("utf-8")
+                    data = line + b"\n"
+                    if pad_first:
+                        data = b"\n" + data
+                        pad_first = False
+                    handle.write(data)
+                    end = handle.tell()
+                    # O_APPEND is atomic per write, so tell() after our
+                    # write names exactly where our line landed even with
+                    # concurrent writers on the same shard
+                    entry = record_entry(record)
+                    entry["offset"] = end - len(line) - 1
+                    entry["length"] = len(line)
+                    new_entries.append(entry)
+            with open(shard.index_path, "ab", buffering=0) as handle:
+                for entry in new_entries:
+                    handle.write(encode_index_line(entry))
+            for entry in new_entries:
+                self._absorb(entry)
+                shard.covered = max(shard.covered,
+                                    int(entry["offset"]) +
+                                    int(entry["length"]) + 1)
+            try:
+                shard.index_size = shard.index_path.stat().st_size
+            except OSError:
+                pass
+        self._dirty_puts += len(records)
+        if self._dirty_puts >= 256:
+            self.flush()
+
+    @staticmethod
+    def _last_byte_is_not_newline(path: Path) -> bool:
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # queries and aggregates
+    # ------------------------------------------------------------------
+    def query_entries(self, scenario: Optional[str] = None,
+                      protocol: Optional[str] = None,
+                      seed: Optional[int] = None,
+                      status: Optional[str] = None,
+                      experiment: Optional[str] = None,
+                      limit: Optional[int] = None) -> List[Dict[str, object]]:
+        self.load()
+        filters = {"seed": seed, "status": status, "experiment": experiment}
+        if protocol is not None and scenario is not None:
+            candidates = list(self._buckets.get((protocol, scenario),
+                                                {}).values())
+        elif protocol is not None or scenario is not None:
+            candidates = []
+            for (bucket_protocol, bucket_scenario), bucket in \
+                    self._buckets.items():
+                if protocol is not None and bucket_protocol != protocol:
+                    continue
+                if scenario is not None and bucket_scenario != scenario:
+                    continue
+                candidates.extend(bucket.values())
+        else:
+            candidates = list(self._entries.values())
+        matches = [entry for entry in candidates
+                   if _entry_matches(entry, filters)]
+        matches.sort(key=lambda entry: entry["job_hash"] or "")
+        return matches if limit is None else matches[:limit]
+
+    def leaderboard(self) -> List[Dict[str, object]]:
+        """Per-protocol standings from the incrementally maintained
+        aggregate cache — never a record rescan."""
+        self.load()
+        rows = []
+        for protocol, pool in self._aggregates.items():
+            if pool["jobs"] <= 0:
+                continue
+            messages = int(pool["messages"])
+            delivered = int(pool["delivered"])
+            rows.append({
+                "protocol": protocol,
+                "jobs": int(pool["jobs"]),
+                "messages": messages,
+                "delivered": delivered,
+                "success_rate": (round(delivered / messages, 6)
+                                 if messages else 0.0),
+                "mean_delay_s": (round(pool["delay_sum"] / delivered, 6)
+                                 if delivered else None),
+                "copies_per_delivery": (round(pool["copies"] / delivered, 6)
+                                        if delivered else None),
+            })
+        rows.sort(key=lambda row: (
+            -row["success_rate"],
+            row["mean_delay_s"] if row["mean_delay_s"] is not None
+            else float("inf"),
+            row["protocol"],
+        ))
+        return [{"rank": position + 1, **row}
+                for position, row in enumerate(rows)]
+
+    def summary(self) -> Dict[str, object]:
+        """Store-level counters (records, shards, bytes, classification)."""
+        self.load()
+        ok = sum(1 for entry in self._entries.values()
+                 if entry.get("decodable"))
+        failed = sum(1 for entry in self._entries.values()
+                     if entry.get("failed"))
+        total_bytes = 0
+        for shard in self._shards.values():
+            try:
+                total_bytes += shard.records_path.stat().st_size
+            except OSError:
+                pass
+        return {"records": len(self._entries), "ok": ok, "failed": failed,
+                "other": len(self._entries) - ok - failed,
+                "shards": len(self._shards), "records_bytes": total_bytes,
+                "shard_width": self.shard_width}
+
+    def flush(self) -> None:
+        """Persist the aggregate cache (write-behind, advisory: a stale
+        file is detected by its fingerprint and simply rebuilt from the
+        index on the next load)."""
+        if not self._loaded:
+            return
+        self._dirty_puts = 0
+        if not self.root.exists():
+            return
+        payload = {
+            "schema": INDEX_SCHEMA,
+            "fingerprint": {"records": len(self._entries)},
+            "leaderboard": self.leaderboard(),
+        }
+        try:
+            (self.root / AGGREGATES_FILENAME).write_text(
+                json.dumps(payload, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, int]:
+        """Rewrite every shard keeping only each hash's winning record.
+
+        Superseded lines — earlier duplicates, including failed records
+        later retried successfully — are dropped; surviving lines are
+        copied *byte for byte* in their original relative order, so every
+        query result (keyed by job hash, last write wins) is identical
+        before and after.  Each shard is rewritten atomically
+        (tmp + ``os.replace``), records first, then its rebuilt index.
+        """
+        self.load(refresh=True)
+        dropped = self._count_superseded()
+        kept = 0
+        bytes_before = bytes_after = 0
+        by_prefix: Dict[str, List[Dict[str, object]]] = {}
+        for entry in self._entries.values():
+            by_prefix.setdefault(self._prefix_of(str(entry["job_hash"])),
+                                 []).append(entry)
+        for prefix, shard in sorted(self._shards.items()):
+            winners = by_prefix.get(prefix, [])
+            winners.sort(key=lambda entry: int(entry["offset"]))
+            try:
+                bytes_before += shard.records_path.stat().st_size
+            except OSError:
+                continue
+            lines: List[bytes] = []
+            with open(shard.records_path, "rb") as handle:
+                for entry in winners:
+                    handle.seek(int(entry["offset"]))
+                    lines.append(handle.read(int(entry["length"])))
+            records_tmp = shard.records_path.with_suffix(".jsonl.tmp")
+            index_tmp = shard.index_path.with_suffix(".jsonl.tmp")
+            offset = 0
+            with open(records_tmp, "wb") as records_handle, \
+                    open(index_tmp, "wb") as index_handle:
+                for entry, line in zip(winners, lines):
+                    records_handle.write(line + b"\n")
+                    rewritten = dict(entry)
+                    rewritten["offset"] = offset
+                    rewritten["length"] = len(line)
+                    index_handle.write(encode_index_line(rewritten))
+                    offset += len(line) + 1
+            os.replace(records_tmp, shard.records_path)
+            os.replace(index_tmp, shard.index_path)
+            bytes_after += offset
+            kept += len(winners)
+        self._bump_generation()
+        self.load(refresh=True)
+        self.flush()
+        return {"records_kept": kept, "records_dropped": dropped,
+                "bytes_before": bytes_before, "bytes_after": bytes_after}
+
+    def _bump_generation(self) -> None:
+        meta = self._read_meta() or {
+            "format": STORE_FORMAT, "schema": INDEX_SCHEMA,
+            "shard_width": self.shard_width}
+        meta["generation"] = int(meta.get("generation", 0)) + 1
+        (self.root / STORE_META_FILENAME).write_text(
+            json.dumps(meta, sort_keys=True) + "\n", encoding="utf-8")
+
+    def _count_superseded(self) -> int:
+        # after load, self._entries holds winners only; count losers by
+        # re-reading index files (cheap: index lines, no record bodies)
+        losers = 0
+        for shard in self._shards.values():
+            seen: Dict[str, int] = {}
+            try:
+                raw = shard.index_path.read_bytes()
+            except OSError:
+                continue
+            for chunk in raw.split(b"\n"):
+                if chunk.strip():
+                    entry = decode_index_line(chunk)
+                    if entry is not None:
+                        seen[str(entry["job_hash"])] = \
+                            seen.get(str(entry["job_hash"]), 0) + 1
+            losers += sum(count - 1 for count in seen.values())
+        return losers
+
+
+# ----------------------------------------------------------------------
+# layout detection and migration
+# ----------------------------------------------------------------------
+def is_sharded_root(root: Union[str, Path]) -> bool:
+    """True when *root* holds a sharded-store layout."""
+    root = Path(root)
+    return (root / STORE_META_FILENAME).exists() or \
+        (root / SHARDS_DIRNAME).is_dir()
+
+
+def open_store(root: Union[str, Path]) -> BaseResultStore:
+    """The store at *root*, auto-detecting its layout.
+
+    A ``store.json`` / ``shards/`` layout opens as
+    :class:`ShardedResultStore`; anything else (including a root that does
+    not exist yet) opens as the flat :class:`repro.exp.ResultStore`, which
+    keeps every historical ``--store DIR`` invocation working unchanged.
+    """
+    if is_sharded_root(root):
+        return ShardedResultStore(root)
+    return ResultStore(root)
+
+
+def create_store(root: Union[str, Path],
+                 sharded: bool = True,
+                 shard_width: int = DEFAULT_SHARD_WIDTH) -> BaseResultStore:
+    """Open *root*, creating a sharded layout for brand-new roots.
+
+    An existing store keeps its layout (flat stores are never silently
+    converted — that is :func:`migrate_store`'s job); a fresh root becomes
+    sharded by default, which is what the service daemon wants.
+    """
+    root = Path(root)
+    if is_sharded_root(root):
+        return ShardedResultStore(root)
+    if (root / "records.jsonl").exists():
+        return ResultStore(root)
+    if not sharded:
+        return ResultStore(root)
+    store = ShardedResultStore(root, shard_width=shard_width)
+    store._ensure_layout()
+    return store
+
+
+def migrate_store(source: Union[str, Path], destination: Union[str, Path],
+                  shard_width: int = DEFAULT_SHARD_WIDTH,
+                  batch_size: int = 1024) -> Dict[str, object]:
+    """Copy a flat store's records into a sharded layout at *destination*.
+
+    Records land byte-identically (both layouts store canonical compact
+    JSON, one record per line); duplicate hashes in the flat file are
+    already resolved last-write-wins by the flat loader, so the sharded
+    store receives exactly the surviving records.  Returns a summary dict.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    if is_sharded_root(source):
+        raise ValueError(f"{source} is already a sharded store")
+    if destination.exists() and any(destination.iterdir()):
+        if not is_sharded_root(destination):
+            raise ValueError(
+                f"migration destination {destination} exists and is not a "
+                f"sharded store")
+    flat = ResultStore(source)
+    flat.load()
+    sharded = ShardedResultStore(destination, shard_width=shard_width)
+    batch: List[Dict[str, object]] = []
+    migrated = 0
+    for record in flat.records():
+        batch.append(record)
+        if len(batch) >= batch_size:
+            sharded.put_many(batch)
+            migrated += len(batch)
+            batch = []
+    if batch:
+        sharded.put_many(batch)
+        migrated += len(batch)
+    sharded.flush()
+    return {"migrated": migrated, "source": str(source),
+            "destination": str(destination),
+            "shards": len(sharded._shards), "shard_width": shard_width}

@@ -170,11 +170,12 @@ class TestCommittedBaselines:
         names = {path.name for path in BASELINE_DIR.glob("BENCH_*.json")}
         assert names == {"BENCH_enumeration.json", "BENCH_sim.json",
                          "BENCH_routing.json", "BENCH_exp.json",
-                         "BENCH_faults.json", "BENCH_obs.json"}
+                         "BENCH_faults.json", "BENCH_obs.json",
+                         "BENCH_svc.json"}
 
     def test_self_check_passes_on_committed_baselines(self):
         comparisons = check_bench_files(BASELINE_DIR, BASELINE_DIR)
-        assert len(comparisons) == 6
+        assert len(comparisons) == 7
         assert all(c.ok for c in comparisons)
         assert all(isinstance(c, BenchComparison) for c in comparisons)
 

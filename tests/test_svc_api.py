@@ -1,0 +1,218 @@
+"""Tests for the experiment service's HTTP surface (:mod:`repro.svc.api`)
+and client: endpoint discovery, submit/status/query/leaderboard round
+trips, every error path, concurrent submitters against one daemon, and
+``exp run --remote`` going through a live service.
+
+The server runs on the test's own event loop; the synchronous
+:class:`ServiceClient` calls are pushed through ``asyncio.to_thread`` so
+they never block the loop they are talking to.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exp.spec import ExperimentSpec
+from repro.sim.cli import main
+from repro.svc.api import ENDPOINT_FILENAME, ServiceServer, endpoint_url
+from repro.svc.client import ServiceClient, ServiceError
+from repro.svc.daemon import ExperimentDaemon
+from repro.svc.store import ShardedResultStore
+
+SPEC = ExperimentSpec(
+    name="api-grid", scenarios=("paper-ttl-tight",),
+    protocols=("Epidemic", "Direct Delivery"), seeds=(7, 8), num_runs=1)
+
+
+def with_server(tmp_path, scenario, chunk_size=4):
+    """Run ``await scenario(daemon, server, client)`` behind a live API."""
+    async def _main():
+        daemon = ExperimentDaemon(tmp_path / "store", chunk_size=chunk_size)
+        await daemon.start(recover=False)
+        server = ServiceServer(daemon)
+        await server.start()
+        try:
+            return await scenario(daemon, server, ServiceClient(server.url))
+        finally:
+            await server.stop()
+
+    return asyncio.run(_main())
+
+
+def call(fn, *args, **kwargs):
+    """A blocking client call, off the event loop."""
+    return asyncio.to_thread(fn, *args, **kwargs)
+
+
+class TestLifecycle:
+    def test_health_and_endpoint_file(self, tmp_path):
+        async def scenario(daemon, server, client):
+            health = await call(client.health)
+            assert health["ok"] is True and health["records"] == 0
+            endpoint = daemon.root / ENDPOINT_FILENAME
+            assert json.loads(endpoint.read_text())["url"] == server.url
+            assert endpoint_url(daemon.root) == server.url
+            return endpoint
+
+        endpoint = with_server(tmp_path, scenario)
+        # a clean stop removes the discovery file
+        assert not endpoint.exists()
+        assert endpoint_url(tmp_path / "store") is None
+
+    def test_submit_runs_grid_and_queries_match_offline(self, tmp_path):
+        async def scenario(daemon, server, client):
+            info = await call(client.submit, SPEC.to_dict(), 3)
+            assert info["state"] == "queued" and info["priority"] == 3
+            payload = await call(client.wait, info["id"], 0.05, 60.0)
+            assert payload["submission"]["state"] == "done"
+            assert payload["done"] == payload["total_jobs"] == 4
+
+            listed = await call(client.submissions)
+            assert [row["id"] for row in listed] == [info["id"]]
+
+            remote_entries = await call(client.query, None, "Epidemic")
+            remote_bodies = await call(
+                client.query, None, "Epidemic", None, None, None, None, True)
+            board = await call(client.leaderboard)
+            summary = await call(client.summary)
+            health = await call(client.health)
+            assert health["jobs_executed"] == 4
+            return remote_entries, remote_bodies, board, summary
+
+        entries, bodies, board, summary = with_server(tmp_path, scenario)
+        store = ShardedResultStore(tmp_path / "store")
+        assert entries == store.query_entries(protocol="Epidemic")
+        assert bodies == store.query(protocol="Epidemic")
+        assert board == store.leaderboard()
+        assert summary["records"] == 4 and summary["ok"] == 4
+
+    def test_remote_cancel_of_a_queued_submission(self, tmp_path):
+        # the first grid is large enough (60 jobs) that the serial
+        # scheduler is still busy when the cancel lands, so the second
+        # submission is deterministically still queued
+        busy = SPEC.with_overrides(name="busy", seeds=tuple(range(30)))
+
+        async def scenario(daemon, server, client):
+            first = await call(client.submit, busy.to_dict())
+            queued = await call(
+                client.submit,
+                SPEC.with_overrides(name="later", seeds=(9,)).to_dict())
+            cancelled = await call(client.cancel, queued["id"])
+            await call(client.wait, first["id"], 0.05, 120.0)
+            final = await call(client.status, queued["id"])
+            return cancelled, final["submission"]
+
+        cancelled, final = with_server(tmp_path, scenario)
+        assert cancelled["state"] == "cancelled"
+        assert final["state"] == "cancelled" and final["executed"] == 0
+
+
+class TestErrorPaths:
+    def test_every_4xx_surface(self, tmp_path):
+        async def scenario(daemon, server, client):
+            statuses = {}
+
+            async def expect(name, fn, *args):
+                with pytest.raises(ServiceError) as excinfo:
+                    await call(fn, *args)
+                statuses[name] = excinfo.value.status
+
+            await expect("bad-spec", client.submit, {"name": "broken"})
+            await expect("unknown-status", client.status, "sub-999999")
+            await expect("unknown-cancel", client.cancel, "sub-999999")
+            await expect("bad-route", client._request, "GET", "/nope")
+            await expect("bad-method", client._request, "GET", "/submit")
+            await expect("bad-param", client._request, "GET", "/query?x=1")
+            await expect("bad-seed", client._request, "GET",
+                         "/query?seed=abc")
+            await expect("bad-body", client._request, "POST", "/submit",
+                         {"spec": "not-a-dict"})
+            daemon._draining = True
+            await expect("draining", client.submit, SPEC.to_dict())
+            daemon._draining = False
+            return statuses
+
+        statuses = with_server(tmp_path, scenario)
+        assert statuses == {"bad-spec": 400, "unknown-status": 404,
+                            "unknown-cancel": 404, "bad-route": 404,
+                            "bad-method": 405, "bad-param": 400,
+                            "bad-seed": 400, "bad-body": 400,
+                            "draining": 409}
+
+    def test_client_rejects_non_http_urls(self):
+        with pytest.raises(ValueError, match="plain http"):
+            ServiceClient("https://example.com")
+        with pytest.raises(ValueError, match="no host"):
+            ServiceClient("http://")
+
+    def test_client_reports_unreachable_service(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+
+class TestConcurrentSubmitters:
+    def test_two_submitters_one_daemon_dedupes_shared_jobs(self, tmp_path):
+        """Two clients race the *same* grid into one daemon: every job
+        runs exactly once, both submissions settle, the store holds one
+        record per job."""
+        async def scenario(daemon, server, client):
+            other = ServiceClient(server.url)
+            first, second = await asyncio.gather(
+                call(client.submit, SPEC.to_dict()),
+                call(other.submit, SPEC.to_dict()))
+            assert first["id"] != second["id"]
+            payloads = await asyncio.gather(
+                call(client.wait, first["id"], 0.05, 60.0),
+                call(other.wait, second["id"], 0.05, 60.0))
+            return daemon, [p["submission"] for p in payloads]
+
+        daemon, submissions = with_server(tmp_path, scenario)
+        assert daemon.jobs_executed == 4
+        assert {s["state"] for s in submissions} == {"done"}
+        assert sum(s["executed"] for s in submissions) == 4
+        assert sum(s["reused"] for s in submissions) == 4
+        assert len(ShardedResultStore(tmp_path / "store")) == 4
+
+
+class TestCliIntegration:
+    def test_exp_run_remote_submits_through_the_service(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC.to_dict()))
+
+        async def scenario(daemon, server, client):
+            code = await asyncio.to_thread(
+                main, ["exp", "run", str(spec_path),
+                       "--remote", server.url])
+            health = await call(client.health)
+            return code, health
+
+        code, health = with_server(tmp_path, scenario)
+        assert code == 0
+        assert health["jobs_executed"] == 4
+        assert len(ShardedResultStore(tmp_path / "store")) == 4
+
+    def test_svc_submit_and_status_cli_against_live_service(self, tmp_path,
+                                                            capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC.to_dict()))
+        out_path = tmp_path / "submit.json"
+
+        async def scenario(daemon, server, client):
+            code = await asyncio.to_thread(
+                main, ["svc", "submit", str(spec_path),
+                       "--url", server.url, "--wait",
+                       "--json", str(out_path)])
+            status_code = await asyncio.to_thread(
+                main, ["svc", "status", "--url", server.url])
+            return code, status_code
+
+        code, status_code = with_server(tmp_path, scenario)
+        assert code == 0 and status_code == 0
+        summary = json.loads(out_path.read_text())
+        assert summary["state"] == "done"
+        assert summary["executed"] + summary["reused"] == 4
+        assert "api-grid" in capsys.readouterr().out
